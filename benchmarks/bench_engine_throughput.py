@@ -1,0 +1,86 @@
+"""Infrastructure throughput (true pytest-benchmark timings).
+
+Not a paper figure — these benches track the substrate's performance so
+full-scale regenerations stay tractable: discrete-event engine rate,
+postmortem message matching, violation scan, and CLC throughput.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.cluster import inter_node, xeon_cluster
+from repro.mpi import MpiWorld
+from repro.sync.clc import ControlledLogicalClock
+from repro.sync.violations import scan_messages
+from repro.workloads import SparseConfig, sparse_worker
+
+
+def make_run(rounds=40, nprocs=8, seed=3):
+    preset = xeon_cluster()
+    world = MpiWorld(
+        preset, inter_node(preset.machine, nprocs), timer="tsc", seed=seed,
+        duration_hint=60.0,
+    )
+    return world.run(sparse_worker(SparseConfig(rounds=rounds, density=0.4), seed=seed))
+
+
+def test_engine_event_rate(benchmark):
+    def run():
+        return make_run()
+
+    result = benchmark(run)
+    rate = result.events_processed / benchmark.stats["mean"]
+    emit("")
+    emit(
+        f"engine throughput: {result.events_processed} engine events per run, "
+        f"~{rate / 1e3:.0f}k events/s"
+    )
+    assert result.events_processed > 1000
+
+
+def test_message_matching_rate(benchmark):
+    run = make_run(rounds=80)
+    trace = run.trace
+
+    def match():
+        return trace.messages(refresh=True)
+
+    msgs = benchmark(match)
+    emit(f"matching: {len(msgs)} messages in {benchmark.stats['mean'] * 1e3:.2f} ms/pass")
+    assert len(msgs) > 100
+
+
+def test_violation_scan_rate(benchmark):
+    rng = np.random.default_rng(0)
+    n = 200_000
+    from repro.tracing.trace import MessageTable
+
+    z = np.zeros(n, dtype=np.int64)
+    send = np.sort(rng.uniform(0, 100, n))
+    recv = send + rng.normal(5e-6, 3e-6, n)
+    table = MessageTable(
+        rng.integers(0, 16, n), rng.integers(0, 16, n), z, z, send, recv, z, z
+    )
+
+    report = benchmark(scan_messages, table, 1e-6)
+    emit(
+        f"violation scan: {n} messages in {benchmark.stats['mean'] * 1e3:.2f} ms "
+        f"({report.violated} violations found)"
+    )
+    assert report.checked == n
+
+
+def test_clc_rate(benchmark):
+    run = make_run(rounds=60, seed=9)
+    trace = run.trace
+    clc = ControlledLogicalClock()
+
+    def correct():
+        return clc.correct(trace, lmin=1e-6)
+
+    result = benchmark(correct)
+    emit(
+        f"CLC: {result.total_events} events corrected in "
+        f"{benchmark.stats['mean'] * 1e3:.1f} ms/pass ({result.jumps} jumps)"
+    )
+    assert result.total_events == trace.total_events()

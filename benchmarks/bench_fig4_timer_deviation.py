@@ -1,0 +1,56 @@
+"""Fig. 4 — clock deviations of three timers after initial offset alignment.
+
+Xeon cluster, 4 processes on distinct SMP nodes, repeated Cristian
+probes; deviations re-zeroed at the first probe ("initial alignment"):
+
+  (a) MPI_Wtime,    300 s — ">200 us after a relatively short period",
+      roughly constant drift with an abrupt slope change (NTP);
+  (b) gettimeofday, 1800 s — same pattern, "a little bit more curvy";
+  (c) Intel TSC,    3600 s — approximately constant drift throughout.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.experiments import FIG4_PANELS, fig4_timer_deviation
+from repro.analysis.reports import format_series
+from repro.units import USEC
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c"])
+def test_fig4_panel(benchmark, panel):
+    result = benchmark.pedantic(
+        fig4_timer_deviation, kwargs=dict(panel=panel, seed=1), rounds=1, iterations=1
+    )
+    timer, duration = FIG4_PANELS[panel]
+    emit("")
+    emit(
+        f"Fig. 4{panel} — {timer}, {duration:.0f} s run, deviations after "
+        "initial offset alignment:"
+    )
+    for worker, s in sorted(result.series.items()):
+        emit("  " + format_series(f"worker {worker}", s.times, s.aligned()))
+    emit(f"  worst |deviation|: {result.max_residual('aligned') * 1e6:.1f} us")
+
+    if panel == "a":
+        # ">200 us already after a relatively short period".
+        assert result.max_residual("aligned") > 200 * USEC
+    if panel == "c":
+        # TSC: near-linear growth — a straight-line fit explains almost
+        # all of the deviation of every drifting worker.
+        for s in result.series.values():
+            resid = s.aligned()
+            span = float(np.abs(resid).max())
+            if span < 50 * USEC:
+                continue
+            fit = np.polyval(np.polyfit(s.times, resid, 1), s.times)
+            assert float(np.sqrt(np.mean((resid - fit) ** 2))) < 0.1 * span
+    if panel in ("a", "b"):
+        # NTP timers: drift is NOT constant — a line fit leaves a
+        # substantially larger relative residual than for the TSC.
+        worst = max(result.series.values(), key=lambda s: s.max_abs("aligned"))
+        resid = worst.aligned()
+        fit = np.polyval(np.polyfit(worst.times, resid, 1), worst.times)
+        rel = float(np.sqrt(np.mean((resid - fit) ** 2))) / float(np.abs(resid).max())
+        assert rel > 0.02

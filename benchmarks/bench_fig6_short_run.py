@@ -1,0 +1,32 @@
+"""Fig. 6 — short (300 s) Xeon/TSC run after linear interpolation.
+
+"Since shorter runs also use a shorter interpolation interval, linear
+interpolation may still be adequate in those cases, although our results
+on the Xeon cluster suggest that even then violations may occur" — the
+residual slightly exceeds the message latency within five minutes.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import fig6_short_run
+from repro.analysis.reports import format_series
+
+
+def test_fig6_short_run(benchmark):
+    result = benchmark.pedantic(
+        fig6_short_run, kwargs=dict(seed=0), rounds=1, iterations=1
+    )
+    emit("")
+    emit("Fig. 6 — Xeon / Intel TSC, 300 s, residuals after linear interpolation:")
+    for worker, s in sorted(result.series.items()):
+        emit("  " + format_series(f"worker {worker}", s.times, s.interpolated()))
+    peak = result.max_residual("interpolated")
+    emit(
+        f"  peak residual {peak * 1e6:.2f} us vs l_min {result.lmin * 1e6:.2f} us "
+        f"(ratio {peak / result.lmin:.2f})"
+    )
+
+    # "The deviations slightly exceed the latency": above the half-l_min
+    # accuracy requirement, same order of magnitude as l_min itself.
+    assert peak > result.lmin / 2
+    assert peak < 10 * result.lmin

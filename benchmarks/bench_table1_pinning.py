@@ -1,0 +1,38 @@
+"""Table I — Xeon cluster process pinnings.
+
+Regenerates the three deliberate placements (inter-node / inter-chip /
+inter-core) and prints them in Table I's terms, plus the dominant
+distance class each one exposes (which selects the l_min that governs
+its clock condition).
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import table1_pinnings
+from repro.analysis.reports import ascii_table
+
+
+def test_table1_pinnings(benchmark):
+    result = benchmark.pedantic(table1_pinnings, rounds=1, iterations=1)
+    rows = []
+    for name, pin in result.pinnings.items():
+        nodes = len({loc.node for loc in pin})
+        chips = len({(loc.node, loc.chip) for loc in pin})
+        rows.append(
+            (
+                name,
+                f"{nodes} node(s)",
+                f"{chips} chip(s)",
+                f"{pin.nranks} processes",
+                pin.dominant_distance().value,
+            )
+        )
+    emit("")
+    emit(
+        ascii_table(
+            ["placement", "nodes", "chips", "processes", "dominant distance"],
+            rows,
+            title="Table I — Xeon cluster: process pinning for measurements",
+        )
+    )
+    assert {name for name, *_ in rows} == {"inter node", "inter chip", "inter core"}

@@ -1,0 +1,35 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper and
+prints the same rows/series the paper reports.  Output goes through
+:func:`emit`, which writes to the real stdout and appends to
+``benchmarks/results/latest.txt``.  pytest's default fd-level capture
+would still swallow the stdout copy for passing tests, so regenerate
+with ``pytest benchmarks/ --benchmark-only -s`` when you want the
+tables on the terminal/teed file; the results file gets them always.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(text: str) -> None:
+    """Print to the real stdout (past pytest capture) and the results file."""
+    print(text, file=sys.__stdout__)
+    sys.__stdout__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with (RESULTS_DIR / "latest.txt").open("a", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "latest.txt").write_text("", encoding="utf-8")
+    yield

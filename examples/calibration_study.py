@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Characterize timer technologies the way oscillator people do.
+
+Runs the repeated-probe measurement against three simulated timers and
+characterizes each series with the tools a metrologist would use on a
+real cluster (`repro.clocks.calibrate`):
+
+* affine decomposition — the drift rate linear interpolation removes,
+  and the residual it cannot;
+* Allan deviation — whose log-log slope identifies the dominant noise
+  family (white phase noise falls, NTP/flicker plateaus, rate random
+  walks rise).
+
+This is the quantitative version of the paper's Fig. 4 eyeball
+comparison, and the loop you would use to calibrate the simulator's
+drift models against probes from your own machines.
+
+Run:  python examples/calibration_study.py  [duration_seconds]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.deviation import measure_deviation
+from repro.analysis.reports import ascii_table, sparkline
+from repro.clocks.calibrate import allan_deviation, estimate_drift
+from repro.cluster import inter_node, xeon_cluster
+
+
+def main(duration: float = 1200.0) -> None:
+    preset = xeon_cluster()
+    pinning = inter_node(preset.machine, 2)
+    rows = []
+    curves = {}
+    for timer in ("tsc", "gettimeofday", "mpi_wtime"):
+        s = measure_deviation(
+            preset, pinning, timer=timer, duration=duration,
+            probe_interval=max(duration / 300.0, 1.0), seed=8,
+        )[1]
+        est = estimate_drift(s.times, s.offsets)
+        taus, adev = allan_deviation(s.times, s.offsets)
+        slope = float(np.polyfit(np.log(taus), np.log(adev), 1)[0])
+        rows.append(
+            (
+                timer,
+                f"{est.rate * 1e6:+.3f}",
+                f"{est.residual_rms * 1e6:.2f}",
+                f"{est.residual_max * 1e6:.2f}",
+                f"{slope:+.2f}",
+            )
+        )
+        curves[timer] = adev
+    print(
+        ascii_table(
+            ["timer", "rate [ppm]", "residual rms [µs]", "residual max [µs]",
+             "Allan slope"],
+            rows,
+            title=f"Timer characterization ({duration:.0f} s of Cristian probes)",
+        )
+    )
+    print("\nAllan deviation vs averaging time (log scale sketch):")
+    for timer, adev in curves.items():
+        print(f"  {timer:>13}: [{sparkline(np.log(adev), width=40)}]")
+    print(
+        "\nreading: the hardware counter's residual is microseconds (drift\n"
+        "nearly constant — interpolate it); the NTP-disciplined clocks'\n"
+        "residuals are hundreds of microseconds with a flat Allan plateau\n"
+        "(slew adjustments) — the paper's reason to prefer hardware clocks."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 1200.0)

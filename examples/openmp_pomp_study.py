@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Fig. 3 + Fig. 8-style OpenMP study on the simulated Itanium SMP node.
+
+Runs the paper's parallel-for loop benchmark with 4, 8, 12 and 16
+threads (no offset alignment or interpolation — Fig. 8's setup),
+reports the percentage of parallel regions with POMP-semantics
+violations per kind, and then renders one concrete violating barrier as
+a text timeline, the way Fig. 3's VAMPIR screenshot shows thread 1:2
+leaving the barrier before thread 1:3 entered it.
+
+Run:  python examples/openmp_pomp_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig3_barrier_violation, fig8_openmp_violations
+from repro.analysis.reports import ascii_table
+
+
+def main(seed: int = 1) -> None:
+    print("parallel-for benchmark, Itanium SMP node (4 chips x 4 cores),")
+    print("Intel timestamp counter, no timestamp correction, mean of 3 runs\n")
+
+    result = fig8_openmp_violations(threads=(4, 8, 12, 16), seed=seed, runs=3)
+    rows = [
+        (n, f"{any_:.1f}", f"{entry:.1f}", f"{exit_:.1f}", f"{barrier:.1f}")
+        for n, any_, entry, exit_, barrier in result.rows()
+    ]
+    print(
+        ascii_table(
+            ["threads", "any %", "entry %", "exit %", "barrier %"],
+            rows,
+            title="parallel regions with clock-condition violations (Fig. 8)",
+        )
+    )
+    print(
+        "\nviolations collapse as thread count grows: synchronization\n"
+        "latency rises with contention until it exceeds the inter-chip\n"
+        "clock disagreement — the paper's explanation.\n"
+    )
+
+    fig3 = fig3_barrier_violation(seed=seed, threads=4, regions=200)
+    if not fig3.found:
+        print("no barrier violation at this seed (try another)")
+        return
+    print(f"one violating barrier, region instance {fig3.instance} (Fig. 3):")
+    t0 = min(enter for enter, _ in fig3.timeline.values())
+    span = max(exit_ for _, exit_ in fig3.timeline.values()) - t0
+    width = 58
+    for tid, (enter, exit_) in sorted(fig3.timeline.items()):
+        a = int((enter - t0) / span * (width - 1))
+        b = max(int((exit_ - t0) / span * (width - 1)), a + 1)
+        bar = " " * a + "#" * (b - a)
+        mark = "  <-- offender" if tid == fig3.offender else (
+            "  <-- victim" if tid == fig3.victim else ""
+        )
+        print(f"  thread {tid}: |{bar:<{width}}|{mark}")
+    print(
+        f"\nthread {fig3.offender}'s recorded barrier exit precedes thread "
+        f"{fig3.victim}'s recorded entry by {fig3.overlap_gap * 1e6:.3f} us — "
+        "impossible in reality, an artifact of inter-chip clock offsets."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: trace a parallel job on a simulated cluster and fix its clocks.
+
+This walks the library's core loop in ~40 lines:
+
+1. open a :class:`repro.TracingSession` — a simulated Xeon/InfiniBand
+   cluster with per-chip TSC clocks that drift like the real thing;
+2. run a small message-passing workload under tracing (the runtime
+   measures clock offsets at init/finalize like Scalasca does);
+3. synchronize the trace: linear offset interpolation (paper Eq. 3)
+   followed by the controlled logical clock;
+4. inspect how many clock-condition violations each stage removed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TracingSession
+from repro.workloads import SparseConfig, sparse_worker
+
+
+def main() -> None:
+    # A 6-process job, one process per SMP node (worst case for clocks:
+    # every message crosses the network between unsynchronized TSCs).
+    session = TracingSession(
+        platform="xeon",
+        nprocs=6,
+        placement="spread",
+        timer="mpi_wtime",  # NTP-disciplined software clock: the nastiest
+        seed=2024,
+        duration_hint=120.0,
+    )
+    print(f"session: {session}")
+
+    # Any generator-based workload works; here: random sparse traffic
+    # with periodic allreduces.
+    workload = sparse_worker(SparseConfig(rounds=20, density=0.3), seed=2024)
+    run = session.trace(workload)
+    trace = run.trace
+    print(
+        f"traced {trace.total_events()} events, "
+        f"{len(trace.messages())} messages, "
+        f"{len(trace.collectives())} collectives "
+        f"over {run.duration:.3f} s of simulated time"
+    )
+    print(f"offset of rank 1 vs master at init: "
+          f"{run.init_offsets[1].offset * 1e6:+.2f} us")
+
+    # The full Scalasca-style pipeline: Eq. 3 interpolation, then CLC.
+    report = session.synchronize(run)
+    print("\nviolations by stage:")
+    print(report.summary())
+
+    # The corrected trace is violation-free and ready for analysis.
+    final = report.stage("clc")
+    assert final.total_violated == 0
+    print("\nfinal trace satisfies the clock condition everywhere.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Compare timer technologies the way the paper's Fig. 4 does.
+
+Measures clock deviations between a master node and three worker nodes
+with repeated Cristian probes, after aligning initial offsets, for three
+timers on the simulated Xeon cluster:
+
+* ``mpi_wtime``      — Open MPI's default (gettimeofday underneath),
+                       sparsely NTP-disciplined: watch the slope breaks;
+* ``gettimeofday``   — tighter NTP discipline, still non-constant drift;
+* ``tsc``            — the hardware timestamp counter: near-constant
+                       drift, the paper's recommendation.
+
+Run:  python examples/timer_comparison.py  [duration_seconds]
+"""
+
+import sys
+
+from repro.analysis.deviation import measure_deviation
+from repro.analysis.reports import format_series
+from repro.cluster import inter_node, xeon_cluster
+from repro.units import format_seconds
+
+
+def main(duration: float = 300.0) -> None:
+    preset = xeon_cluster()
+    pinning = inter_node(preset.machine, 4)
+    lmin = preset.latency.min_latency(pinning[0], pinning[1])
+    print(
+        f"platform: {preset.machine.name} ({preset.machine.interconnect}), "
+        f"4 processes on distinct nodes, l_min = {format_seconds(lmin)}\n"
+    )
+
+    for timer in ("mpi_wtime", "gettimeofday", "tsc"):
+        series = measure_deviation(
+            preset, pinning, timer=timer, duration=duration,
+            probe_interval=max(duration / 60.0, 1.0), seed=42,
+        )
+        print(f"--- {timer}: deviations after initial offset alignment ---")
+        for worker, s in sorted(series.items()):
+            print(format_series(f"worker {worker}", s.times, s.aligned()))
+        worst = max(s.max_abs("aligned") for s in series.values())
+        crossing = min(
+            (t for s in series.values()
+             if (t := s.first_exceeding(lmin / 2, "aligned")) is not None),
+            default=None,
+        )
+        verdict = (
+            f"exceeds l_min/2 after {crossing:.0f} s"
+            if crossing is not None
+            else "never exceeds l_min/2"
+        )
+        print(f"worst |deviation| = {format_seconds(worst)}; {verdict}\n")
+
+    print(
+        "Conclusion (matches the paper): software clocks suffer sudden\n"
+        "drift adjustments from NTP; the hardware counter drifts almost\n"
+        "linearly and is the right substrate for offset interpolation."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 300.0)

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""How clock errors corrupt wait-state analysis — and what fixes it.
+
+The paper's opening motivation is Scalasca's wait-state search:
+inaccurate timestamps "may lead to false conclusions during trace
+analysis, for example, when the impact of certain behaviors is
+quantified."  This example quantifies exactly that:
+
+1. run an imbalanced ring workload whose ground-truth Late Sender
+   waiting time is known (measured on a perfect global clock);
+2. re-run it with NTP-disciplined MPI_Wtime clocks and compute the same
+   analysis on raw, interpolated, and CLC-corrected timestamps;
+3. report each variant's total waiting time, its error, and how many
+   messages it *misclassifies* (Late Sender <-> Late Receiver sign
+   flips against ground truth);
+4. bonus: synchronize using only the run's own collectives
+   (Babaoglu/Drummond exchange midpoints — zero probe traffic).
+
+Run:  python examples/waitstate_accuracy.py
+"""
+
+import numpy as np
+
+from repro.analysis.reports import ascii_table
+from repro.analysis.waitstates import barrier_waits, late_sender
+from repro.cluster import inter_node, xeon_cluster
+from repro.mpi import MpiWorld
+from repro.sync.clc import ControlledLogicalClock
+from repro.sync.exchange import exchange_correction
+from repro.sync.interpolation import linear_interpolation
+from repro.sync.violations import lmin_matrix_from_trace
+
+
+def imbalanced_ring(steps=80, base=2e-4, seed=13):
+    def worker(ctx):
+        rng = np.random.default_rng((seed << 8) ^ ctx.rank)
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        for _ in range(steps):
+            work = base * (1.0 + 0.5 * float(rng.random()) + 0.5 * (ctx.rank % 2))
+            yield from ctx.compute(work)
+            yield from ctx.send(right, tag=1, nbytes=64)
+            yield from ctx.recv(src=left, tag=1)
+            yield from ctx.barrier()
+        return None
+
+    return worker
+
+
+def run_job(timer, seed=13):
+    preset = xeon_cluster()
+    world = MpiWorld(
+        preset, inter_node(preset.machine, 6), timer=timer, seed=seed,
+        duration_hint=60.0, mpi_regions=True,
+    )
+    return world, world.run(imbalanced_ring(seed=seed))
+
+
+def main() -> None:
+    print("measuring ground truth (perfect global clock)...")
+    _, truth_run = run_job("global")
+    truth = late_sender(truth_run.trace)
+    truth_barrier = barrier_waits(truth_run.trace)
+
+    print("re-running with NTP-disciplined MPI_Wtime clocks...\n")
+    world, run = run_job("mpi_wtime")
+    variants = {"raw timestamps": run.trace}
+    corr = linear_interpolation(run.init_offsets, run.final_offsets)
+    variants["linear interpolation"] = corr.apply(run.trace)
+    lmin = lmin_matrix_from_trace(run.trace, world.preset.latency)
+    variants["interpolation + CLC"] = (
+        ControlledLogicalClock().correct(variants["linear interpolation"], lmin=lmin).trace
+    )
+    variants["exchange-midpoint sync (free)"] = exchange_correction(run.trace).apply(
+        run.trace
+    )
+
+    rows = [
+        (
+            "ground truth",
+            f"{truth.total * 1e3:.3f}",
+            "-",
+            "-",
+            f"{truth_barrier.total * 1e3:.3f}",
+        )
+    ]
+    for label, trace in variants.items():
+        report = late_sender(trace)
+        err = 100.0 * abs(report.total - truth.total) / truth.total
+        rows.append(
+            (
+                label,
+                f"{report.total * 1e3:.3f}",
+                f"{err:.2f}",
+                report.sign_flips(truth),
+                f"{barrier_waits(trace).total * 1e3:.3f}",
+            )
+        )
+    print(
+        ascii_table(
+            ["timestamps", "Late Sender total [ms]", "error [%]",
+             "misclassified msgs", "Wait-at-Barrier total [ms]"],
+            rows,
+            title="Wait-state analysis under each correction (6 ranks, 80 steps)",
+        )
+    )
+    print(
+        "\ninterpretation: raw software-clock timestamps mismeasure the\n"
+        "totals AND misclassify messages between Late Sender and Late\n"
+        "Receiver; the paper's pipeline (interpolation, then CLC) restores\n"
+        "the analysis to within a few percent of ground truth — and even\n"
+        "the zero-cost exchange-midpoint correction recovers most of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

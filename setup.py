@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline toolchain in some environments lacks the ``wheel`` package,
+which breaks PEP 660 editable installs; with this shim present,
+``pip install -e . --no-build-isolation`` falls back to
+``setup.py develop`` and succeeds.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — clock drift, event-trace timestamps, and their correction.
+
+A from-scratch Python reproduction of Becker, Rabenseifner & Wolf,
+*"Implications of non-constant clock drifts for the timestamps of
+concurrent events"* (IEEE Cluster 2008): a simulated-cluster substrate
+(topology, latency models, drift-accurate clocks, discrete-event MPI and
+OpenMP runtimes, PMPI/POMP-style tracing) plus the full postmortem
+timestamp-synchronization toolchain the paper studies — Cristian offset
+measurement, linear offset interpolation, clock-condition violation
+analysis, logical clocks, and the controlled logical clock (CLC) with
+forward/backward amortization and collective mapping.
+
+Quick start
+-----------
+>>> from repro import TracingSession
+>>> from repro.workloads import SparseConfig, sparse_worker
+>>> session = TracingSession(platform="xeon", nprocs=4, seed=7,
+...                          duration_hint=60.0)
+>>> run = session.trace(sparse_worker(SparseConfig(rounds=5)))
+>>> report = session.synchronize(run)
+>>> report.stage("clc").total_violated
+0
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+regeneration of every table and figure in the paper.
+"""
+
+from repro.core.api import TracingSession
+from repro.core.pipeline import PipelineReport, SyncPipeline
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["TracingSession", "SyncPipeline", "PipelineReport", "ReproError", "__version__"]

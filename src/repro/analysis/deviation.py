@@ -1,0 +1,150 @@
+"""Repeated-probe clock-deviation measurement (Figs. 4, 5, 6).
+
+The paper's deviation curves are sequences of offset measurements
+between a master and each worker, replotted after a correction scheme:
+
+* Fig. 4 — "after an initial alignment of offsets": subtract the first
+  measured offset; the residual shows the raw (non-)constancy of drift;
+* Fig. 5/6 — "after linear offset interpolation": subtract the line
+  through the first and last measurements ("with an expected convergence
+  of offsets at the end"); the residual is what Eq. 3 cannot remove.
+
+:func:`measure_deviation` runs exactly that protocol in simulation —
+the master performs a best-of-N Cristian exchange with every worker at
+each probe epoch (the same estimator the tools use, so measurement
+error behaves realistically) — and returns per-worker series with both
+correction views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machines import ClusterPreset
+from repro.cluster.pinning import Pinning
+from repro.errors import ConfigurationError
+from repro.mpi.runtime import MpiWorld
+from repro.sync.offset import SYNC_TAG, cristian_offset
+
+__all__ = ["DeviationSeries", "measure_deviation"]
+
+
+@dataclass
+class DeviationSeries:
+    """Offset-probe series for one master/worker pair.
+
+    Attributes
+    ----------
+    worker:
+        Worker rank.
+    times:
+        Worker-clock times of the probes (abscissa), seconds.
+    offsets:
+        Measured master-minus-worker offsets, seconds.
+    """
+
+    worker: int
+    times: np.ndarray
+    offsets: np.ndarray
+
+    def aligned(self) -> np.ndarray:
+        """Residual after initial offset alignment (Fig. 4 view)."""
+        return self.offsets - self.offsets[0]
+
+    def interpolated(self) -> np.ndarray:
+        """Residual after two-point linear interpolation (Fig. 5 view)."""
+        if self.times.size < 2:
+            return np.zeros_like(self.offsets)
+        t0, t1 = self.times[0], self.times[-1]
+        o0, o1 = self.offsets[0], self.offsets[-1]
+        line = o0 + (o1 - o0) * (self.times - t0) / (t1 - t0)
+        return self.offsets - line
+
+    def max_abs(self, corrected: str = "interpolated") -> float:
+        """Largest absolute residual under a correction view."""
+        series = self.interpolated() if corrected == "interpolated" else self.aligned()
+        return float(np.abs(series).max()) if series.size else 0.0
+
+    def first_exceeding(self, threshold: float, corrected: str = "interpolated") -> float | None:
+        """Elapsed run time (since the first probe) at which |residual|
+        first exceeds ``threshold`` (None if it never does) —
+        "deviations exceeded the message latency already after a few
+        minutes"."""
+        series = self.interpolated() if corrected == "interpolated" else self.aligned()
+        idx = np.nonzero(np.abs(series) > threshold)[0]
+        return float(self.times[idx[0]] - self.times[0]) if idx.size else None
+
+
+def measure_deviation(
+    preset: ClusterPreset,
+    pinning: Pinning,
+    timer: str,
+    duration: float,
+    probe_interval: float = 5.0,
+    repeats: int = 10,
+    seed: int = 0,
+    master: int = 0,
+) -> dict[int, DeviationSeries]:
+    """Run the probe protocol; returns ``{worker: DeviationSeries}``.
+
+    The master probes each worker every ``probe_interval`` seconds of
+    true time for ``duration`` seconds, each probe being a best-of-
+    ``repeats`` Cristian exchange.
+    """
+    if duration <= 0 or probe_interval <= 0:
+        raise ConfigurationError("duration and probe_interval must be positive")
+    nprobes = int(duration / probe_interval)
+    if nprobes < 2:
+        raise ConfigurationError("need at least two probes for interpolation")
+    nworkers = pinning.nranks - 1
+    if nworkers < 1:
+        raise ConfigurationError("need at least one worker")
+
+    world = MpiWorld(preset, pinning, timer=timer, seed=seed, duration_hint=duration * 1.05)
+
+    def probe_master(ctx):
+        series: dict[int, tuple[list, list]] = {
+            w: ([], []) for w in range(ctx.size) if w != master
+        }
+        for k in range(nprobes):
+            # Busy-wait until the next probe epoch of true time.  The
+            # master cannot see true time; it spaces probes with its own
+            # clock, like a real tool would (ppm errors are irrelevant
+            # to the probe spacing).
+            for worker in series:
+                best_rtt = np.inf
+                best = (0.0, 0.0)
+                for _ in range(repeats):
+                    t1 = yield from ctx.wtime()
+                    yield from ctx.send_raw(worker, tag=SYNC_TAG, nbytes=8)
+                    msg = yield from ctx.recv_raw(src=worker, tag=SYNC_TAG)
+                    t2 = yield from ctx.wtime()
+                    if t2 - t1 < best_rtt:
+                        best_rtt = t2 - t1
+                        best = (msg.payload, cristian_offset(t1, msg.payload, t2))
+                series[worker][0].append(best[0])
+                series[worker][1].append(best[1])
+            yield from ctx.sleep(probe_interval)
+        return {
+            w: (np.asarray(t), np.asarray(o)) for w, (t, o) in series.items()
+        }
+
+    def probe_worker(ctx):
+        for _ in range(nprobes * repeats):
+            yield from ctx.recv_raw(src=master, tag=SYNC_TAG)
+            t0 = yield from ctx.wtime()
+            yield from ctx.send_raw(master, tag=SYNC_TAG, nbytes=8, payload=t0)
+        return None
+
+    def worker(ctx):
+        if ctx.rank == master:
+            return (yield from probe_master(ctx))
+        return (yield from probe_worker(ctx))
+
+    result = world.run(worker, tracing=False, measure_offsets=False)
+    raw = result.results[master]
+    return {
+        w: DeviationSeries(worker=w, times=t, offsets=o) for w, (t, o) in raw.items()
+    }

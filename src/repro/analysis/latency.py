@@ -1,0 +1,111 @@
+"""In-simulation latency measurement (Table II).
+
+Runs the ping-pong / collective kernels of
+:mod:`repro.workloads.pingpong` under a given pinning and reports the
+mean and standard deviation of the mean, the quantities Table II lists
+per placement (inter-node / inter-chip / inter-core message latency and
+the inter-node collective latency).
+
+Note that these are *measured through the simulated clocks*, exactly
+like the paper's numbers: the reported mean includes clock read
+overheads and send/receive software overheads on top of the wire floor,
+and the standard deviation reflects network jitter, OS noise and timer
+quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machines import ClusterPreset
+from repro.cluster.pinning import Pinning
+from repro.mpi.runtime import MpiWorld
+from repro.workloads.pingpong import collective_timing_worker, pingpong_worker
+
+__all__ = ["LatencyStats", "measure_latency", "measure_collective_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of one latency measurement."""
+
+    label: str
+    mean: float  # seconds
+    std_of_mean: float  # seconds (std dev of the mean estimate)
+    std: float  # seconds (std dev of individual samples)
+    samples: int
+    floor: float  # the model's l_min for this placement
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.label}: mean {self.mean * 1e6:.2f} us, "
+            f"std(mean) {self.std_of_mean * 1e6:.2e} us ({self.samples} samples)"
+        )
+
+
+def _stats(label: str, samples: np.ndarray, floor: float) -> LatencyStats:
+    std = float(samples.std(ddof=1)) if samples.size > 1 else 0.0
+    return LatencyStats(
+        label=label,
+        mean=float(samples.mean()),
+        std_of_mean=std / np.sqrt(samples.size) if samples.size > 1 else 0.0,
+        std=std,
+        samples=int(samples.size),
+        floor=floor,
+    )
+
+
+def measure_latency(
+    preset: ClusterPreset,
+    pinning: Pinning,
+    repeats: int = 1000,
+    nbytes: int = 0,
+    seed: int = 0,
+    timer: str | None = None,
+    label: str | None = None,
+) -> LatencyStats:
+    """One-way message latency between ranks 0 and 1 of ``pinning``."""
+    world = MpiWorld(
+        preset,
+        pinning,
+        timer=timer,
+        seed=seed,
+        duration_hint=max(repeats * 1e-4, 10.0),
+    )
+    result = world.run(
+        pingpong_worker(repeats=repeats, nbytes=nbytes),
+        tracing=False,
+        measure_offsets=False,
+    )
+    samples = result.results[0]
+    floor = world.min_latency(0, 1, nbytes)
+    return _stats(label or pinning.label or "latency", samples, floor)
+
+
+def measure_collective_latency(
+    preset: ClusterPreset,
+    pinning: Pinning,
+    repeats: int = 200,
+    nbytes: int = 8,
+    seed: int = 0,
+    timer: str | None = None,
+    label: str | None = None,
+) -> LatencyStats:
+    """Allreduce completion latency over all ranks of ``pinning``."""
+    world = MpiWorld(
+        preset,
+        pinning,
+        timer=timer,
+        seed=seed,
+        duration_hint=max(repeats * 1e-3, 10.0),
+    )
+    result = world.run(
+        collective_timing_worker(repeats=repeats, nbytes=nbytes),
+        tracing=False,
+        measure_offsets=False,
+    )
+    samples = result.results[0]
+    floor = world.min_latency(0, 1, nbytes)
+    return _stats(label or "collective", samples, floor)

@@ -1,0 +1,170 @@
+"""Wait-state analysis — the trace consumer the paper is protecting.
+
+Section I: *"the Scalasca toolset scans event traces of parallel
+applications for wait states that occur when processes fail to reach
+synchronization points in a timely manner"*; Section III: *"Inaccurate
+timestamps may lead to false conclusions during trace analysis, for
+example, when the impact of certain behaviors is quantified."*
+
+This module implements the canonical **Late Sender** pattern: a receive
+was posted before the matching send started, so the receiver sat idle
+for ``send_ts - recv_post_ts`` seconds.  Computing it needs the
+*posting* time of the receive, i.e. traces recorded with
+``mpi_regions=True`` (the ENTER/SEND/EXIT wrapper pattern).
+
+The interesting quantity for the reproduction is the *error* such an
+analysis commits on uncorrected or partially corrected timestamps:
+
+* reversed messages make the inequality test fire the wrong way (the
+  "wait" becomes negative — an impossibility real tools must special-
+  case or mis-attribute);
+* even when the sign survives, each wait is mismeasured by the residual
+  clock error between the two ranks.
+
+:func:`late_sender` computes per-message waits; compare its output on
+raw / interpolated / CLC-corrected timestamps against the ground truth
+of a perfect-clock run to quantify the paper's "false conclusions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.mpi.comm import MPI_RECV_REGION
+from repro.tracing.events import EventType
+from repro.tracing.trace import Trace
+
+__all__ = ["WaitStateReport", "late_sender", "barrier_waits"]
+
+
+@dataclass
+class WaitStateReport:
+    """Late-sender analysis of one trace.
+
+    Attributes
+    ----------
+    waits:
+        Per-message ``send_ts - recv_post_ts`` (seconds): positive means
+        the receiver idled (Late Sender), negative means the send came
+        first (the Late *Receiver* side — perfectly legitimate).  Clock
+        errors shift these values and can flip their sign, which changes
+        the *classification* of the message — the concrete form of the
+        paper's "false conclusions".
+    dst:
+        Receiving rank per message (aligned with ``waits``).
+    """
+
+    waits: np.ndarray
+    dst: np.ndarray
+
+    @property
+    def total(self) -> float:
+        """Total Late Sender waiting time (what a tool would report)."""
+        return float(self.waits[self.waits > 0].sum())
+
+    @property
+    def late_sender_count(self) -> int:
+        """Messages classified as Late Sender (positive wait)."""
+        return int(np.count_nonzero(self.waits > 0))
+
+    @property
+    def negative_count(self) -> int:
+        """Messages on the Late Receiver side (send preceded the post)."""
+        return int(np.count_nonzero(self.waits < 0))
+
+    def sign_flips(self, truth: "WaitStateReport") -> int:
+        """Messages whose Late Sender/Late Receiver classification
+        differs from ``truth`` — misdiagnosed wait states.
+
+        Both reports must come from runs with the identical schedule
+        (same workload and seed, different clocks), so the k-th message
+        of one is the k-th message of the other.
+        """
+        if self.waits.shape != truth.waits.shape:
+            raise TraceError("sign_flips needs reports over the same message set")
+        return int(np.count_nonzero(np.sign(self.waits) != np.sign(truth.waits)))
+
+    def by_rank(self) -> dict[int, float]:
+        """Positive waiting time attributed to each receiving rank."""
+        out: dict[int, float] = {}
+        pos = self.waits > 0
+        for rank in np.unique(self.dst[pos]):
+            mask = pos & (self.dst == rank)
+            out[int(rank)] = float(self.waits[mask].sum())
+        return out
+
+    def __len__(self) -> int:
+        return self.waits.size
+
+
+def late_sender(trace: Trace) -> WaitStateReport:
+    """Late-sender waits for every matched message of ``trace``.
+
+    For each message, the receive's posting time is the nearest
+    preceding ``ENTER(MPI_RECV_REGION)`` event on the receiving rank;
+    the wait is ``send_ts - post_ts`` (clipped conceptually at 0 — the
+    report keeps raw values so callers can count sign violations).
+
+    Raises :class:`TraceError` if the trace was not recorded with
+    ``mpi_regions=True`` (no posting events to measure against).
+    """
+    messages = trace.messages(strict=False)
+    n = len(messages)
+    waits = np.empty(n, dtype=np.float64)
+
+    # Per-rank sorted indices of recv-post ENTER events.
+    post_idx: dict[int, np.ndarray] = {}
+    post_ts: dict[int, np.ndarray] = {}
+    for rank in trace.ranks:
+        log = trace.logs[rank]
+        mask = (log.etypes == int(EventType.ENTER)) & (log.a == MPI_RECV_REGION)
+        idx = np.nonzero(mask)[0]
+        post_idx[rank] = idx
+        post_ts[rank] = log.timestamps[idx]
+
+    for k in range(n):
+        dst = int(messages.dst[k])
+        recv_idx = int(messages.recv_idx[k])
+        candidates = post_idx[dst]
+        pos = np.searchsorted(candidates, recv_idx) - 1
+        if pos < 0:
+            raise TraceError(
+                "trace has RECV events without preceding MPI_RECV_REGION "
+                "enters; record it with mpi_regions=True for wait-state analysis"
+            )
+        waits[k] = messages.send_ts[k] - post_ts[dst][pos]
+
+    return WaitStateReport(waits=waits, dst=messages.dst.copy())
+
+
+def barrier_waits(trace: Trace) -> WaitStateReport:
+    """"Wait at N x N" / "Wait at Barrier" times per collective instance.
+
+    Scalasca's pattern: in an N-to-N operation every member idles from
+    its own enter until the *last* member's enter.  Per instance and
+    rank the wait is ``max(enter) - enter_i`` — nonnegative by
+    definition on correct timestamps, so a negative value cannot occur
+    (the max is taken over the same numbers); what clock errors corrupt
+    here is the *attribution*: which rank appears to arrive last, and by
+    how much.  The report's ``waits`` holds one entry per (instance,
+    member), ``dst`` the member rank.
+
+    Works on any trace with collective events (no ``mpi_regions``
+    needed).
+    """
+    waits_l: list[float] = []
+    dst_l: list[int] = []
+    for rec in trace.collectives():
+        if rec.ranks.size < 2:
+            continue
+        latest = float(rec.enter_ts.max())
+        for i, rank in enumerate(rec.ranks):
+            waits_l.append(latest - float(rec.enter_ts[i]))
+            dst_l.append(int(rank))
+    return WaitStateReport(
+        waits=np.asarray(waits_l, dtype=np.float64),
+        dst=np.asarray(dst_l, dtype=np.int64),
+    )

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Four subcommands cover the tool loop without writing Python:
+
+* ``simulate`` — run a workload on a simulated platform, write the
+  trace (and its offset measurements) to a ``.npz``/``.jsonl`` file;
+* ``scan``     — count clock-condition violations in a trace file;
+* ``sync``     — correct a trace file (interpolation and/or CLC) and
+  write the result;
+* ``report``   — summarize a trace: events, messages, collectives,
+  violation rates, optional ASCII timeline.
+
+Examples
+--------
+::
+
+    python -m repro.cli simulate --workload pop --nprocs 16 --scale 0.02 \\
+        --timer tsc --seed 3 -o pop.npz
+    python -m repro.cli scan pop.npz
+    python -m repro.cli sync pop.npz --clc -o pop_fixed.npz
+    python -m repro.cli report pop_fixed.npz --timeline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.timeline import render_message_arrows, render_timeline
+from repro.cluster.jitter import OsJitterModel
+from repro.cluster.pinning import inter_node, scheduler_default
+from repro.core.api import PLATFORMS
+from repro.errors import ReproError
+from repro.mpi.runtime import MpiWorld
+from repro.rng import RngFabric
+from repro.sync.clc import ControlledLogicalClock
+from repro.sync.interpolation import align_offsets, linear_interpolation
+from repro.sync.offset import OffsetMeasurement
+from repro.sync.violations import scan_collectives, scan_messages
+from repro.tracing.reader import read_trace
+from repro.tracing.writer import write_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated-cluster event tracing and timestamp synchronization.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a workload and write its trace")
+    sim.add_argument("--workload", choices=["pop", "smg2000", "sparse"], default="sparse")
+    sim.add_argument("--platform", choices=sorted(PLATFORMS), default="xeon")
+    sim.add_argument("--nprocs", type=int, default=8)
+    sim.add_argument("--timer", default=None, help="timer technology (default: platform's)")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--scale", type=float, default=0.02, help="workload scale (pop/smg)")
+    sim.add_argument("--placement", choices=["spread", "scheduler"], default="scheduler")
+    sim.add_argument("-o", "--output", required=True, help=".npz or .jsonl trace path")
+
+    scan = sub.add_parser("scan", help="count clock-condition violations")
+    scan.add_argument("trace", help="trace file")
+    scan.add_argument("--lmin", type=float, default=0.0, help="latency floor [s]")
+
+    sync = sub.add_parser("sync", help="correct a trace's timestamps")
+    sync.add_argument("trace", help="trace file")
+    sync.add_argument("-o", "--output", required=True, help="corrected trace path")
+    sync.add_argument(
+        "--interpolation",
+        choices=["none", "align", "linear", "hull", "regression", "minmax", "exchange"],
+        default="linear",
+        help="measurement-based (align/linear) or trace-only "
+             "(hull/regression/minmax = error estimation; exchange = "
+             "collective midpoints) correction",
+    )
+    sync.add_argument("--clc", action="store_true", help="apply the controlled logical clock")
+    sync.add_argument("--gamma", type=float, default=0.99)
+    sync.add_argument("--lmin", type=float, default=0.0)
+
+    rep = sub.add_parser("report", help="summarize a trace")
+    rep.add_argument("trace", help="trace file")
+    rep.add_argument("--timeline", action="store_true", help="render an ASCII timeline")
+    rep.add_argument("--arrows", type=int, default=0, help="list up to N messages")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_simulate(args) -> int:
+    preset = PLATFORMS[args.platform]()
+    if args.placement == "spread":
+        pinning = inter_node(preset.machine, args.nprocs)
+    else:
+        pinning = scheduler_default(
+            preset.machine, args.nprocs, RngFabric(args.seed).generator("placement")
+        )
+
+    if args.workload == "pop":
+        from repro.analysis.experiments import _grid_for
+        from repro.workloads.pop import PopConfig, pop_worker
+
+        steps = max(int(9000 * args.scale), 20)
+        cfg = PopConfig(
+            steps=steps,
+            step_time=0.165 * 9000 / steps,
+            trace_window=(int(steps * 3500 / 9000), int(steps * 5500 / 9000)),
+            grid=_grid_for(args.nprocs),
+        )
+        worker = pop_worker(cfg, seed=args.seed)
+        duration_hint = cfg.steps * cfg.step_time * 1.2 + 60.0
+        tracing_initially = False
+    elif args.workload == "smg2000":
+        from repro.workloads.smg2000 import Smg2000Config, smg2000_worker
+
+        cfg = Smg2000Config(cycles=max(int(5 * max(args.scale * 10, 0.2)), 1))
+        worker = smg2000_worker(cfg, seed=args.seed)
+        duration_hint = cfg.pre_sleep + cfg.post_sleep + 240.0
+        tracing_initially = False
+    else:
+        from repro.workloads.sparse import SparseConfig, sparse_worker
+
+        worker = sparse_worker(SparseConfig(rounds=max(int(100 * args.scale), 5)),
+                               seed=args.seed)
+        duration_hint = 120.0
+        tracing_initially = True
+
+    world = MpiWorld(
+        preset,
+        pinning,
+        timer=args.timer,
+        seed=args.seed,
+        duration_hint=duration_hint,
+        jitter=OsJitterModel(rate=10.0, mean_delay=5e-6),
+    )
+    run = world.run(worker, tracing_initially=tracing_initially)
+    path = write_trace(run.trace, args.output)
+    print(
+        f"wrote {path}: {run.trace.total_events()} events, "
+        f"{run.duration:.3f} s simulated, offsets measured at init+finalize"
+    )
+    return 0
+
+
+def _measurements_from_meta(meta: dict, key: str):
+    raw = meta.get(key)
+    if raw is None:
+        return None
+    return {
+        int(r): OffsetMeasurement(
+            worker=int(r), worker_time=float(w), offset=float(o), rtt=0.0, repeats=0
+        )
+        for r, (w, o) in raw.items()
+    }
+
+
+def _cmd_scan(args) -> int:
+    trace = read_trace(args.trace)
+    p2p = scan_messages(trace.messages(strict=False), args.lmin)
+    coll, _ = scan_collectives(trace, args.lmin)
+    print(f"{args.trace}: {trace.nranks} ranks, {trace.total_events()} events")
+    print(f"  p2p:        {p2p.violated}/{p2p.checked} ({100 * p2p.rate:.3f} %) violations")
+    print(
+        f"  collective: {coll.violated}/{coll.checked} "
+        f"({100 * coll.rate:.3f} %) violations"
+    )
+    return 0 if (p2p.violated + coll.violated) == 0 else 1
+
+
+def _cmd_sync(args) -> int:
+    trace = read_trace(args.trace)
+    if args.interpolation in ("hull", "regression", "minmax"):
+        from repro.sync.error_estimation import synchronize_by_spanning_tree
+
+        correction = synchronize_by_spanning_tree(
+            trace, lmin=args.lmin, method=args.interpolation
+        )
+        trace = correction.apply(trace)
+        print(f"applied {args.interpolation} error estimation")
+    elif args.interpolation == "exchange":
+        from repro.sync.exchange import exchange_correction
+
+        trace = exchange_correction(trace).apply(trace)
+        print("applied exchange-midpoint correction")
+    elif args.interpolation != "none":
+        init = _measurements_from_meta(trace.meta, "init_offsets")
+        final = _measurements_from_meta(trace.meta, "final_offsets")
+        if init is None:
+            print("error: trace has no offset measurements in metadata", file=sys.stderr)
+            return 2
+        if args.interpolation == "align":
+            correction = align_offsets(init)
+        else:
+            if final is None:
+                print("error: trace has no final offsets; use --interpolation align",
+                      file=sys.stderr)
+                return 2
+            correction = linear_interpolation(init, final)
+        trace = correction.apply(trace)
+        print(f"applied {args.interpolation} interpolation")
+    if args.clc:
+        result = ControlledLogicalClock(gamma=args.gamma).correct(trace, lmin=args.lmin)
+        trace = result.trace
+        print(
+            f"applied CLC: {result.jumps} jumps, max shift "
+            f"{result.max_shift * 1e6:.3f} us"
+        )
+    path = write_trace(trace, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    trace = read_trace(args.trace)
+    counts = trace.event_counts()
+    msgs = trace.messages(strict=False)
+    colls = trace.collectives()
+    print(f"{args.trace}")
+    print(f"  ranks: {trace.nranks}   events: {trace.total_events()}")
+    print("  by type: " + ", ".join(f"{t.name}={n}" for t, n in sorted(counts.items())))
+    print(f"  messages: {len(msgs)}   collectives: {len(colls)}")
+    print(f"  message-event fraction: {100 * trace.message_event_fraction():.1f} %")
+    p2p = scan_messages(msgs, 0.0)
+    print(f"  reversed messages: {p2p.violated} ({100 * p2p.rate:.3f} %)")
+    for key in ("machine", "timer", "duration"):
+        if key in trace.meta:
+            print(f"  {key}: {trace.meta[key]}")
+    if args.timeline:
+        print()
+        print(render_timeline(trace))
+    if args.arrows:
+        print()
+        print(render_message_arrows(trace, limit=args.arrows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "scan":
+            return _cmd_scan(args)
+        if args.command == "sync":
+            return _cmd_sync(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse enforces a command
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

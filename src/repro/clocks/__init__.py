@@ -1,0 +1,48 @@
+"""Clock and drift models.
+
+This package models processor clocks as described in Section II of the
+paper: cycle counters, hardware clocks (timestamp counters), software
+clocks, and system clocks, each characterized by its *offset* and
+(possibly time-varying) *drift* relative to an ideal global reference.
+
+The central abstractions are
+
+* :class:`repro.clocks.drift.DriftModel` — a deterministic function
+  ``offset_at(t)`` giving the accumulated clock error at true time ``t``;
+* :class:`repro.clocks.base.Clock` — a readable clock front-end combining
+  a drift model with finite resolution, read overhead, and read jitter;
+* :class:`repro.clocks.factory.ClockEnsemble` — per-machine assignment of
+  clocks to nodes/chips for a given timer technology.
+"""
+
+from repro.clocks.drift import (
+    CompositeDrift,
+    ConstantDrift,
+    DriftModel,
+    LinearRampDrift,
+    PiecewiseConstantDrift,
+    RandomWalkDrift,
+    SinusoidalDrift,
+)
+from repro.clocks.ntp import NTPDiscipline
+from repro.clocks.base import Clock
+from repro.clocks.factory import ClockEnsemble, TimerSpec, timer_spec
+from repro.clocks.calibrate import DriftEstimate, allan_deviation, estimate_drift
+
+__all__ = [
+    "DriftModel",
+    "ConstantDrift",
+    "LinearRampDrift",
+    "PiecewiseConstantDrift",
+    "SinusoidalDrift",
+    "RandomWalkDrift",
+    "CompositeDrift",
+    "NTPDiscipline",
+    "Clock",
+    "ClockEnsemble",
+    "TimerSpec",
+    "timer_spec",
+    "allan_deviation",
+    "estimate_drift",
+    "DriftEstimate",
+]

@@ -1,0 +1,154 @@
+"""Clock front-end: a readable clock with finite resolution and read costs.
+
+A :class:`Clock` turns a drift model into something a simulated process
+can *query*, adding the measurement-error mechanisms the paper lists in
+Section III.c:
+
+* **finite timer resolution** — readings are quantized to a grid
+  ("insufficient timer resolution may introduce measurement errors");
+* **read overhead** — each query consumes true time ("each access
+  introduces a certain and usually not negligible overhead");
+* **read jitter** — OS interference randomly delays the query
+  ("an effect exacerbated by OS jitter");
+* **monotonicity** — successive readings never go backwards, matching the
+  behaviour of every real timer API.
+
+Scalar :meth:`Clock.read` is the in-simulation path used by the
+discrete-event engine; vectorized :meth:`Clock.read_array` is the
+postmortem path used when an experiment needs the clock's value at many
+true times at once (e.g. to paint deviation curves).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clocks.drift import DriftModel
+from repro.errors import ClockError, ConfigurationError
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A local processor clock as seen by one simulated process.
+
+    Parameters
+    ----------
+    drift:
+        Error model mapping true time to accumulated clock error.
+    resolution:
+        Quantization grid in seconds (0 disables quantization).  Readings
+        are floored to a multiple of the resolution, like a tick counter.
+    read_overhead:
+        True-time cost of one query, seconds.  The simulation engine
+        charges this to the calling process; the reading itself reflects
+        the clock value at the *start* of the query.
+    read_jitter:
+        Scale (seconds) of an exponentially-distributed extra delay
+        applied to the sampling instant, modeling preemption between the
+        query and the actual register/syscall read.  Exponential because
+        interference is one-sided: it can only make the reading *later*.
+    rng:
+        Randomness for jitter; required when ``read_jitter > 0``.
+    name:
+        Diagnostic label.
+    """
+
+    __slots__ = ("drift", "resolution", "read_overhead", "read_jitter", "rng", "name", "_last")
+
+    def __init__(
+        self,
+        drift: DriftModel,
+        resolution: float = 0.0,
+        read_overhead: float = 0.0,
+        read_jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "",
+    ) -> None:
+        if resolution < 0 or read_overhead < 0 or read_jitter < 0:
+            raise ConfigurationError("resolution, overhead and jitter must be non-negative")
+        if read_jitter > 0 and rng is None:
+            raise ConfigurationError("read_jitter > 0 requires an rng")
+        self.drift = drift
+        self.resolution = float(resolution)
+        self.read_overhead = float(read_overhead)
+        self.read_jitter = float(read_jitter)
+        self.rng = rng
+        self.name = name
+        self._last = -np.inf
+
+    # ------------------------------------------------------------------
+    # In-simulation scalar path
+    # ------------------------------------------------------------------
+    def read(self, t_true: float) -> float:
+        """Read the clock at true time ``t_true`` (jittered, quantized, monotone).
+
+        Raises :class:`ClockError` if ``t_true`` precedes the time of a
+        previous read — the simulation must only move forward.
+        """
+        sample_t = t_true
+        if self.read_jitter > 0.0:
+            sample_t = t_true + float(self.rng.exponential(self.read_jitter))
+        value = sample_t + float(self.drift.offset_at(sample_t))
+        value = self._quantize(value)
+        if value < self._last:
+            # A real timer API never returns a smaller value than a
+            # previous call on the same clock; clamp like the kernel does.
+            value = self._last
+        self._last = value
+        return value
+
+    def ideal_read(self, t_true: float) -> float:
+        """Noise-free reading (no jitter, no quantization, no clamping).
+
+        Used by analyses that want the underlying drift curve itself.
+        """
+        return float(t_true + self.drift.offset_at(t_true))
+
+    # ------------------------------------------------------------------
+    # Postmortem vectorized path
+    # ------------------------------------------------------------------
+    def read_array(self, t_true: np.ndarray, jitter: bool = False) -> np.ndarray:
+        """Vectorized readings at sorted true times.
+
+        Parameters
+        ----------
+        t_true:
+            1-D non-decreasing array of true times.
+        jitter:
+            Apply read jitter (requires an rng).  Quantization and a
+            running-maximum monotonicity guard are always applied.
+
+        Notes
+        -----
+        This path does not interact with :meth:`read`'s last-value state;
+        it is an independent what-if evaluation of the same clock model.
+        """
+        t = np.asarray(t_true, dtype=np.float64)
+        if t.ndim != 1:
+            raise ClockError("read_array expects a 1-D array of true times")
+        if t.size > 1 and np.any(np.diff(t) < 0):
+            raise ClockError("read_array expects non-decreasing true times")
+        sample_t = t
+        if jitter and self.read_jitter > 0.0:
+            if self.rng is None:
+                raise ClockError("jittered read_array requires an rng")
+            sample_t = t + self.rng.exponential(self.read_jitter, size=t.shape)
+        values = sample_t + np.asarray(self.drift.offset_at(sample_t), dtype=np.float64)
+        if self.resolution > 0.0:
+            values = np.floor(values / self.resolution) * self.resolution
+        return np.maximum.accumulate(values)
+
+    # ------------------------------------------------------------------
+    def _quantize(self, value: float) -> float:
+        if self.resolution > 0.0:
+            return float(np.floor(value / self.resolution) * self.resolution)
+        return value
+
+    def __repr__(self) -> str:
+        return (
+            f"Clock(name={self.name!r}, resolution={self.resolution:g}, "
+            f"overhead={self.read_overhead:g}, jitter={self.read_jitter:g})"
+        )

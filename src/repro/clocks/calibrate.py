@@ -1,0 +1,131 @@
+"""Clock characterization from measured offset series.
+
+The paper characterizes timers by eyeballing deviation curves; this
+module does it quantitatively, closing the loop between measurement and
+model: feed it a probe series (e.g. from
+:func:`repro.analysis.deviation.measure_deviation` — or from *your own
+cluster*) and get back the parameters of the drift models in
+:mod:`repro.clocks.drift`, so the simulator can be calibrated against a
+real machine.
+
+Two tools:
+
+* :func:`allan_deviation` — the standard oscillator-stability statistic
+  sigma_y(tau).  Its log-log slope identifies the dominant noise
+  process: white phase noise falls as 1/tau, a frequency random walk
+  rises as sqrt(tau), flicker/OU noise plateaus — exactly the three
+  ingredients of the hardware-clock model;
+* :func:`estimate_drift` — decomposes a series into the affine part
+  (initial offset + mean rate: what Eq. 3 interpolation removes) and the
+  residual (what it cannot), with the residual's wander scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SynchronizationError
+
+__all__ = ["allan_deviation", "DriftEstimate", "estimate_drift"]
+
+
+def allan_deviation(
+    times: np.ndarray, offsets: np.ndarray, taus: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Non-overlapping Allan deviation of a clock-offset series.
+
+    Parameters
+    ----------
+    times / offsets:
+        Probe times and measured offsets (seconds), uniformly spaced —
+        the standard estimator assumes a constant sampling interval
+        ``tau0`` and is evaluated at integer multiples of it.
+    taus:
+        Averaging times to evaluate, seconds; defaults to octave-spaced
+        multiples of the sampling interval up to a quarter of the span.
+
+    Returns
+    -------
+    (taus_used, adev) arrays.
+
+    Notes
+    -----
+    With phase (offset) samples ``x_k`` at spacing ``tau``:
+
+        sigma_y^2(tau) = < (x_{k+2} - 2 x_{k+1} + x_k)^2 > / (2 tau^2)
+    """
+    t = np.asarray(times, dtype=np.float64)
+    x = np.asarray(offsets, dtype=np.float64)
+    if t.size != x.size or t.size < 4:
+        raise SynchronizationError("allan_deviation needs >= 4 aligned samples")
+    dt = np.diff(t)
+    tau0 = float(np.median(dt))
+    if tau0 <= 0 or np.any(np.abs(dt - tau0) > 0.1 * tau0):
+        raise SynchronizationError("allan_deviation expects uniform sampling")
+
+    n = t.size
+    if taus is None:
+        max_m = max(n // 4, 1)
+        ms = np.unique((2 ** np.arange(0, np.log2(max_m) + 1)).astype(int))
+    else:
+        ms = np.unique(np.maximum((np.asarray(taus) / tau0).astype(int), 1))
+    taus_used = []
+    adev = []
+    for m in ms:
+        if 2 * m >= n:
+            break
+        # Decimate to averaging time m*tau0 (phase samples every m).
+        xs = x[:: m]
+        if xs.size < 3:
+            break
+        d2 = xs[2:] - 2 * xs[1:-1] + xs[:-2]
+        avar = float(np.mean(d2 * d2)) / (2.0 * (m * tau0) ** 2)
+        taus_used.append(m * tau0)
+        adev.append(np.sqrt(avar))
+    return np.asarray(taus_used), np.asarray(adev)
+
+
+@dataclass(frozen=True)
+class DriftEstimate:
+    """Decomposition of an offset series into model parameters.
+
+    Attributes
+    ----------
+    initial_offset:
+        Affine intercept at the first probe, seconds.
+    rate:
+        Mean drift rate over the series (dimensionless) — the component
+        linear interpolation removes exactly.
+    residual_rms / residual_max:
+        RMS and peak of the series minus its affine fit, seconds — the
+        component interpolation cannot remove (the paper's Figs. 5/6).
+    wander_rate_std:
+        Std of the locally estimated rate (first differences / spacing):
+        the scale knob of the random-walk / OU wander models.
+    """
+
+    initial_offset: float
+    rate: float
+    residual_rms: float
+    residual_max: float
+    wander_rate_std: float
+
+
+def estimate_drift(times: np.ndarray, offsets: np.ndarray) -> DriftEstimate:
+    """Fit the affine drift and characterize the residual wander."""
+    t = np.asarray(times, dtype=np.float64)
+    x = np.asarray(offsets, dtype=np.float64)
+    if t.size != x.size or t.size < 3:
+        raise SynchronizationError("estimate_drift needs >= 3 aligned samples")
+    rate, intercept = np.polyfit(t - t[0], x, 1)
+    residual = x - (intercept + rate * (t - t[0]))
+    local_rates = np.diff(x) / np.diff(t)
+    return DriftEstimate(
+        initial_offset=float(intercept),
+        rate=float(rate),
+        residual_rms=float(np.sqrt(np.mean(residual**2))),
+        residual_max=float(np.abs(residual).max()),
+        wander_rate_std=float(np.std(local_rates - rate)),
+    )

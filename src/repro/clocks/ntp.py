@@ -1,0 +1,155 @@
+"""NTP-style clock discipline.
+
+Software clocks such as ``gettimeofday()`` (and ``MPI_Wtime()`` when it
+wraps it, as Open MPI does by default) are periodically steered toward a
+reference by an NTP daemon.  Per the paper (Section II): *"Jumps are
+avoided by changing the drift while leaving the actual time unmodified"* —
+i.e. the daemon **slews** the clock rate rather than stepping the value,
+and *"varying network latencies limit the accuracy of NTP to about one
+millisecond"*.
+
+The consequences observed in Fig. 4a/4b — long phases of roughly constant
+drift interrupted by sudden slope changes, deliberately introducing the
+non-constant drifts that defeat linear offset interpolation — emerge here
+from the mechanism itself rather than from curve fitting:
+
+* every ``poll_interval`` seconds the daemon obtains an offset estimate
+  contaminated with millisecond-scale network error;
+* while the estimated magnitude stays below ``adjust_threshold`` the
+  daemon leaves the current correction rate alone (a real ntpd's
+  frequency discipline reacts on a much longer time constant than its
+  poll interval — modeled as a dead band);
+* once the threshold is exceeded, the correction rate is re-targeted to
+  remove the estimated offset over ``amortization`` seconds, clamped to
+  ``max_slew`` (ntpd clamps at 500 ppm).
+
+The resulting disciplined offset is exactly representable as the base
+drift plus a piecewise-constant correction rate, so evaluation stays
+vectorized and deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clocks.drift import ArrayLike, DriftModel, _as_array, _ret
+from repro.errors import ConfigurationError
+
+__all__ = ["NTPDiscipline"]
+
+
+class NTPDiscipline:
+    """A drift model produced by slew-based steering of a base clock.
+
+    Parameters
+    ----------
+    base:
+        Undisciplined drift of the underlying oscillator.
+    rng:
+        Randomness for offset-measurement errors (consumed at
+        construction; the resulting model is deterministic).
+    duration:
+        Horizon (seconds of true time) over which polls are simulated;
+        beyond it the last correction rate is held.
+    poll_interval:
+        Seconds between daemon polls of the reference.
+    measurement_error:
+        Standard deviation of the offset estimate error, seconds
+        (paper: "about one millisecond").
+    adjust_threshold:
+        Dead band: no rate change while ``|estimate| <= threshold``.
+    amortization:
+        Target horizon over which a detected offset is slewed away.
+    max_slew:
+        Clamp on the correction rate magnitude (dimensionless).
+    initial_offset:
+        Clock error at true time zero (the daemon does not know it).
+    """
+
+    __slots__ = ("base", "_epochs", "_offsets", "_corr_rates")
+
+    def __init__(
+        self,
+        base: DriftModel,
+        rng: np.random.Generator,
+        duration: float = 4000.0,
+        poll_interval: float = 64.0,
+        measurement_error: float = 1e-3,
+        adjust_threshold: float = 1.28e-4,
+        amortization: float = 1000.0,
+        max_slew: float = 5e-4,
+        initial_offset: float = 0.0,
+    ) -> None:
+        if poll_interval <= 0 or duration <= 0:
+            raise ConfigurationError("poll_interval and duration must be positive")
+        if amortization <= 0:
+            raise ConfigurationError("amortization must be positive")
+        self.base = base
+
+        n = max(1, int(np.ceil(duration / poll_interval))) + 1
+        epochs = np.arange(n, dtype=np.float64) * poll_interval
+        base_off = np.asarray(base.offset_at(epochs), dtype=np.float64)
+        noise = rng.normal(0.0, measurement_error, size=n)
+
+        offsets = np.empty(n)  # disciplined offset at each epoch
+        corr = np.empty(n)  # correction rate applied on [epoch_k, epoch_{k+1})
+        offsets[0] = initial_offset
+        rate = 0.0
+        for k in range(n):
+            estimate = offsets[k] + noise[k]
+            if abs(estimate) > adjust_threshold:
+                rate = float(np.clip(-estimate / amortization, -max_slew, max_slew))
+            corr[k] = rate
+            if k + 1 < n:
+                offsets[k + 1] = offsets[k] + (base_off[k + 1] - base_off[k]) + rate * poll_interval
+
+        self._epochs = epochs
+        self._offsets = offsets
+        self._corr_rates = corr
+
+    @property
+    def adjustment_epochs(self) -> np.ndarray:
+        """True times at which the correction rate actually changed."""
+        changed = np.empty(self._corr_rates.size, dtype=bool)
+        changed[0] = self._corr_rates[0] != 0.0
+        changed[1:] = np.diff(self._corr_rates) != 0.0
+        return self._epochs[changed]
+
+    def offset_at(self, t: ArrayLike) -> ArrayLike:
+        if type(t) is float or type(t) is int:  # scalar fast path (hot)
+            i = int(np.searchsorted(self._epochs, t, side="right")) - 1
+            if i < 0:
+                i = 0
+            last = self._epochs.size - 1
+            if i > last:
+                i = last
+            epoch = float(self._epochs[i])
+            return (
+                float(self._offsets[i])
+                + (float(self.base.offset_at(t)) - float(self.base.offset_at(epoch)))
+                + float(self._corr_rates[i]) * (t - epoch)
+            )
+        arr, scalar = _as_array(t)
+        idx = np.searchsorted(self._epochs, arr, side="right") - 1
+        idx = np.clip(idx, 0, self._epochs.size - 1)
+        base_arr = np.asarray(self.base.offset_at(arr), dtype=np.float64)
+        base_at_epoch = np.asarray(self.base.offset_at(self._epochs[idx]), dtype=np.float64)
+        out = (
+            self._offsets[idx]
+            + (base_arr - base_at_epoch)
+            + self._corr_rates[idx] * (arr - self._epochs[idx])
+        )
+        return _ret(out, scalar)
+
+    def rate_at(self, t: ArrayLike) -> ArrayLike:
+        arr, scalar = _as_array(t)
+        idx = np.searchsorted(self._epochs, arr, side="right") - 1
+        idx = np.clip(idx, 0, self._epochs.size - 1)
+        out = np.asarray(self.base.rate_at(arr), dtype=np.float64) + self._corr_rates[idx]
+        return _ret(out, scalar)
+
+    def __repr__(self) -> str:
+        return (
+            f"NTPDiscipline(base={self.base!r}, polls={self._epochs.size}, "
+            f"adjustments={self.adjustment_epochs.size})"
+        )

@@ -1,0 +1,168 @@
+"""Software/system clock drift builders: ``gettimeofday`` and ``MPI_Wtime``.
+
+Per Section II of the paper, software clocks are realized as user or
+library functions; *system* clocks (``gettimeofday()``) are maintained by
+the OS on top of some hardware source and commonly steered by NTP.  Open
+MPI's ``MPI_Wtime()`` defaults to ``gettimeofday()``, so both inherit the
+NTP discipline's signature failure mode for tracing: **deliberate,
+sudden drift adjustments** (Fig. 4a/4b).
+
+The builders here wrap a hardware-style base oscillator
+(:func:`repro.clocks.hardware.build_oscillator_drift`) in an
+:class:`~repro.clocks.ntp.NTPDiscipline` whose parameters differ per
+platform preset — e.g. the Opteron ("Jaguar") preset uses a long poll
+interval and a strong ageing ramp, matching the paper's observation that
+the worst residuals occurred with ``gettimeofday()`` on that system
+(Fig. 5c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clocks.drift import CompositeDrift, DriftModel, LinearRampDrift
+from repro.clocks.hardware import OscillatorParams, build_oscillator_drift
+from repro.clocks.ntp import NTPDiscipline
+
+__all__ = [
+    "NtpParams",
+    "SoftwareClockParams",
+    "GETTIMEOFDAY_XEON_PARAMS",
+    "GETTIMEOFDAY_OPTERON_PARAMS",
+    "MPI_WTIME_XEON_PARAMS",
+    "build_software_drift",
+]
+
+
+@dataclass(frozen=True)
+class NtpParams:
+    """NTP discipline knobs (see :class:`repro.clocks.ntp.NTPDiscipline`)."""
+
+    poll_interval: float = 64.0
+    measurement_error: float = 5.0e-5
+    adjust_threshold: float = 1.28e-4
+    amortization: float = 300.0
+    max_slew: float = 5.0e-4
+
+
+@dataclass(frozen=True)
+class SoftwareClockParams:
+    """One platform's system-clock configuration.
+
+    Attributes
+    ----------
+    oscillator:
+        Underlying hardware source statistics.
+    ntp:
+        Discipline parameters, or ``None`` for an undisciplined system
+        clock (free-running, like compute nodes without an NTP daemon).
+    ageing_accel:
+        Extra deterministic rate ramp (1/s^2) applied beneath the
+        discipline — the "curvy" component visible in Fig. 4b / 5c.
+    initial_offset_spread:
+        Uniform scale of the initial system-time disagreement, seconds.
+        System clocks are set at boot from some reference, so unlike raw
+        counters they start out roughly (ms-scale) aligned.
+    """
+
+    oscillator: OscillatorParams = field(default_factory=OscillatorParams)
+    ntp: NtpParams | None = field(default_factory=NtpParams)
+    ageing_accel: float = 0.0
+    initial_offset_spread: float = 2.0e-3
+
+
+#: ``gettimeofday()`` on the Xeon cluster (Fig. 4b): NTP-disciplined,
+#: with a gentle thermal curve underneath.
+GETTIMEOFDAY_XEON_PARAMS = SoftwareClockParams(
+    oscillator=OscillatorParams(
+        rate_spread=9.0e-7,
+        wander_sigma=1.0e-9,
+        wander_step=10.0,
+        thermal_amplitude=1.2e-8,
+        thermal_period=900.0,
+        initial_offset_spread=0.0,
+    ),
+    ntp=NtpParams(poll_interval=64.0, amortization=300.0, adjust_threshold=1.28e-4),
+    ageing_accel=0.0,
+    initial_offset_spread=2.5e-4,
+)
+
+#: ``MPI_Wtime()`` on the Xeon cluster (Fig. 4a).  Open MPI maps it to
+#: ``gettimeofday()``; the compute partition polls NTP rarely, so drift
+#: runs free for minutes and the eventual slew is comparatively violent —
+#: reproducing the ">200 us after a short period, then an abrupt slope
+#: change" of the paper.
+MPI_WTIME_XEON_PARAMS = SoftwareClockParams(
+    oscillator=OscillatorParams(
+        rate_spread=1.2e-6,
+        wander_sigma=8.0e-10,
+        wander_step=10.0,
+        thermal_amplitude=6.0e-9,
+        thermal_period=1100.0,
+        initial_offset_spread=0.0,
+    ),
+    ntp=NtpParams(poll_interval=128.0, amortization=100.0, adjust_threshold=2.5e-4),
+    ageing_accel=0.0,
+    initial_offset_spread=5.0e-5,
+)
+
+#: ``gettimeofday()`` on the Opteron cluster "Jaguar" (Fig. 5c): the
+#: paper's worst case.  Catamount-era compute nodes synchronized rarely;
+#: a strong ageing ramp defeats two-point interpolation badly
+#: (parabolic residual ~ accel * T^2 / 8, hundreds of us over an hour).
+GETTIMEOFDAY_OPTERON_PARAMS = SoftwareClockParams(
+    oscillator=OscillatorParams(
+        rate_spread=1.2e-6,
+        wander_sigma=2.0e-9,
+        wander_step=10.0,
+        thermal_amplitude=2.0e-8,
+        thermal_period=1800.0,
+        initial_offset_spread=0.0,
+    ),
+    ntp=NtpParams(
+        poll_interval=512.0,
+        measurement_error=1.5e-4,
+        amortization=1500.0,
+        adjust_threshold=3.0e-4,
+    ),
+    ageing_accel=6.0e-11,
+    initial_offset_spread=1.0e-3,
+)
+
+
+def build_software_drift(
+    params: SoftwareClockParams,
+    rng: np.random.Generator,
+    duration: float,
+) -> DriftModel:
+    """Draw one node's system-clock drift model.
+
+    Consumes randomness from ``rng`` for the oscillator draw, the ageing
+    ramp sign, the initial offset, and the NTP measurement noise; the
+    returned model is deterministic.
+    """
+    base = build_oscillator_drift(params.oscillator, rng, duration)
+    if params.ageing_accel != 0.0:
+        accel = float(rng.normal(0.0, params.ageing_accel))
+        base = CompositeDrift([base, LinearRampDrift(rate0=0.0, accel=accel)])
+    initial_offset = float(
+        rng.uniform(-params.initial_offset_spread, params.initial_offset_spread)
+    )
+    if params.ntp is None:
+        return CompositeDrift(
+            [base, LinearRampDrift(rate0=0.0, accel=0.0, initial_offset=initial_offset)]
+        )
+    ntp = params.ntp
+    return NTPDiscipline(
+        base=base,
+        rng=rng,
+        duration=duration,
+        poll_interval=ntp.poll_interval,
+        measurement_error=ntp.measurement_error,
+        adjust_threshold=ntp.adjust_threshold,
+        amortization=ntp.amortization,
+        max_slew=ntp.max_slew,
+        initial_offset=initial_offset,
+    )

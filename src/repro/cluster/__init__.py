@@ -1,0 +1,45 @@
+"""Simulated cluster substrate: topology, network latency, machine presets.
+
+Models the three evaluation platforms of the paper (Xeon/InfiniBand,
+PowerPC/Myrinet "MareNostrum", Opteron/SeaStar "Jaguar") plus the Itanium
+SMP node used for the OpenMP study, at the level of detail the study
+needs: a node/chip/core hierarchy, location-dependent message latencies
+(Table II), process pinning (Table I), and OS jitter.
+"""
+
+from repro.cluster.topology import Location, Machine, distance_class, DistanceClass
+from repro.cluster.network import (
+    HierarchicalLatency,
+    LatencyModel,
+    TorusLatency,
+    LatencySample,
+)
+from repro.cluster.machines import (
+    itanium_node,
+    opteron_cluster,
+    powerpc_cluster,
+    xeon_cluster,
+)
+from repro.cluster.pinning import Pinning, inter_chip, inter_core, inter_node, scheduler_default
+from repro.cluster.jitter import OsJitterModel
+
+__all__ = [
+    "Location",
+    "Machine",
+    "DistanceClass",
+    "distance_class",
+    "LatencyModel",
+    "LatencySample",
+    "HierarchicalLatency",
+    "TorusLatency",
+    "xeon_cluster",
+    "powerpc_cluster",
+    "opteron_cluster",
+    "itanium_node",
+    "Pinning",
+    "inter_node",
+    "inter_chip",
+    "inter_core",
+    "scheduler_default",
+    "OsJitterModel",
+]

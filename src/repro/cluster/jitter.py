@@ -1,0 +1,85 @@
+"""Operating-system jitter.
+
+Section III.c: *"Jitter interference is primarily caused by scheduling
+daemon processes or handling asynchronous events such as interrupts on
+the side of the operating system."*  We model jitter as a Poisson stream
+of preemptions: a compute phase of nominal length ``L`` suffers on
+average ``rate * L`` interruptions, each stealing an exponentially
+distributed slice of CPU time.
+
+This perturbs every simulated compute interval (and, through
+:class:`repro.clocks.base.Clock`'s ``read_jitter``, the timestamping
+itself), so that identical iterations of a workload take slightly
+different times on different ranks — the raw material of the wait
+states trace tools look for, and one of the paper's listed sources of
+timestamp inaccuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OsJitterModel"]
+
+
+@dataclass(frozen=True)
+class OsJitterModel:
+    """Poisson preemption model.
+
+    Attributes
+    ----------
+    rate:
+        Expected preemptions per second of computation (e.g. 50/s for a
+        noisy full OS, ~1/s for a stripped compute-node kernel).
+    mean_delay:
+        Mean length of one preemption, seconds.
+    """
+
+    rate: float = 25.0
+    mean_delay: float = 8.0e-6
+
+    def __post_init__(self) -> None:
+        if self.rate < 0 or self.mean_delay < 0:
+            raise ConfigurationError("jitter rate and mean_delay must be non-negative")
+
+    def perturb(self, duration: float, rng: np.random.Generator) -> float:
+        """Actual wall time for a compute phase of nominal ``duration``."""
+        if duration < 0:
+            raise ConfigurationError("duration must be non-negative")
+        if self.rate == 0.0 or self.mean_delay == 0.0 or duration == 0.0:
+            return duration
+        hits = rng.poisson(self.rate * duration)
+        if hits == 0:
+            return duration
+        return duration + float(rng.exponential(self.mean_delay, size=hits).sum())
+
+    def perturb_array(self, durations: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorized :meth:`perturb` for a batch of compute phases."""
+        d = np.asarray(durations, dtype=np.float64)
+        if np.any(d < 0):
+            raise ConfigurationError("durations must be non-negative")
+        if self.rate == 0.0 or self.mean_delay == 0.0:
+            return d.copy()
+        hits = rng.poisson(self.rate * d)
+        # Sum of k exponentials(mean m) is Gamma(k, m); draw in one shot.
+        extra = np.where(hits > 0, rng.gamma(np.maximum(hits, 1), self.mean_delay), 0.0)
+        return d + np.where(hits > 0, extra, 0.0)
+
+    @classmethod
+    def quiet(cls) -> "OsJitterModel":
+        """A jitter-free OS (for deterministic tests)."""
+        return cls(rate=0.0, mean_delay=0.0)
+
+    @classmethod
+    def compute_node(cls) -> "OsJitterModel":
+        """A stripped compute-node kernel (Catamount/CNK-like)."""
+        return cls(rate=1.0, mean_delay=3.0e-6)
+
+    @classmethod
+    def full_os(cls) -> "OsJitterModel":
+        """A full Linux node with daemons."""
+        return cls(rate=50.0, mean_delay=10.0e-6)

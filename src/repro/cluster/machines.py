@@ -1,0 +1,135 @@
+"""Presets for the paper's evaluation platforms.
+
+Section IV describes three clusters plus the Itanium SMP node of the
+OpenMP study.  Each preset bundles the topology, a latency model
+parameterized from the paper (Table II for the Xeon cluster; typical
+published numbers for Myrinet and SeaStar), the ``machine_kind`` tag
+used by :func:`repro.clocks.factory.timer_spec`, and the timer the
+paper evaluated on that platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import HierarchicalLatency, LatencyModel, LatencySample, TorusLatency
+from repro.cluster.topology import Machine
+from repro.units import USEC
+
+__all__ = ["ClusterPreset", "xeon_cluster", "powerpc_cluster", "opteron_cluster", "itanium_node"]
+
+
+@dataclass(frozen=True)
+class ClusterPreset:
+    """A ready-to-simulate platform."""
+
+    machine: Machine
+    latency: LatencyModel
+    kind: str  # machine_kind for timer_spec()
+    default_timer: str  # the timer the paper evaluated on this platform
+
+    @property
+    def name(self) -> str:
+        return self.machine.name
+
+
+def xeon_cluster() -> ClusterPreset:
+    """RWTH Aachen Xeon cluster: 62 nodes x 2 quad-core Xeon 3.0 GHz, InfiniBand.
+
+    Latency floors are taken directly from Table II (messages: 4.29 /
+    0.86 / 0.47 us; the 12.86 us collective latency emerges from the
+    collective algorithms rather than being parameterized).
+    """
+    machine = Machine(
+        name="xeon",
+        nodes=62,
+        chips_per_node=2,
+        cores_per_chip=4,
+        interconnect="InfiniBand",
+        clock_ghz=3.0,
+    )
+    latency = HierarchicalLatency(
+        inter_node=LatencySample(base=4.29 * USEC, bandwidth=1.4e9, jitter=0.06 * USEC),
+        same_node=LatencySample(base=0.86 * USEC, bandwidth=2.8e9, jitter=0.012 * USEC),
+        same_chip=LatencySample(base=0.47 * USEC, bandwidth=4.0e9, jitter=0.006 * USEC),
+    )
+    return ClusterPreset(machine=machine, latency=latency, kind="xeon", default_timer="tsc")
+
+
+def powerpc_cluster() -> ClusterPreset:
+    """MareNostrum: 2560 JS21 blades x 2 dual-core PowerPC 970MP 2.3 GHz, Myrinet.
+
+    Myrinet-2000 zero-byte latency is a few microseconds higher than the
+    Xeon cluster's InfiniBand; the blade-internal classes are similar.
+    """
+    machine = Machine(
+        name="powerpc",
+        nodes=2560,
+        chips_per_node=2,
+        cores_per_chip=2,
+        interconnect="Myrinet",
+        clock_ghz=2.3,
+    )
+    latency = HierarchicalLatency(
+        inter_node=LatencySample(base=6.3 * USEC, bandwidth=0.9e9, jitter=0.12 * USEC),
+        same_node=LatencySample(base=0.95 * USEC, bandwidth=2.4e9, jitter=0.015 * USEC),
+        same_chip=LatencySample(base=0.52 * USEC, bandwidth=3.5e9, jitter=0.008 * USEC),
+    )
+    return ClusterPreset(
+        machine=machine, latency=latency, kind="powerpc", default_timer="timebase"
+    )
+
+
+def opteron_cluster() -> ClusterPreset:
+    """Jaguar (Cray XT3): 3744 nodes x 1 dual-core Opteron 2.6 GHz, SeaStar 3-D torus.
+
+    Every node owns a SeaStar router; the torus is sized 12 x 12 x 26 =
+    3744.  Inter-node latency grows ~0.1 us per hop from a ~4.8 us base.
+    """
+    machine = Machine(
+        name="opteron",
+        nodes=3744,
+        chips_per_node=1,
+        cores_per_chip=2,
+        interconnect="SeaStar 3-D torus",
+        clock_ghz=2.6,
+    )
+    intra = HierarchicalLatency(
+        inter_node=LatencySample(base=4.8 * USEC, bandwidth=1.1e9, jitter=0.1 * USEC),
+        same_node=LatencySample(base=0.7 * USEC, bandwidth=2.6e9, jitter=0.01 * USEC),
+        same_chip=LatencySample(base=0.5 * USEC, bandwidth=3.2e9, jitter=0.008 * USEC),
+    )
+    latency = TorusLatency(
+        dims=(12, 12, 26),
+        inter_node_base=4.8 * USEC,
+        per_hop=0.1 * USEC,
+        bandwidth=1.1e9,
+        jitter=0.15 * USEC,
+        intra_node=intra,
+    )
+    return ClusterPreset(
+        machine=machine, latency=latency, kind="opteron", default_timer="gettimeofday"
+    )
+
+
+def itanium_node() -> ClusterPreset:
+    """The OpenMP test system: one Itanium SMP node, 4 chips x 4 cores.
+
+    Shared-memory synchronization latencies are far below network ones —
+    which is exactly why OpenMP semantics are so easily violated by
+    sub-microsecond clock disagreements between chips (Fig. 3/8).
+    """
+    machine = Machine(
+        name="itanium-smp",
+        nodes=1,
+        chips_per_node=4,
+        cores_per_chip=4,
+        interconnect="shared memory",
+        clock_ghz=1.6,
+    )
+    latency = HierarchicalLatency(
+        inter_node=LatencySample(base=10.0 * USEC, bandwidth=1.0e9, jitter=0.2 * USEC),
+        same_node=LatencySample(base=0.9 * USEC, bandwidth=2.0e9, jitter=0.02 * USEC),
+        same_chip=LatencySample(base=0.35 * USEC, bandwidth=3.0e9, jitter=0.01 * USEC),
+    )
+    return ClusterPreset(machine=machine, latency=latency, kind="itanium", default_timer="tsc")

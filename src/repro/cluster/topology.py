@@ -1,0 +1,122 @@
+"""Hierarchical machine topology: machine > node > chip > core.
+
+The paper's measurements distinguish events by the *relative location* of
+the processes involved — same core, same chip, same SMP node, or
+different nodes (Table I/II) — because both message latency and clock
+agreement depend on that relation.  :class:`Location` pins a process to a
+``(node, chip, core)`` triple and :func:`distance_class` classifies a
+pair of locations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Location", "Machine", "DistanceClass", "distance_class"]
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """Placement of one process/thread: node, chip within node, core within chip."""
+
+    node: int
+    chip: int
+    core: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.chip < 0 or self.core < 0:
+            raise ConfigurationError(f"negative location component: {self}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"n{self.node}c{self.chip}k{self.core}"
+
+
+class DistanceClass(enum.Enum):
+    """Relation between two locations, ordered from closest to farthest."""
+
+    SAME_CORE = "same_core"
+    SAME_CHIP = "same_chip"  # different cores, one chip ("inter core" in Table II)
+    SAME_NODE = "same_node"  # different chips, one node ("inter chip")
+    INTER_NODE = "inter_node"  # different nodes ("inter node")
+
+
+def distance_class(a: Location, b: Location) -> DistanceClass:
+    """Classify the relation between two process locations.
+
+    Note the Table II naming quirk: the paper's "inter core" latency is
+    between cores of the *same chip* (``SAME_CHIP`` here) and its
+    "inter chip" latency is between chips of the *same node*
+    (``SAME_NODE`` here).
+    """
+    if a.node != b.node:
+        return DistanceClass.INTER_NODE
+    if a.chip != b.chip:
+        return DistanceClass.SAME_NODE
+    if a.core != b.core:
+        return DistanceClass.SAME_CHIP
+    return DistanceClass.SAME_CORE
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A homogeneous cluster: ``nodes`` SMP nodes of ``chips_per_node`` chips
+    with ``cores_per_chip`` cores each.
+
+    Parameters mirror the paper's platform descriptions, e.g. the Xeon
+    cluster has 62 nodes x 2 quad-core chips.  ``name`` and
+    ``interconnect`` are labels used in reports.
+    """
+
+    name: str
+    nodes: int
+    chips_per_node: int
+    cores_per_chip: int
+    interconnect: str = ""
+    clock_ghz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0 or self.chips_per_node <= 0 or self.cores_per_chip <= 0:
+            raise ConfigurationError(f"machine {self.name!r} has a non-positive dimension")
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.chips_per_node * self.cores_per_chip
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def validate(self, loc: Location) -> Location:
+        """Check that a location exists on this machine; return it."""
+        if loc.node >= self.nodes:
+            raise ConfigurationError(f"{loc} exceeds node count {self.nodes} of {self.name}")
+        if loc.chip >= self.chips_per_node:
+            raise ConfigurationError(
+                f"{loc} exceeds chips/node {self.chips_per_node} of {self.name}"
+            )
+        if loc.core >= self.cores_per_chip:
+            raise ConfigurationError(
+                f"{loc} exceeds cores/chip {self.cores_per_chip} of {self.name}"
+            )
+        return loc
+
+    def location_of_core(self, flat_core: int) -> Location:
+        """Map a flat core index (0 .. total_cores-1) to a Location.
+
+        Cores are numbered node-major, then chip, then core — the usual
+        BIOS enumeration order.
+        """
+        if not 0 <= flat_core < self.total_cores:
+            raise ConfigurationError(
+                f"flat core {flat_core} out of range 0..{self.total_cores - 1}"
+            )
+        node, rest = divmod(flat_core, self.cores_per_node)
+        chip, core = divmod(rest, self.cores_per_chip)
+        return Location(node, chip, core)
+
+    def all_locations(self) -> list[Location]:
+        """Every core location on the machine, in flat enumeration order."""
+        return [self.location_of_core(i) for i in range(self.total_cores)]

@@ -1,0 +1,152 @@
+"""The :class:`TracingSession` façade.
+
+Bundles platform selection, placement, timer choice, tracing, and
+synchronization behind a handful of calls::
+
+    from repro import TracingSession
+    from repro.workloads import PopConfig, pop_worker
+
+    session = TracingSession(platform="xeon", nprocs=8, timer="tsc", seed=42)
+    run = session.trace(pop_worker(PopConfig(steps=100, step_time=1e-3,
+                                             trace_window=None, grid=(4, 2))))
+    report = session.synchronize(run)
+    print(report.summary())
+
+Everything the façade does is also reachable through the underlying
+objects (:class:`~repro.mpi.runtime.MpiWorld`,
+:class:`~repro.core.pipeline.SyncPipeline`), which the session exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.jitter import OsJitterModel
+from repro.cluster.machines import (
+    ClusterPreset,
+    itanium_node,
+    opteron_cluster,
+    powerpc_cluster,
+    xeon_cluster,
+)
+from repro.cluster.pinning import Pinning, inter_node, scheduler_default
+from repro.core.pipeline import PipelineReport, SyncPipeline
+from repro.errors import ConfigurationError
+from repro.mpi.runtime import MpiWorld, RunResult
+from repro.rng import RngFabric
+from repro.sync.violations import lmin_matrix_from_trace
+
+__all__ = ["TracingSession", "PLATFORMS"]
+
+#: Platform name -> preset factory.
+PLATFORMS: dict[str, Callable[[], ClusterPreset]] = {
+    "xeon": xeon_cluster,
+    "powerpc": powerpc_cluster,
+    "opteron": opteron_cluster,
+    "itanium": itanium_node,
+}
+
+
+class TracingSession:
+    """One experiment context: platform + placement + timer + seed.
+
+    Parameters
+    ----------
+    platform:
+        One of :data:`PLATFORMS` ("xeon", "powerpc", "opteron",
+        "itanium") or a :class:`ClusterPreset`.
+    nprocs:
+        Job size.
+    placement:
+        "spread" (one process per node, Table I inter-node style) or
+        "scheduler" (packed, scheduler-chosen, the Fig. 7 scenario), or
+        an explicit :class:`Pinning`.
+    timer:
+        Timer technology; ``None`` uses the platform's paper default.
+    seed:
+        Root seed for all randomness.
+    duration_hint:
+        Upper bound on the run's true-time length, seconds.
+    jitter:
+        OS-noise model; defaults to a modest compute-node profile.
+    """
+
+    def __init__(
+        self,
+        platform: str | ClusterPreset = "xeon",
+        nprocs: int = 4,
+        placement: str | Pinning = "spread",
+        timer: Optional[str] = None,
+        seed: int = 0,
+        duration_hint: float = 3700.0,
+        jitter: Optional[OsJitterModel] = None,
+    ) -> None:
+        if isinstance(platform, str):
+            if platform not in PLATFORMS:
+                raise ConfigurationError(
+                    f"unknown platform {platform!r}; options: {sorted(PLATFORMS)}"
+                )
+            platform = PLATFORMS[platform]()
+        self.preset = platform
+        self.seed = seed
+        if isinstance(placement, Pinning):
+            pin = placement
+        elif placement == "spread":
+            pin = inter_node(self.preset.machine, nprocs)
+        elif placement == "scheduler":
+            pin = scheduler_default(
+                self.preset.machine, nprocs, RngFabric(seed).generator("placement")
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown placement {placement!r} (use 'spread', 'scheduler', or a Pinning)"
+            )
+        self.world = MpiWorld(
+            self.preset,
+            pin,
+            timer=timer,
+            seed=seed,
+            duration_hint=duration_hint,
+            jitter=jitter if jitter is not None else OsJitterModel.compute_node(),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def pinning(self) -> Pinning:
+        return self.world.pinning
+
+    def trace(self, worker, **run_kwargs) -> RunResult:
+        """Run ``worker`` under tracing with offset measurements."""
+        return self.world.run(worker, tracing=True, measure_offsets=True, **run_kwargs)
+
+    def lmin_matrix(self, trace=None) -> np.ndarray:
+        """Pairwise minimum-latency floors for the session's placement."""
+        n = self.pinning.nranks
+        mat = np.zeros((n, n))
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    mat[i, j] = self.world.min_latency(i, j)
+        return mat
+
+    def synchronize(
+        self,
+        run: RunResult,
+        interpolation: str = "linear",
+        apply_clc: bool = True,
+        **pipeline_kwargs,
+    ) -> PipelineReport:
+        """Correct and verify a traced run with the standard pipeline."""
+        pipeline = SyncPipeline(
+            interpolation=interpolation, apply_clc=apply_clc, **pipeline_kwargs
+        )
+        return pipeline.run(run, lmin=self.lmin_matrix())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TracingSession(platform={self.preset.machine.name!r}, "
+            f"nprocs={self.pinning.nranks}, timer={self.world.spec.name!r}, "
+            f"seed={self.seed})"
+        )

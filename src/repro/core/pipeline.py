@@ -1,0 +1,194 @@
+"""The timestamp-synchronization pipeline.
+
+Chains the paper's correction stages over one traced run:
+
+1. **interpolate** — linear offset interpolation (Eq. 3) from the
+   init/finalize offset measurements (or alignment only, or nothing);
+2. **clc** — the controlled logical clock removes residual
+   clock-condition violations that interpolation cannot (Section V);
+3. **verify** — scan the result; after CLC the trace is violation-free
+   by construction, and the report quantifies what each stage achieved.
+
+The pipeline is exactly what the paper argues tools need: *"linear
+offset interpolation can significantly increase the accuracy of timings
+... but is still insufficient when applied in isolation.  A viable
+option for removing remaining inconsistencies is the CLC algorithm."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.errors import SynchronizationError
+from repro.mpi.runtime import RunResult
+from repro.sync.clc import ClcResult, ControlledLogicalClock
+from repro.sync.interpolation import (
+    ClockCorrection,
+    align_offsets,
+    identity_correction,
+    linear_interpolation,
+    piecewise_interpolation,
+)
+from repro.sync.violations import LminSpec, ViolationReport, scan_collectives, scan_messages
+from repro.tracing.trace import Trace
+
+__all__ = ["SyncPipeline", "PipelineReport", "StageReport"]
+
+Interpolation = Literal[
+    "none", "align", "linear", "piecewise",
+    "regression", "hull", "minmax", "exchange",
+]
+
+#: Modes that derive the correction from the trace itself (no explicit
+#: offset measurements needed): Duda-family error estimation over a
+#: spanning tree, and Babaoglu/Drummond exchange midpoints.
+TRACE_ONLY_MODES = ("regression", "hull", "minmax", "exchange")
+
+
+@dataclass
+class StageReport:
+    """Violation counts after one pipeline stage."""
+
+    stage: str
+    p2p: ViolationReport
+    collective: ViolationReport
+
+    @property
+    def total_checked(self) -> int:
+        return self.p2p.checked + self.collective.checked
+
+    @property
+    def total_violated(self) -> int:
+        return self.p2p.violated + self.collective.violated
+
+    @property
+    def rate(self) -> float:
+        return self.total_violated / self.total_checked if self.total_checked else 0.0
+
+
+@dataclass
+class PipelineReport:
+    """Everything the pipeline produced."""
+
+    trace: Trace  # final corrected trace
+    stages: list[StageReport]
+    correction: ClockCorrection
+    clc: Optional[ClcResult]
+
+    def stage(self, name: str) -> StageReport:
+        for s in self.stages:
+            if s.stage == name:
+                return s
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        lines = []
+        for s in self.stages:
+            lines.append(
+                f"{s.stage:12s}: {s.total_violated}/{s.total_checked} "
+                f"({100 * s.rate:.3f} %) violations"
+            )
+        if self.clc is not None:
+            lines.append(str(self.clc))
+        return "\n".join(lines)
+
+
+class SyncPipeline:
+    """Configured synchronization chain.
+
+    Parameters
+    ----------
+    interpolation:
+        Measurement-based: "linear" (Eq. 3, default), "align" (initial
+        offsets only), "piecewise" (init + periodic + final sets; needs
+        ``periodic_sync_every > 0``).  Trace-only (no measurements
+        required): "regression" / "hull" / "minmax" (Duda-family error
+        estimation over a spanning tree) and "exchange"
+        (Babaoglu/Drummond collective midpoints).  Or "none".
+    apply_clc:
+        Run the controlled logical clock after interpolation.
+    gamma / amortization_window:
+        CLC knobs (see :class:`ControlledLogicalClock`).
+    """
+
+    def __init__(
+        self,
+        interpolation: Interpolation = "linear",
+        apply_clc: bool = True,
+        gamma: float = 0.99,
+        amortization_window: Optional[float] = None,
+    ) -> None:
+        valid = ("none", "align", "linear", "piecewise") + TRACE_ONLY_MODES
+        if interpolation not in valid:
+            raise SynchronizationError(f"unknown interpolation mode {interpolation!r}")
+        self.interpolation = interpolation
+        self.apply_clc = apply_clc
+        self.gamma = gamma
+        self.amortization_window = amortization_window
+
+    # ------------------------------------------------------------------
+    def run(self, result: RunResult, lmin: LminSpec = 0.0) -> PipelineReport:
+        """Correct ``result.trace``; returns the staged report.
+
+        ``lmin`` is the clock-condition floor used both for violation
+        scans and as the CLC's message-latency bound.
+        """
+        if result.trace is None:
+            raise SynchronizationError("run result has no trace (tracing disabled?)")
+        trace = result.trace
+        stages = [self._scan("raw", trace, lmin)]
+
+        if self.interpolation == "none":
+            correction = identity_correction()
+        elif self.interpolation == "align":
+            if result.init_offsets is None:
+                raise SynchronizationError("alignment requested but no init offsets measured")
+            correction = align_offsets(result.init_offsets)
+        elif self.interpolation == "piecewise":
+            sets = result.all_measurement_sets()
+            if len(sets) < 2:
+                raise SynchronizationError(
+                    "piecewise interpolation needs >= 2 measurement sets "
+                    "(enable periodic_sync_every on the world)"
+                )
+            correction = piecewise_interpolation(sets)
+        elif self.interpolation in ("regression", "hull", "minmax"):
+            from repro.sync.error_estimation import synchronize_by_spanning_tree
+
+            correction = synchronize_by_spanning_tree(
+                trace, lmin=lmin, method=self.interpolation
+            )
+        elif self.interpolation == "exchange":
+            from repro.sync.exchange import exchange_correction
+
+            correction = exchange_correction(trace)
+        else:
+            if result.init_offsets is None or result.final_offsets is None:
+                raise SynchronizationError(
+                    "linear interpolation needs offset measurements at init and finalize"
+                )
+            correction = linear_interpolation(result.init_offsets, result.final_offsets)
+        trace = correction.apply(trace)
+        stages.append(self._scan(self.interpolation, trace, lmin))
+
+        clc_result = None
+        if self.apply_clc:
+            clc = ControlledLogicalClock(
+                gamma=self.gamma, amortization_window=self.amortization_window
+            )
+            clc_result = clc.correct(trace, lmin=lmin)
+            trace = clc_result.trace
+            stages.append(self._scan("clc", trace, lmin))
+
+        return PipelineReport(
+            trace=trace, stages=stages, correction=correction, clc=clc_result
+        )
+
+    @staticmethod
+    def _scan(stage: str, trace: Trace, lmin: LminSpec) -> StageReport:
+        p2p = scan_messages(trace.messages(strict=False), lmin)
+        coll, _ = scan_collectives(trace, lmin)
+        return StageReport(stage=stage, p2p=p2p, collective=coll)

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "DeadlockError",
+    "MatchingError",
+    "TraceError",
+    "TraceFormatError",
+    "SynchronizationError",
+    "ClockError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, machine, or experiment was configured inconsistently.
+
+    Examples: a pinning that requests more cores than the machine provides,
+    a drift model with non-monotone breakpoints, or a latency table missing
+    a required distance class.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class DeadlockError(SimulationError):
+    """All simulated processes are blocked and the event queue is empty.
+
+    Raised by :class:`repro.sim.engine.Engine` when forward progress is
+    impossible, e.g. a receive was posted for which no matching send will
+    ever arrive.
+    """
+
+
+class MatchingError(ReproError):
+    """Send/receive matching failed while extracting messages from a trace.
+
+    Raised postmortem when a trace contains a receive event without a
+    matching send (or vice versa), which indicates either a truncated trace
+    or an instrumentation bug.
+    """
+
+
+class TraceError(ReproError):
+    """Generic error concerning event traces."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file could not be parsed (wrong magic, version, or schema)."""
+
+
+class SynchronizationError(ReproError):
+    """A timestamp-synchronization algorithm could not be applied.
+
+    Examples: linear interpolation requested with fewer than two offset
+    measurements, or an error-estimation pair with no messages in either
+    direction.
+    """
+
+
+class ClockError(ReproError):
+    """A clock model violated one of its contracts (e.g. monotonicity)."""

@@ -1,0 +1,15 @@
+"""Simulated message-passing runtime (the MPI stand-in).
+
+Provides rank contexts with point-to-point and collective operations on
+top of the discrete-event engine, an ``MPI_Wtime``-style clock query,
+and the :class:`~repro.mpi.runtime.MpiWorld` orchestrator that runs a
+job like a tracing tool would: offset measurement at init, the
+application, offset measurement at finalize (the Scalasca scheme the
+paper's Fig. 7 experiments use).
+"""
+
+from repro.mpi.comm import COLL_TAG_BASE, MpiContext
+from repro.mpi.subcomm import SubComm
+from repro.mpi.runtime import MpiWorld, RunResult
+
+__all__ = ["MpiContext", "SubComm", "MpiWorld", "RunResult", "COLL_TAG_BASE"]

@@ -1,0 +1,270 @@
+"""Job orchestration: clocks + network + tracing around an application.
+
+:class:`MpiWorld` assembles everything a run needs (engine, transport,
+clock ensemble, per-rank tracers) from a cluster preset, a pinning, and
+a timer technology, and executes an application generator on every rank
+the way Scalasca executes a traced job:
+
+1. offset measurement against rank 0 during ``MPI_Init``;
+2. the application;
+3. offset measurement during ``MPI_Finalize``.
+
+The returned :class:`RunResult` bundles the trace, both measurement
+sets (the inputs to linear offset interpolation, Eq. 3), per-rank
+return values, and engine statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.clocks.factory import ClockEnsemble, TimerSpec, timer_spec
+from repro.cluster.jitter import OsJitterModel
+from repro.cluster.machines import ClusterPreset
+from repro.cluster.pinning import Pinning
+from repro.errors import ConfigurationError
+from repro.mpi.comm import MpiContext
+from repro.rng import RngFabric
+from repro.sim.engine import Engine, Transport
+from repro.sync.offset import OffsetMeasurement, measurement_protocol
+from repro.tracing.buffer import TraceBuffer
+from repro.tracing.instrument import Tracer
+from repro.tracing.trace import Trace
+
+__all__ = ["MpiWorld", "RunResult"]
+
+Worker = Callable[[MpiContext], Any]
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run produced."""
+
+    trace: Optional[Trace]
+    init_offsets: Optional[dict[int, OffsetMeasurement]]
+    final_offsets: Optional[dict[int, OffsetMeasurement]]
+    results: dict[int, Any] = field(default_factory=dict)
+    duration: float = 0.0
+    events_processed: int = 0
+    #: Measurement sets taken during collectives (Doleschal-style
+    #: periodic synchronization); empty unless the world was configured
+    #: with ``periodic_sync_every > 0``.
+    periodic_offsets: list[dict[int, OffsetMeasurement]] = field(default_factory=list)
+
+    def all_measurement_sets(self) -> list[dict[int, OffsetMeasurement]]:
+        """init + periodic + final, in run order (piecewise-ready)."""
+        sets: list[dict[int, OffsetMeasurement]] = []
+        if self.init_offsets:
+            sets.append(self.init_offsets)
+        sets.extend(self.periodic_offsets)
+        if self.final_offsets:
+            sets.append(self.final_offsets)
+        return sets
+
+
+class MpiWorld:
+    """A configured cluster job, ready to :meth:`run` applications.
+
+    Parameters
+    ----------
+    preset:
+        Platform (machine + latency model + timer presets).
+    pinning:
+        Rank placement (defines both latencies and clock sharing).
+    timer:
+        Timer technology name (resolved against the preset's machine
+        kind) or an explicit :class:`TimerSpec`.
+    seed:
+        Root seed; every random stream of the run derives from it.
+    duration_hint:
+        True-time horizon drift paths must cover, seconds.  Runs longer
+        than the hint still work (models extrapolate), but the hint
+        should normally be an upper bound.
+    jitter:
+        OS-noise model applied to application compute phases.
+    send_overhead / recv_overhead:
+        Per-message CPU costs charged by the transport.
+    trace_buffer_capacity / record_cost / flush_cost:
+        Trace-buffer behaviour (see :class:`TraceBuffer`).
+    """
+
+    def __init__(
+        self,
+        preset: ClusterPreset,
+        pinning: Pinning,
+        timer: str | TimerSpec | None = None,
+        seed: int = 0,
+        duration_hint: float = 3700.0,
+        jitter: Optional[OsJitterModel] = None,
+        send_overhead: float = 1.0e-7,
+        recv_overhead: float = 1.0e-7,
+        trace_buffer_capacity: int = 0,
+        record_cost: float = 3.0e-8,
+        flush_cost: float = 5.0e-3,
+        mpi_regions: bool = False,
+        periodic_sync_every: int = 0,
+        periodic_sync_repeats: int = 3,
+        congestion_alpha: float = 0.0,
+        congestion_capacity: int = 16,
+    ) -> None:
+        if pinning.machine is not preset.machine and pinning.machine != preset.machine:
+            raise ConfigurationError("pinning was built for a different machine")
+        self.preset = preset
+        self.pinning = pinning
+        if timer is None:
+            timer = preset.default_timer
+        self.spec = timer if isinstance(timer, TimerSpec) else timer_spec(timer, preset.kind)
+        self.fabric = RngFabric(seed)
+        self.duration_hint = float(duration_hint)
+        self.jitter = jitter if jitter is not None else OsJitterModel.quiet()
+        self.send_overhead = send_overhead
+        self.recv_overhead = recv_overhead
+        self.trace_buffer_capacity = trace_buffer_capacity
+        self.record_cost = record_cost
+        self.flush_cost = flush_cost
+        self.mpi_regions = mpi_regions
+        self.periodic_sync_every = periodic_sync_every
+        self.periodic_sync_repeats = periodic_sync_repeats
+        #: Optional load-dependent latency inflation (Section III.c's
+        #: "network load"); see :class:`repro.sim.engine.Transport`.
+        self.congestion_alpha = congestion_alpha
+        self.congestion_capacity = congestion_capacity
+        self.ensemble = ClockEnsemble(preset.machine, self.spec, self.fabric, self.duration_hint)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        worker: Worker,
+        tracing: bool = True,
+        measure_offsets: bool = True,
+        sync_repeats: int = 10,
+        tracing_initially: bool = True,
+        until: Optional[float] = None,
+    ) -> RunResult:
+        """Execute ``worker`` on every rank.
+
+        Parameters
+        ----------
+        worker:
+            ``worker(ctx)`` generator run by each rank.
+        tracing:
+            Attach tracers and build a :class:`Trace`.
+        measure_offsets:
+            Run the Cristian protocol at init and finalize (the
+            Scalasca scheme).  Without it, interpolation has no inputs.
+        sync_repeats:
+            Exchanges per worker per measurement (min-RTT wins).
+        tracing_initially:
+            Initial recording state; workloads may toggle via
+            ``ctx.set_tracing`` (partial tracing).
+        until:
+            Optional true-time cap for the event loop.
+        """
+        engine = Engine(
+            Transport(
+                self.preset.latency,
+                self.fabric.generator("network"),
+                send_overhead=self.send_overhead,
+                recv_overhead=self.recv_overhead,
+                congestion_alpha=self.congestion_alpha,
+                congestion_capacity=self.congestion_capacity,
+            )
+        )
+        nranks = self.pinning.nranks
+        tracers: dict[int, Tracer] = {}
+        for rank in range(nranks):
+            loc = self.pinning[rank]
+            tracer = None
+            if tracing:
+                tracer = Tracer(
+                    TraceBuffer(
+                        capacity=self.trace_buffer_capacity,
+                        record_cost=self.record_cost,
+                        flush_cost=self.flush_cost,
+                    ),
+                    active=tracing_initially,
+                )
+                tracers[rank] = tracer
+            ctx = MpiContext(
+                rank=rank,
+                size=nranks,
+                location=loc,
+                jitter_model=self.jitter,
+                jitter_rng=self.fabric.generator("jitter", rank),
+                tracer=tracer,
+                mpi_regions=self.mpi_regions,
+            )
+            ctx.periodic_sync_every = self.periodic_sync_every
+            ctx.periodic_sync_repeats = self.periodic_sync_repeats
+            if rank == 0:
+                master_ctx = ctx
+            engine.add_process(
+                rank,
+                self._main(ctx, worker, measure_offsets, sync_repeats),
+                loc,
+                self.ensemble.clock_for(loc),
+            )
+        final_time = engine.run(until=until)
+
+        init_offsets = final_offsets = None
+        results: dict[int, Any] = {}
+        for rank in range(nranks):
+            app_result, init_off, final_off = engine.result_of(rank)
+            results[rank] = app_result
+            if rank == 0:
+                init_offsets, final_offsets = init_off, final_off
+
+        trace = None
+        if tracing:
+            meta = {
+                "machine": self.preset.machine.name,
+                "timer": self.spec.name,
+                "locations": [
+                    (loc.node, loc.chip, loc.core) for loc in self.pinning.locations
+                ],
+                "duration": final_time,
+            }
+            if init_offsets is not None:
+                meta["init_offsets"] = {
+                    str(r): (m.worker_time, m.offset) for r, m in init_offsets.items()
+                }
+            if final_offsets is not None:
+                meta["final_offsets"] = {
+                    str(r): (m.worker_time, m.offset) for r, m in final_offsets.items()
+                }
+            trace = Trace({r: t.log for r, t in tracers.items()}, meta=meta)
+
+        return RunResult(
+            trace=trace,
+            init_offsets=init_offsets,
+            final_offsets=final_offsets,
+            results=results,
+            duration=final_time,
+            events_processed=engine.events_processed,
+            periodic_offsets=list(master_ctx.periodic_series),
+        )
+
+    # ------------------------------------------------------------------
+    def _main(self, ctx: MpiContext, worker: Worker, measure: bool, repeats: int):
+        """Init measurement -> application -> finalize measurement."""
+        init_off = None
+        if measure:
+            init_off = yield from measurement_protocol(ctx, repeats=repeats)
+        result = yield from worker(ctx)
+        final_off = None
+        if measure:
+            final_off = yield from measurement_protocol(ctx, repeats=repeats)
+        return (result, init_off, final_off)
+
+    def min_latency(self, rank_a: int, rank_b: int, nbytes: int = 0) -> float:
+        """``l_min`` between two ranks under the current pinning."""
+        return self.preset.latency.min_latency(
+            self.pinning[rank_a], self.pinning[rank_b], nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MpiWorld(machine={self.preset.machine.name!r}, timer={self.spec.name!r}, "
+            f"nranks={self.pinning.nranks})"
+        )

@@ -1,0 +1,14 @@
+"""Simulated OpenMP thread teams and the POMP event model.
+
+Reproduces the paper's Itanium SMP experiments (Fig. 3 and Fig. 8): a
+team of threads repeatedly executes a parallel-for region — fork, body,
+implicit barrier, join — with every POMP event timestamped by the clock
+of the chip the thread landed on.  Because shared-memory synchronization
+latencies are far below network latencies while inter-chip clock
+disagreement is not, region semantics are easily violated in the
+recorded timestamps.
+"""
+
+from repro.openmp.team import OmpTeamConfig, run_parallel_for_benchmark, shm_latency
+
+__all__ = ["OmpTeamConfig", "run_parallel_for_benchmark", "shm_latency"]

@@ -1,0 +1,156 @@
+"""Timestamp correction for OpenMP (POMP) traces.
+
+The paper's conclusion lists this as *open*: the CLC's "current
+limitations ... include the non-observance of shared-memory clock
+conditions related to OpenMP constructs", and for the Fig. 8 benchmark
+"whether offset alignment or interpolation can alleviate the errors
+remains to be evaluated".
+
+This module evaluates it within the model:
+
+* :func:`thread_corrections` turns the shared-memory offset
+  measurements taken by
+  :func:`repro.openmp.team.run_parallel_for_benchmark` (with
+  ``measure_offsets=True``) into the standard
+  :class:`~repro.sync.interpolation.ClockCorrection` objects —
+  alignment-only or two-point linear, per thread instead of per rank;
+* :func:`pomp_clc` extends the controlled logical clock to POMP
+  semantics by expressing them as the same kind of happened-before
+  constraints the MPI variant uses: fork -> every region event, every
+  region event -> join, and every barrier enter -> every other member's
+  barrier exit.
+
+Since thread-to-core mappings are assumed stable for the run (the
+paper's caveat), per-thread corrections are exactly per-chip-clock
+corrections.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import SynchronizationError
+from repro.sync.clc import ClcResult, ControlledLogicalClock
+from repro.sync.interpolation import ClockCorrection, align_offsets, linear_interpolation
+from repro.sync.offset import OffsetMeasurement
+from repro.sync.order import EventRef
+from repro.tracing.events import EventType
+from repro.tracing.trace import Trace
+
+__all__ = ["thread_corrections", "pomp_clc", "pomp_dependencies"]
+
+
+def _measurements_from_meta(trace: Trace, key: str) -> dict[int, OffsetMeasurement]:
+    raw = trace.meta.get(key)
+    if raw is None:
+        raise SynchronizationError(
+            f"trace has no {key!r}; run the benchmark with measure_offsets=True"
+        )
+    return {
+        int(tid): OffsetMeasurement(
+            worker=int(tid), worker_time=float(w), offset=float(o), rtt=0.0, repeats=0
+        )
+        for tid, (w, o) in raw.items()
+    }
+
+
+def thread_corrections(
+    trace: Trace, scheme: Literal["align", "linear"] = "align"
+) -> ClockCorrection:
+    """Build a per-thread clock correction from the trace's measurements.
+
+    ``scheme="align"`` uses only the initial measurements (constant
+    offsets — adequate when, as on the Itanium node, inter-chip *drift*
+    over a benchmark run is negligible next to the static offsets);
+    ``scheme="linear"`` interpolates between initial and final.
+    """
+    init = _measurements_from_meta(trace, "init_offsets")
+    if scheme == "align":
+        return align_offsets(init)
+    if scheme == "linear":
+        final = _measurements_from_meta(trace, "final_offsets")
+        return linear_interpolation(init, final)
+    raise SynchronizationError(f"unknown scheme {scheme!r} (use 'align' or 'linear')")
+
+
+# ----------------------------------------------------------------------
+# CLC over POMP semantics
+# ----------------------------------------------------------------------
+def pomp_dependencies(trace: Trace) -> dict[EventRef, list[EventRef]]:
+    """Happened-before constraints implied by the POMP event model.
+
+    Per region instance:
+
+    * the master's ``OMP_FORK`` precedes every thread's
+      ``OMP_PAR_ENTER`` (threads start only after being woken);
+    * every thread's ``OMP_PAR_EXIT`` precedes the master's
+      ``OMP_JOIN`` (the master joins last);
+    * every thread's ``OMP_BARRIER_ENTER`` precedes every *other*
+      thread's ``OMP_BARRIER_EXIT`` (barrier overlap, Fig. 2c).
+    """
+    per_instance: dict[int, dict[str, list[tuple[int, int]]]] = {}
+    for rank in trace.ranks:
+        log = trace.logs[rank]
+        et, d = log.etypes, log.d
+        for i in range(len(log)):
+            kind = int(et[i])
+            inst = int(d[i])
+            bucket = per_instance.setdefault(
+                inst,
+                {"fork": [], "join": [], "enter": [], "exit": [], "bin": [], "bout": []},
+            )
+            if kind == int(EventType.OMP_FORK):
+                bucket["fork"].append((rank, i))
+            elif kind == int(EventType.OMP_JOIN):
+                bucket["join"].append((rank, i))
+            elif kind == int(EventType.OMP_PAR_ENTER):
+                bucket["enter"].append((rank, i))
+            elif kind == int(EventType.OMP_PAR_EXIT):
+                bucket["exit"].append((rank, i))
+            elif kind == int(EventType.OMP_BARRIER_ENTER):
+                bucket["bin"].append((rank, i))
+            elif kind == int(EventType.OMP_BARRIER_EXIT):
+                bucket["bout"].append((rank, i))
+
+    deps: dict[EventRef, list[EventRef]] = {}
+    for bucket in per_instance.values():
+        forks = bucket["fork"]
+        if forks:
+            fork = forks[0]
+            for ref in bucket["enter"]:
+                if ref[0] != fork[0]:
+                    deps.setdefault(ref, []).append(fork)
+        joins = bucket["join"]
+        if joins:
+            join = joins[0]
+            deps.setdefault(join, []).extend(
+                ref for ref in bucket["exit"] if ref[0] != join[0]
+            )
+        for out_ref in bucket["bout"]:
+            deps.setdefault(out_ref, []).extend(
+                in_ref for in_ref in bucket["bin"] if in_ref[0] != out_ref[0]
+            )
+    return deps
+
+
+def pomp_clc(
+    trace: Trace,
+    sync_lmin: float = 0.0,
+    gamma: float = 0.99,
+    amortization_window: float | None = None,
+) -> ClcResult:
+    """Controlled logical clock over POMP constraints.
+
+    Addresses the conclusion's first listed limitation of the CLC (the
+    "non-observance of shared-memory clock conditions related to OpenMP
+    constructs") by feeding the same forward/backward machinery the
+    POMP dependencies instead of message matches.  ``sync_lmin`` is the
+    shared-memory synchronization floor (conservatively 0).
+    """
+    corrector = ControlledLogicalClock(
+        gamma=gamma, amortization_window=amortization_window, include_collectives=False
+    )
+    deps = pomp_dependencies(trace)
+    return corrector.correct_with_dependencies(trace, deps, lmin=sync_lmin)

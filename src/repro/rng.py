@@ -1,0 +1,91 @@
+"""Deterministic random-number fabric.
+
+Every stochastic component of the simulator (drift wander, network jitter,
+OS noise, workload imbalance) draws from its own :class:`numpy.random.Generator`
+derived from a single root seed through *named* children.  Naming, rather
+than positional spawning, guarantees that adding a new consumer does not
+reshuffle the streams of existing ones — experiments stay bit-reproducible
+across library versions as long as the component names are stable.
+
+Usage
+-----
+>>> fabric = RngFabric(seed=42)
+>>> net = fabric.generator("network", "node3")
+>>> clk = fabric.generator("clock", 7)
+>>> float(net.random()) != float(clk.random())
+True
+
+The same ``(seed, *names)`` always yields the same stream:
+
+>>> a = RngFabric(7).generator("x").random()
+>>> b = RngFabric(7).generator("x").random()
+>>> a == b
+True
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+import numpy as np
+
+__all__ = ["RngFabric", "stable_hash32"]
+
+Nameable = Union[str, int, tuple]
+
+
+def stable_hash32(*parts: Nameable) -> int:
+    """Hash a tuple of names/ints to a stable 32-bit integer.
+
+    Python's builtin ``hash`` is salted per process for strings, so it
+    cannot be used for reproducible stream derivation.  We use CRC32 over
+    a canonical textual encoding instead: stable across processes,
+    platforms, and Python versions.
+    """
+    text = "\x1f".join(_canon(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _canon(part: Nameable) -> str:
+    if isinstance(part, tuple):
+        return "(" + ",".join(_canon(p) for p in part) + ")"
+    if isinstance(part, (int, np.integer)):
+        return f"i{int(part)}"
+    if isinstance(part, str):
+        return "s" + part
+    raise TypeError(f"unhashable stream name component: {part!r}")
+
+
+class RngFabric:
+    """Root of a tree of named, independent random generators.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the experiment.  Two fabrics with equal seeds produce
+        identical streams for identical names.
+    """
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def generator(self, *names: Nameable) -> np.random.Generator:
+        """Return the generator for the stream identified by ``names``.
+
+        Repeated calls with the same names return *fresh* generators
+        positioned at the start of the same stream (they do not share
+        state), which keeps components independent of each other's
+        consumption order.
+        """
+        ss = np.random.SeedSequence([self.seed, stable_hash32(*names)])
+        return np.random.Generator(np.random.PCG64(ss))
+
+    def child(self, *names: Nameable) -> "RngFabric":
+        """Derive a sub-fabric, e.g. one per simulated run or repetition."""
+        return RngFabric(seed=stable_hash32(("fabric", self.seed), *names))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngFabric(seed={self.seed})"

@@ -1,0 +1,25 @@
+"""Discrete-event simulation engine.
+
+The engine advances *true time* — the ideal global clock no real cluster
+has — and runs simulated processes written as Python generators that
+yield :mod:`repro.sim.primitives` requests (compute, send, receive, read
+clock).  Everything above it (the MPI runtime, OpenMP teams, tracing) is
+built from these primitives, and everything below it (latency models,
+clocks) is consulted through narrow callbacks, so the engine itself stays
+small and generic.
+"""
+
+from repro.sim.engine import Engine, Transport
+from repro.sim.primitives import Compute, Message, ReadClock, Recv, Send, ANY_SOURCE, ANY_TAG
+
+__all__ = [
+    "Engine",
+    "Transport",
+    "Compute",
+    "Send",
+    "Recv",
+    "ReadClock",
+    "Message",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

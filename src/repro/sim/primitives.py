@@ -1,0 +1,148 @@
+"""Requests a simulated process may yield to the engine.
+
+A simulated process is a generator; each ``yield`` hands the engine one
+of the request objects below and suspends the process until the request
+completes.  The value sent back into the generator is the request's
+result (e.g. the delivered :class:`Message` for a :class:`Recv`).
+
+These are deliberately minimal — blocking receive, eager send, compute,
+clock read.  Nonblocking MPI semantics, collectives, and OpenMP
+constructs are composed from them in higher layers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["Compute", "Send", "Recv", "ReadClock", "Message", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcard source rank for :class:`Recv` (mirrors ``MPI_ANY_SOURCE``).
+ANY_SOURCE: int = -1
+#: Wildcard tag for :class:`Recv` (mirrors ``MPI_ANY_TAG``).
+ANY_TAG: int = -1
+
+
+class Compute:
+    """Occupy the CPU for ``duration`` seconds of true time.
+
+    The caller is responsible for any OS-jitter inflation (see
+    :class:`repro.cluster.jitter.OsJitterModel`); the engine treats the
+    duration as exact.
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative compute duration {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Compute({self.duration:g})"
+
+
+class Send:
+    """Eagerly send ``nbytes`` to rank ``dst`` with ``tag``.
+
+    Eager semantics: the sender is occupied for the configured local
+    send overhead and then continues; delivery happens asynchronously
+    after the transport latency.  This mirrors small-message MPI
+    behaviour and keeps naive exchange patterns deadlock-free.
+
+    The result sent back into the generator is the message's
+    ``match_id`` (a globally unique integer also handed to the
+    receiver), which instrumentation may record.
+    """
+
+    __slots__ = ("dst", "tag", "nbytes", "payload")
+
+    def __init__(self, dst: int, tag: int = 0, nbytes: int = 0, payload: Any = None) -> None:
+        if dst < 0:
+            raise ValueError("dst must be a concrete rank")
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Send(dst={self.dst}, tag={self.tag}, nbytes={self.nbytes})"
+
+
+class Recv:
+    """Block until a matching message is delivered.
+
+    ``src``/``tag`` may be :data:`ANY_SOURCE`/:data:`ANY_TAG`.  The
+    result is the delivered :class:`Message`.
+    """
+
+    __slots__ = ("src", "tag")
+
+    def __init__(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        self.src = src
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Recv(src={self.src}, tag={self.tag})"
+
+
+class ReadClock:
+    """Read the process-local clock.
+
+    The result is the (jittered, quantized, monotone) clock value; the
+    process is then occupied for the clock's read overhead.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ReadClock()"
+
+
+class Message:
+    """A delivered message, handed to the receiver.
+
+    Attributes
+    ----------
+    src, dst, tag, nbytes, payload:
+        As given by the sender.
+    match_id:
+        Globally unique id shared by the send and receive sides; lets
+        instrumentation and ground-truth validation pair events without
+        re-running the matching algorithm.
+    sent_at:
+        True time at which the send was initiated.
+    delivered_at:
+        True time at which the message became available at the receiver.
+    """
+
+    __slots__ = ("src", "dst", "tag", "nbytes", "payload", "match_id", "sent_at", "delivered_at")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        payload: Any,
+        match_id: int,
+        sent_at: float,
+        delivered_at: Optional[float] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+        self.match_id = match_id
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+
+    def matches(self, src: int, tag: int) -> bool:
+        """Does this message satisfy a receive for ``(src, tag)``?"""
+        return (src == ANY_SOURCE or src == self.src) and (tag == ANY_TAG or tag == self.tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Message(src={self.src}, dst={self.dst}, tag={self.tag}, "
+            f"match_id={self.match_id})"
+        )

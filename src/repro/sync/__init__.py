@@ -1,0 +1,71 @@
+"""Timestamp synchronization: measurement, correction, and verification.
+
+This package implements the paper's Section III/V toolchain:
+
+* :mod:`repro.sync.offset` — Cristian's probabilistic remote clock
+  reading (Eq. 2) and the master/worker measurement protocol;
+* :mod:`repro.sync.interpolation` — offset alignment and linear offset
+  interpolation (Eq. 3), plus the piecewise variant;
+* :mod:`repro.sync.violations` — clock-condition scans over p2p
+  messages, collectives (via logical messages), and POMP regions;
+* :mod:`repro.sync.lamport` / :mod:`repro.sync.vector` — logical clocks;
+* :mod:`repro.sync.clc` — the controlled logical clock with forward and
+  backward amortization;
+* :mod:`repro.sync.collectives_map` — collective -> logical p2p mapping;
+* :mod:`repro.sync.error_estimation` — Duda/Hofmann/Jezequel offset-line
+  estimation from message timestamps;
+* :mod:`repro.sync.replay` — replay-ordered (parallelizable) CLC.
+"""
+
+from repro.sync.offset import OffsetMeasurement, cristian_offset, measurement_protocol
+from repro.sync.interpolation import (
+    ClockCorrection,
+    align_offsets,
+    linear_interpolation,
+    piecewise_interpolation,
+)
+from repro.sync.violations import (
+    ViolationReport,
+    scan_collectives,
+    scan_messages,
+    scan_pomp,
+    scan_trace,
+)
+from repro.sync.clc import ClcResult, ControlledLogicalClock, naive_shift_correct
+from repro.sync.lamport import lamport_clocks
+from repro.sync.vector import happened_before_graph, vector_clocks
+from repro.sync.collectives_map import logical_messages
+from repro.sync.error_estimation import (
+    estimate_pairwise_offsets,
+    synchronize_by_spanning_tree,
+)
+from repro.sync.exchange import exchange_correction, offsets_from_exchanges
+from repro.sync.replay import ReplayResult, replay_correct
+
+__all__ = [
+    "OffsetMeasurement",
+    "cristian_offset",
+    "measurement_protocol",
+    "ClockCorrection",
+    "align_offsets",
+    "linear_interpolation",
+    "piecewise_interpolation",
+    "ViolationReport",
+    "scan_messages",
+    "scan_collectives",
+    "scan_pomp",
+    "scan_trace",
+    "ControlledLogicalClock",
+    "ClcResult",
+    "naive_shift_correct",
+    "replay_correct",
+    "ReplayResult",
+    "exchange_correction",
+    "offsets_from_exchanges",
+    "lamport_clocks",
+    "vector_clocks",
+    "happened_before_graph",
+    "logical_messages",
+    "estimate_pairwise_offsets",
+    "synchronize_by_spanning_tree",
+]

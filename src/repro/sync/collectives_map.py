@@ -1,0 +1,116 @@
+"""Mapping collective operations onto logical point-to-point messages.
+
+Paper Section V (and [30]): *"The basic idea behind this extension is to
+map collective onto point-to-point communications by considering a
+single collective operation as being composed of multiple point-to-point
+operations, taking the semantics of the different flavors of MPI
+collective operations into account (e.g. 1-to-N, N-to-1, etc.)."*
+
+A collective instance with per-rank enter/exit timestamps yields logical
+messages whose send side is a member's ``COLL_ENTER`` and whose receive
+side is a member's ``COLL_EXIT``:
+
+* **1-to-N** (bcast, scatter): root's enter -> every non-root exit;
+* **N-to-1** (reduce, gather): every non-root enter -> root's exit;
+* **N-to-N** (barrier, allreduce, allgather, alltoall): every member's
+  exit depends on every *other* member's enter.  Because
+  ``exit_i >= enter_j + l_min`` for all ``j != i`` is equivalent to
+  ``exit_i >= max_{j != i}(enter_j) + l_min``, we emit exactly one
+  logical message per member — from the latest-entering *other* member —
+  which is both the binding constraint for correction and the exact
+  violation test.
+
+The resulting table mirrors :class:`repro.tracing.trace.MessageTable`
+with the event-log indices pointing at the collective enter/exit events,
+so violation scans and the CLC treat logical and real messages uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tracing.events import COLLECTIVE_FLAVORS, CollectiveFlavor
+from repro.tracing.trace import CollectiveTable, MessageTable
+
+__all__ = ["logical_messages"]
+
+
+def logical_messages(collectives: CollectiveTable) -> MessageTable:
+    """Expand every collective instance into logical messages."""
+    src_l: list[int] = []
+    dst_l: list[int] = []
+    sts_l: list[float] = []
+    rts_l: list[float] = []
+    sidx_l: list[int] = []
+    ridx_l: list[int] = []
+
+    for rec in collectives:
+        flavor = COLLECTIVE_FLAVORS[rec.op]
+        ranks = rec.ranks
+        n = ranks.size
+        if n < 2:
+            continue
+        enter, exit_, e_idx, x_idx = rec.enter_ts, rec.exit_ts, rec.enter_idx, rec.exit_idx
+        if flavor is CollectiveFlavor.ONE_TO_N:
+            pos = int(np.nonzero(ranks == rec.root)[0][0])
+            for i in range(n):
+                if i == pos:
+                    continue
+                src_l.append(int(ranks[pos]))
+                dst_l.append(int(ranks[i]))
+                sts_l.append(float(enter[pos]))
+                rts_l.append(float(exit_[i]))
+                sidx_l.append(int(e_idx[pos]))
+                ridx_l.append(int(x_idx[i]))
+        elif flavor is CollectiveFlavor.N_TO_ONE:
+            pos = int(np.nonzero(ranks == rec.root)[0][0])
+            for i in range(n):
+                if i == pos:
+                    continue
+                src_l.append(int(ranks[i]))
+                dst_l.append(int(ranks[pos]))
+                sts_l.append(float(enter[i]))
+                rts_l.append(float(exit_[pos]))
+                sidx_l.append(int(e_idx[i]))
+                ridx_l.append(int(x_idx[pos]))
+        elif flavor is CollectiveFlavor.PREFIX:
+            # MPI_Scan: rank i's exit depends on the enters of all lower
+            # ranks; the binding sender is the latest-entering one
+            # (ranks are stored ascending, so a running argmax works).
+            best = 0
+            for i in range(1, n):
+                if enter[i - 1] > enter[best]:
+                    best = i - 1
+                src_l.append(int(ranks[best]))
+                dst_l.append(int(ranks[i]))
+                sts_l.append(float(enter[best]))
+                rts_l.append(float(exit_[i]))
+                sidx_l.append(int(e_idx[best]))
+                ridx_l.append(int(x_idx[i]))
+        else:  # N_TO_N
+            # For each member, the binding sender is the latest-entering
+            # other member: precompute top-2 enters to exclude self fast.
+            order = np.argsort(enter)
+            top, second = int(order[-1]), int(order[-2])
+            for i in range(n):
+                j = second if i == top else top
+                src_l.append(int(ranks[j]))
+                dst_l.append(int(ranks[i]))
+                sts_l.append(float(enter[j]))
+                rts_l.append(float(exit_[i]))
+                sidx_l.append(int(e_idx[j]))
+                ridx_l.append(int(x_idx[i]))
+
+    if not src_l:
+        return MessageTable.empty()
+    zeros = np.zeros(len(src_l), dtype=np.int64)
+    return MessageTable(
+        np.array(src_l),
+        np.array(dst_l),
+        zeros,  # tag
+        zeros,  # nbytes
+        np.array(sts_l),
+        np.array(rts_l),
+        np.array(sidx_l),
+        np.array(ridx_l),
+    )

@@ -1,0 +1,199 @@
+"""Offset alignment and linear offset interpolation (paper Eq. 3).
+
+Given offset measurements between an arbitrary master clock and each
+worker clock, a :class:`ClockCorrection` maps worker-local timestamps
+onto the master timeline:
+
+* **alignment** (one measurement): assume zero drift difference; apply
+  the constant measured offset — the paper's Fig. 4 baseline
+  ("after an initial alignment of offsets");
+* **linear interpolation** (two measurements, Eq. 3): assume constant
+  drift difference::
+
+      m(t) = t + (o2 - o1)/(w2 - w1) * (t - w1) + o1
+
+  with ``(w_i, o_i)`` the worker time and master-minus-worker offset of
+  measurement *i* — the paper's Fig. 5/6/7 correction (Scalasca scheme);
+* **piecewise interpolation** (many measurements): the Doleschal-style
+  "further option" of Section III.b — linear between consecutive
+  measurements, extrapolating with the end slopes.
+
+All three are the same object: a per-rank piecewise-linear offset
+function over worker time, with 1, 2, or k knots.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import SynchronizationError
+from repro.sync.offset import OffsetMeasurement
+from repro.tracing.trace import Trace
+
+__all__ = [
+    "ClockCorrection",
+    "align_offsets",
+    "linear_interpolation",
+    "piecewise_interpolation",
+    "identity_correction",
+]
+
+Measurements = Mapping[int, OffsetMeasurement]
+
+
+class ClockCorrection:
+    """Per-rank piecewise-linear mapping onto the master timeline.
+
+    Parameters
+    ----------
+    knots:
+        ``{rank: (worker_times, offsets)}`` — for each corrected rank,
+        sorted worker-clock times and the master-minus-worker offset at
+        each.  A rank with one knot gets a constant offset; k >= 2 knots
+        interpolate linearly and extrapolate with the end segments'
+        slopes (Eq. 3 *is* the two-knot case).
+    master:
+        The rank whose clock defines the global timeline (mapped
+        identically).  Ranks absent from ``knots`` (other than the
+        master) are also mapped identically.
+    """
+
+    def __init__(
+        self, knots: Mapping[int, tuple[np.ndarray, np.ndarray]], master: int = 0
+    ) -> None:
+        self.master = master
+        self.knots: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for rank, (w, o) in knots.items():
+            w = np.asarray(w, dtype=np.float64)
+            o = np.asarray(o, dtype=np.float64)
+            if w.ndim != 1 or w.shape != o.shape or w.size == 0:
+                raise SynchronizationError(f"rank {rank}: malformed correction knots")
+            if w.size > 1 and not np.all(np.diff(w) > 0):
+                raise SynchronizationError(
+                    f"rank {rank}: knot times must be strictly increasing"
+                )
+            self.knots[rank] = (w, o)
+
+    # ------------------------------------------------------------------
+    def offset_model(self, rank: int, t: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Predicted master-minus-worker offset at worker time ``t``."""
+        arr = np.asarray(t, dtype=np.float64)
+        scalar = arr.ndim == 0
+        if rank == self.master or rank not in self.knots:
+            out = np.zeros_like(arr)
+            return float(out) if scalar else out
+        w, o = self.knots[rank]
+        if w.size == 1:
+            out = np.full_like(arr, o[0])
+            return float(out) if scalar else out
+        # Segment index with end-slope extrapolation.
+        idx = np.searchsorted(w, arr, side="right") - 1
+        idx = np.clip(idx, 0, w.size - 2)
+        slope = (o[idx + 1] - o[idx]) / (w[idx + 1] - w[idx])
+        out = o[idx] + slope * (arr - w[idx])
+        return float(out) if scalar else out
+
+    def apply_rank(self, rank: int, timestamps: np.ndarray) -> np.ndarray:
+        """Map a rank's local timestamps onto the master timeline."""
+        ts = np.asarray(timestamps, dtype=np.float64)
+        return ts + self.offset_model(rank, ts)
+
+    def apply(self, trace: Trace) -> Trace:
+        """Corrected copy of ``trace`` (every rank mapped to master time)."""
+        new_ts = {
+            rank: self.apply_rank(rank, trace.logs[rank].timestamps)
+            for rank in trace.ranks
+        }
+        corrected = trace.with_timestamps(new_ts)
+        corrected.meta["correction"] = repr(self)
+        return corrected
+
+    def drift_rate(self, rank: int) -> float:
+        """Mean relative drift rate implied by the knots (0 if constant)."""
+        if rank == self.master or rank not in self.knots:
+            return 0.0
+        w, o = self.knots[rank]
+        if w.size < 2:
+            return 0.0
+        return float((o[-1] - o[0]) / (w[-1] - w[0]))
+
+    def __repr__(self) -> str:
+        sizes = {rank: w.size for rank, (w, _) in self.knots.items()}
+        return f"ClockCorrection(master={self.master}, knots={sizes})"
+
+
+def identity_correction(master: int = 0) -> ClockCorrection:
+    """A correction that changes nothing (baseline)."""
+    return ClockCorrection({}, master=master)
+
+
+def align_offsets(measurements: Measurements, master: int = 0) -> ClockCorrection:
+    """Constant-offset correction from a single measurement set.
+
+    This is the "offset alignment only at program initialization" of
+    Section IV: all clocks start from zero together, drift uncorrected.
+    """
+    if not measurements:
+        raise SynchronizationError("alignment needs at least one measurement per worker")
+    knots = {
+        rank: (np.array([m.worker_time]), np.array([m.offset]))
+        for rank, m in measurements.items()
+    }
+    return ClockCorrection(knots, master=master)
+
+
+def linear_interpolation(
+    init: Measurements, final: Measurements, master: int = 0
+) -> ClockCorrection:
+    """Two-point linear offset interpolation (Eq. 3, the Scalasca scheme).
+
+    ``init`` and ``final`` must cover the same worker ranks; each worker
+    gets the line through its two (worker_time, offset) measurements.
+    """
+    if set(init) != set(final):
+        raise SynchronizationError(
+            f"init/final measurement ranks differ: {sorted(init)} vs {sorted(final)}"
+        )
+    knots = {}
+    for rank, m1 in init.items():
+        m2 = final[rank]
+        if m2.worker_time <= m1.worker_time:
+            raise SynchronizationError(
+                f"rank {rank}: final measurement does not follow init "
+                f"({m2.worker_time} <= {m1.worker_time})"
+            )
+        knots[rank] = (
+            np.array([m1.worker_time, m2.worker_time]),
+            np.array([m1.offset, m2.offset]),
+        )
+    return ClockCorrection(knots, master=master)
+
+
+def piecewise_interpolation(
+    measurement_series: Sequence[Measurements], master: int = 0
+) -> ClockCorrection:
+    """Piecewise-linear correction from k >= 2 measurement sets.
+
+    The "periodic offset measurements during global synchronization
+    operations" option (Doleschal et al.) discussed in Section III.b:
+    more knots bound the residual by the drift wander *between*
+    measurements instead of over the whole run.
+    """
+    if len(measurement_series) < 2:
+        raise SynchronizationError("piecewise interpolation needs >= 2 measurement sets")
+    ranks = set(measurement_series[0])
+    for ms in measurement_series[1:]:
+        if set(ms) != ranks:
+            raise SynchronizationError("all measurement sets must cover the same ranks")
+    knots = {}
+    for rank in ranks:
+        w = np.array([ms[rank].worker_time for ms in measurement_series])
+        o = np.array([ms[rank].offset for ms in measurement_series])
+        order = np.argsort(w)
+        w, o = w[order], o[order]
+        if np.any(np.diff(w) <= 0):
+            raise SynchronizationError(f"rank {rank}: duplicate measurement times")
+        knots[rank] = (w, o)
+    return ClockCorrection(knots, master=master)

@@ -1,0 +1,264 @@
+"""Event species and the columnar per-rank event log.
+
+The event vocabulary follows the models named in the paper: MPI events
+(send/receive of point-to-point messages, enter/exit of code regions,
+collective begin/end) and the POMP event model for OpenMP (fork/join,
+parallel-region enter/exit, implicit-barrier enter/exit).
+
+Records are held columnar — one numpy array per field — because every
+postmortem algorithm in :mod:`repro.sync` (interpolation, violation
+scans, CLC) operates on whole timestamp arrays at once.  During a
+simulation records accumulate in Python lists (cheap appends) and are
+frozen into arrays once at the end.
+
+Field meaning by event type (the four generic integer attributes
+``a, b, c, d`` are interpreted per type, like OTF's record layouts):
+
+=================  ======= ====== ========= ===========
+type               a       b      c         d
+=================  ======= ====== ========= ===========
+SEND / RECV        peer    tag    nbytes    match_id
+COLL_ENTER / EXIT  op      root   comm size instance id
+ENTER / EXIT       region  --     --        --
+OMP_FORK / JOIN    region  team   --        instance id
+OMP_PAR_* /
+OMP_BARRIER_*      region  team   --        instance id
+=================  ======= ====== ========= ===========
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = [
+    "EventType",
+    "CollectiveOp",
+    "CollectiveFlavor",
+    "COLLECTIVE_FLAVORS",
+    "Event",
+    "EventLog",
+]
+
+
+class EventType(enum.IntEnum):
+    """Event species (stable small ints; stored as int8)."""
+
+    ENTER = 0
+    EXIT = 1
+    SEND = 2
+    RECV = 3
+    COLL_ENTER = 4
+    COLL_EXIT = 5
+    OMP_FORK = 6
+    OMP_JOIN = 7
+    OMP_PAR_ENTER = 8
+    OMP_PAR_EXIT = 9
+    OMP_BARRIER_ENTER = 10
+    OMP_BARRIER_EXIT = 11
+
+
+class CollectiveOp(enum.IntEnum):
+    """MPI collective operations distinguished by the mapping of Section V.
+
+    The CLC extension maps each collective onto logical point-to-point
+    messages according to its flavor (1-to-N, N-to-1, N-to-N); see
+    :data:`COLLECTIVE_FLAVORS`.
+    """
+
+    BARRIER = 0
+    BCAST = 1
+    REDUCE = 2
+    ALLREDUCE = 3
+    GATHER = 4
+    SCATTER = 5
+    ALLGATHER = 6
+    ALLTOALL = 7
+    SCAN = 8
+    REDUCE_SCATTER = 9
+
+
+class CollectiveFlavor(enum.Enum):
+    """Communication shape of a collective (paper Section V).
+
+    ``PREFIX`` extends the paper's three flavors for MPI_Scan: rank i's
+    result depends on the contributions of ranks 0..i only, so its exit
+    is constrained by the enters of *lower* ranks rather than all of
+    them.
+    """
+
+    ONE_TO_N = "1-to-N"
+    N_TO_ONE = "N-to-1"
+    N_TO_N = "N-to-N"
+    PREFIX = "prefix"
+
+
+#: Flavor of each collective op, used when mapping collectives onto
+#: logical point-to-point semantics.
+COLLECTIVE_FLAVORS: dict[CollectiveOp, CollectiveFlavor] = {
+    CollectiveOp.BARRIER: CollectiveFlavor.N_TO_N,
+    CollectiveOp.BCAST: CollectiveFlavor.ONE_TO_N,
+    CollectiveOp.REDUCE: CollectiveFlavor.N_TO_ONE,
+    CollectiveOp.ALLREDUCE: CollectiveFlavor.N_TO_N,
+    CollectiveOp.GATHER: CollectiveFlavor.N_TO_ONE,
+    CollectiveOp.SCATTER: CollectiveFlavor.ONE_TO_N,
+    CollectiveOp.ALLGATHER: CollectiveFlavor.N_TO_N,
+    CollectiveOp.ALLTOALL: CollectiveFlavor.N_TO_N,
+    CollectiveOp.SCAN: CollectiveFlavor.PREFIX,
+    CollectiveOp.REDUCE_SCATTER: CollectiveFlavor.N_TO_N,
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """Row view of one event (convenience; algorithms use the columns)."""
+
+    timestamp: float
+    etype: EventType
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    d: int = 0
+
+
+class EventLog:
+    """Columnar, append-then-freeze event storage for one rank.
+
+    Appends go to Python lists; :meth:`freeze` converts to numpy arrays
+    exactly once.  All read accessors implicitly freeze.
+    """
+
+    __slots__ = ("_ts", "_et", "_a", "_b", "_c", "_d", "_frozen")
+
+    def __init__(self) -> None:
+        self._ts: list[float] | np.ndarray = []
+        self._et: list[int] | np.ndarray = []
+        self._a: list[int] | np.ndarray = []
+        self._b: list[int] | np.ndarray = []
+        self._c: list[int] | np.ndarray = []
+        self._d: list[int] | np.ndarray = []
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    def append(
+        self, timestamp: float, etype: EventType, a: int = 0, b: int = 0, c: int = 0, d: int = 0
+    ) -> None:
+        """Record one event (only before freezing)."""
+        if self._frozen:
+            raise TraceError("cannot append to a frozen EventLog")
+        self._ts.append(timestamp)
+        self._et.append(int(etype))
+        self._a.append(a)
+        self._b.append(b)
+        self._c.append(c)
+        self._d.append(d)
+
+    def freeze(self) -> "EventLog":
+        """Convert to immutable columnar storage; idempotent."""
+        if not self._frozen:
+            self._ts = np.asarray(self._ts, dtype=np.float64)
+            self._et = np.asarray(self._et, dtype=np.int8)
+            self._a = np.asarray(self._a, dtype=np.int64)
+            self._b = np.asarray(self._b, dtype=np.int64)
+            self._c = np.asarray(self._c, dtype=np.int64)
+            self._d = np.asarray(self._d, dtype=np.int64)
+            self._frozen = True
+        return self
+
+    @classmethod
+    def from_arrays(
+        cls,
+        timestamps: np.ndarray,
+        etypes: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        d: np.ndarray,
+    ) -> "EventLog":
+        """Build a frozen log directly from columns (I/O, corrections)."""
+        n = len(timestamps)
+        if not all(len(col) == n for col in (etypes, a, b, c, d)):
+            raise TraceError("column length mismatch")
+        log = cls()
+        log._ts = np.asarray(timestamps, dtype=np.float64)
+        log._et = np.asarray(etypes, dtype=np.int8)
+        log._a = np.asarray(a, dtype=np.int64)
+        log._b = np.asarray(b, dtype=np.int64)
+        log._c = np.asarray(c, dtype=np.int64)
+        log._d = np.asarray(d, dtype=np.int64)
+        log._frozen = True
+        return log
+
+    # ------------------------------------------------------------------
+    # Column accessors (freeze on first use)
+    # ------------------------------------------------------------------
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self.freeze()._ts
+
+    @property
+    def etypes(self) -> np.ndarray:
+        return self.freeze()._et
+
+    @property
+    def a(self) -> np.ndarray:
+        return self.freeze()._a
+
+    @property
+    def b(self) -> np.ndarray:
+        return self.freeze()._b
+
+    @property
+    def c(self) -> np.ndarray:
+        return self.freeze()._c
+
+    @property
+    def d(self) -> np.ndarray:
+        return self.freeze()._d
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def __getitem__(self, i: int) -> Event:
+        self.freeze()
+        return Event(
+            timestamp=float(self._ts[i]),
+            etype=EventType(int(self._et[i])),
+            a=int(self._a[i]),
+            b=int(self._b[i]),
+            c=int(self._c[i]),
+            d=int(self._d[i]),
+        )
+
+    def __iter__(self) -> Iterator[Event]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def with_timestamps(self, new_ts: np.ndarray) -> "EventLog":
+        """A copy of this log with replaced timestamps (corrections)."""
+        self.freeze()
+        ts = np.asarray(new_ts, dtype=np.float64)
+        if ts.shape != self._ts.shape:
+            raise TraceError(
+                f"replacement timestamps shape {ts.shape} != {self._ts.shape}"
+            )
+        return EventLog.from_arrays(ts, self._et, self._a, self._b, self._c, self._d)
+
+    def select(self, etype: EventType) -> np.ndarray:
+        """Indices of all events of the given type, in log order."""
+        self.freeze()
+        return np.nonzero(self._et == int(etype))[0]
+
+    def is_sorted(self) -> bool:
+        """Are timestamps non-decreasing (local clock order)?"""
+        ts = self.timestamps
+        return bool(np.all(np.diff(ts) >= 0)) if len(ts) > 1 else True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventLog(<{len(self)} events>, frozen={self._frozen})"

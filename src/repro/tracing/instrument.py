@@ -1,0 +1,50 @@
+"""Event recording (the PMPI-interposition analogue).
+
+A :class:`Tracer` is attached to one rank's :class:`~repro.mpi.comm.MpiContext`
+(or OpenMP thread).  The context's public operations consult it exactly
+like PMPI wrappers consult the tracing library: read the local clock,
+perform the operation, append a record to the buffer, pay the recording
+cost.  Setting :attr:`Tracer.active` to ``False`` turns recording off
+without disturbing the simulation — the partial-tracing mode the paper
+uses for POP ("we traced iterations 3500 to 5500").
+"""
+
+from __future__ import annotations
+
+from repro.tracing.buffer import TraceBuffer
+from repro.tracing.events import EventLog, EventType
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Per-rank event recorder.
+
+    Parameters
+    ----------
+    buffer:
+        Destination buffer; a fresh unbounded one by default.
+    active:
+        Initial recording state.
+    """
+
+    __slots__ = ("buffer", "active")
+
+    def __init__(self, buffer: TraceBuffer | None = None, active: bool = True) -> None:
+        self.buffer = buffer if buffer is not None else TraceBuffer()
+        self.active = active
+
+    def record(
+        self, timestamp: float, etype: EventType, a: int = 0, b: int = 0, c: int = 0, d: int = 0
+    ) -> float:
+        """Append one event; returns the CPU cost of recording it.
+
+        Callers must check :attr:`active` first (the context does), so
+        this method itself stays branch-free and cheap.
+        """
+        return self.buffer.append(timestamp, etype, a, b, c, d)
+
+    @property
+    def log(self) -> EventLog:
+        """The recorded events (frozen on first postmortem access)."""
+        return self.buffer.log

@@ -1,0 +1,125 @@
+"""Trace deserialization (counterpart of :mod:`repro.tracing.writer`)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.tracing.events import EventLog, EventType
+from repro.tracing.trace import Trace
+from repro.tracing.writer import FORMAT_VERSION
+
+__all__ = ["read_trace", "read_trace_dir"]
+
+
+def read_trace_dir(directory: Union[str, Path], ranks=None) -> Trace:
+    """Load a per-rank trace directory written by ``write_trace_dir``.
+
+    ``ranks`` selects a subset (e.g. one node's ranks) — the point of
+    the per-rank layout: postmortem analyses need not touch every file.
+    """
+    directory = Path(directory)
+    anchor_path = directory / "anchor.json"
+    if not anchor_path.exists():
+        raise TraceFormatError(f"{directory} has no anchor.json (not a trace directory)")
+    anchor = json.loads(anchor_path.read_text(encoding="utf-8"))
+    _check_version(anchor, anchor_path)
+    available = [int(r) for r in anchor["ranks"]]
+    selected = available if ranks is None else [int(r) for r in ranks]
+    unknown = set(selected) - set(available)
+    if unknown:
+        raise TraceFormatError(f"{directory}: ranks {sorted(unknown)} not in anchor")
+    logs = {}
+    for rank in selected:
+        path = directory / f"rank_{rank}.npz"
+        if not path.exists():
+            raise TraceFormatError(f"{directory}: missing {path.name}")
+        with np.load(path) as archive:
+            logs[rank] = EventLog.from_arrays(
+                archive["ts"], archive["et"], archive["a"],
+                archive["b"], archive["c"], archive["d"],
+            )
+    return Trace(logs, meta=anchor.get("meta", {}))
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace written by :func:`repro.tracing.writer.write_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file {path} does not exist")
+    if path.suffix == ".npz":
+        return _read_npz(path)
+    if path.suffix == ".jsonl":
+        return _read_jsonl(path)
+    raise TraceFormatError(f"unknown trace extension {path.suffix!r} (use .npz or .jsonl)")
+
+
+def _read_npz(path: Path) -> Trace:
+    with np.load(path) as archive:
+        if "__header__" not in archive:
+            raise TraceFormatError(f"{path} is not a repro trace (missing header)")
+        header = json.loads(bytes(archive["__header__"].tobytes()).decode("utf-8"))
+        _check_version(header, path)
+        logs = {}
+        for rank in header["ranks"]:
+            try:
+                logs[int(rank)] = EventLog.from_arrays(
+                    archive[f"r{rank}_ts"],
+                    archive[f"r{rank}_et"],
+                    archive[f"r{rank}_a"],
+                    archive[f"r{rank}_b"],
+                    archive[f"r{rank}_c"],
+                    archive[f"r{rank}_d"],
+                )
+            except KeyError as exc:
+                raise TraceFormatError(f"{path}: missing column for rank {rank}") from exc
+    return Trace(logs, meta=header.get("meta", {}))
+
+
+def _read_jsonl(path: Path) -> Trace:
+    logs_raw: dict[int, list[dict]] = {}
+    header = None
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: invalid JSON") from exc
+            kind = obj.get("kind")
+            if kind == "header":
+                header = obj
+            elif kind == "event":
+                logs_raw.setdefault(int(obj["rank"]), []).append(obj)
+            else:
+                raise TraceFormatError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    if header is None:
+        raise TraceFormatError(f"{path}: missing header line")
+    _check_version(header, path)
+    logs = {}
+    for rank in header["ranks"]:
+        rank = int(rank)
+        events = logs_raw.get(rank, [])
+        log = EventLog()
+        for ev in events:
+            try:
+                etype = EventType[ev["type"]]
+            except KeyError as exc:
+                raise TraceFormatError(f"{path}: unknown event type {ev['type']!r}") from exc
+            log.append(ev["ts"], etype, ev["a"], ev["b"], ev["c"], ev["d"])
+        logs[rank] = log.freeze()
+    return Trace(logs, meta=header.get("meta", {}))
+
+
+def _check_version(header: dict, path: Path) -> None:
+    version = header.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: format version {version} unsupported (expected {FORMAT_VERSION})"
+        )

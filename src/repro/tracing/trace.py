@@ -1,0 +1,434 @@
+"""The postmortem trace container and record extraction.
+
+A :class:`Trace` bundles the per-rank event logs of one run plus
+free-form metadata (machine, timer technology, process locations).  Its
+job is to answer the questions the synchronization layer asks:
+
+* :meth:`Trace.messages` — the matched point-to-point messages, i.e.
+  (send timestamp, receive timestamp, ranks, indices) for every
+  transferred message;
+* :meth:`Trace.collectives` — per-instance enter/exit timestamps of
+  every collective operation;
+* event statistics used by Fig. 7 (fraction of message events).
+
+Matching uses the simulator's ground-truth ``match_id`` when present
+(every record written by :mod:`repro.tracing.instrument` carries one)
+and falls back to FIFO per (src, dst, tag) matching — the algorithm real
+tools must use — when ids are absent (e.g. traces read from foreign
+files).  Both paths are tested to agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import MatchingError, TraceError
+from repro.tracing.events import CollectiveOp, EventLog, EventType
+
+__all__ = ["Trace", "MessageRecord", "MessageTable", "CollectiveRecord", "CollectiveTable"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """Row view of one matched message."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    send_ts: float
+    recv_ts: float
+    send_idx: int  # index into the sender's event log
+    recv_idx: int  # index into the receiver's event log
+
+
+class MessageTable:
+    """Columnar set of matched messages (vectorized access)."""
+
+    __slots__ = ("src", "dst", "tag", "nbytes", "send_ts", "recv_ts", "send_idx", "recv_idx")
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        tag: np.ndarray,
+        nbytes: np.ndarray,
+        send_ts: np.ndarray,
+        recv_ts: np.ndarray,
+        send_idx: np.ndarray,
+        recv_idx: np.ndarray,
+    ) -> None:
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.tag = np.asarray(tag, dtype=np.int64)
+        self.nbytes = np.asarray(nbytes, dtype=np.int64)
+        self.send_ts = np.asarray(send_ts, dtype=np.float64)
+        self.recv_ts = np.asarray(recv_ts, dtype=np.float64)
+        self.send_idx = np.asarray(send_idx, dtype=np.int64)
+        self.recv_idx = np.asarray(recv_idx, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.src.size
+
+    def __iter__(self) -> Iterator[MessageRecord]:
+        for i in range(len(self)):
+            yield self.row(i)
+
+    def row(self, i: int) -> MessageRecord:
+        return MessageRecord(
+            src=int(self.src[i]),
+            dst=int(self.dst[i]),
+            tag=int(self.tag[i]),
+            nbytes=int(self.nbytes[i]),
+            send_ts=float(self.send_ts[i]),
+            recv_ts=float(self.recv_ts[i]),
+            send_idx=int(self.send_idx[i]),
+            recv_idx=int(self.recv_idx[i]),
+        )
+
+    @classmethod
+    def empty(cls) -> "MessageTable":
+        z = np.empty(0, dtype=np.int64)
+        f = np.empty(0, dtype=np.float64)
+        return cls(z, z, z, z, f, f, z, z)
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One collective instance: per-rank enter/exit timestamps."""
+
+    instance: int
+    op: CollectiveOp
+    root: int
+    ranks: np.ndarray  # participating ranks, ascending
+    enter_ts: np.ndarray  # aligned with ranks
+    exit_ts: np.ndarray  # aligned with ranks
+    enter_idx: np.ndarray  # log index of each rank's COLL_ENTER
+    exit_idx: np.ndarray  # log index of each rank's COLL_EXIT
+
+
+class CollectiveTable:
+    """All collective instances of a trace, grouped by instance id."""
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: list[CollectiveRecord]) -> None:
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CollectiveRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, i: int) -> CollectiveRecord:
+        return self.records[i]
+
+
+class Trace:
+    """Per-rank event logs plus run metadata.
+
+    Parameters
+    ----------
+    logs:
+        Mapping rank -> :class:`EventLog`.  Ranks need not be contiguous
+        (OpenMP traces use thread ids).
+    meta:
+        Free-form metadata; well-known keys used by the toolchain:
+        ``machine``, ``timer``, ``locations`` (list of
+        ``(node, chip, core)`` per rank), ``duration``.
+    """
+
+    def __init__(self, logs: dict[int, EventLog], meta: Optional[dict[str, Any]] = None) -> None:
+        if not logs:
+            raise TraceError("a trace needs at least one rank")
+        self.logs = {rank: log.freeze() for rank, log in logs.items()}
+        self.meta: dict[str, Any] = dict(meta or {})
+        self._messages: Optional[MessageTable] = None
+        self._collectives: Optional[CollectiveTable] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> list[int]:
+        return sorted(self.logs.keys())
+
+    @property
+    def nranks(self) -> int:
+        return len(self.logs)
+
+    def total_events(self) -> int:
+        return sum(len(log) for log in self.logs.values())
+
+    def event_counts(self) -> dict[EventType, int]:
+        """Number of events per type across all ranks."""
+        counts: dict[EventType, int] = {}
+        for log in self.logs.values():
+            types, n = np.unique(log.etypes, return_counts=True)
+            for t, k in zip(types, n):
+                et = EventType(int(t))
+                counts[et] = counts.get(et, 0) + int(k)
+        return counts
+
+    def message_event_fraction(self) -> float:
+        """Fraction of message-transfer events among all events (Fig. 7)."""
+        total = self.total_events()
+        if total == 0:
+            return 0.0
+        counts = self.event_counts()
+        msg = counts.get(EventType.SEND, 0) + counts.get(EventType.RECV, 0)
+        return msg / total
+
+    # ------------------------------------------------------------------
+    # Message extraction
+    # ------------------------------------------------------------------
+    def messages(self, refresh: bool = False, strict: bool = True) -> MessageTable:
+        """Matched point-to-point messages (cached).
+
+        With ``strict=False``, half-matched messages — possible when only
+        a window of a longer run was traced, so one end of a transfer
+        falls outside the trace — are silently dropped instead of raising
+        :class:`MatchingError`.
+        """
+        if self._messages is None or refresh or not strict:
+            table = self._match_messages(strict)
+            if strict:
+                self._messages = table
+            return table
+        return self._messages
+
+    def _match_messages(self, strict: bool = True) -> MessageTable:
+        have_ids = True
+        for log in self.logs.values():
+            idx = log.select(EventType.SEND)
+            if idx.size and np.any(log.d[idx] < 0):
+                have_ids = False
+                break
+        if have_ids:
+            return self._match_by_id(strict)
+        return self._match_fifo(strict)
+
+    def _match_by_id(self, strict: bool) -> MessageTable:
+        """Vectorized alignment of send and receive rows on match ids.
+
+        Columns are concatenated across ranks, sorted by match id on
+        both sides, and intersected — O(m log m) with no per-message
+        Python work, which matters for million-message traces.
+        """
+        s_mid, s_rank, s_idx, s_ts = [], [], [], []
+        r_mid, r_rank, r_idx, r_ts, r_tag, r_nb = [], [], [], [], [], []
+        for rank in self.ranks:
+            log = self.logs[rank]
+            ts = log.timestamps
+            sel = log.select(EventType.SEND)
+            if sel.size:
+                s_mid.append(log.d[sel])
+                s_rank.append(np.full(sel.size, rank, dtype=np.int64))
+                s_idx.append(sel.astype(np.int64))
+                s_ts.append(ts[sel])
+            sel = log.select(EventType.RECV)
+            if sel.size:
+                r_mid.append(log.d[sel])
+                r_rank.append(np.full(sel.size, rank, dtype=np.int64))
+                r_idx.append(sel.astype(np.int64))
+                r_ts.append(ts[sel])
+                r_tag.append(log.b[sel])
+                r_nb.append(log.c[sel])
+        if not r_mid or not s_mid:
+            n_sends = sum(a.size for a in s_mid)
+            n_recvs = sum(a.size for a in r_mid)
+            if strict and (n_sends or n_recvs):
+                raise MatchingError(
+                    f"{n_sends} send(s) / {n_recvs} receive(s) cannot be matched"
+                )
+            return MessageTable.empty()
+
+        s_mid = np.concatenate(s_mid)
+        s_rank = np.concatenate(s_rank)
+        s_idx = np.concatenate(s_idx)
+        s_ts = np.concatenate(s_ts)
+        r_mid = np.concatenate(r_mid)
+        r_rank = np.concatenate(r_rank)
+        r_idx = np.concatenate(r_idx)
+        r_ts = np.concatenate(r_ts)
+        r_tag = np.concatenate(r_tag)
+        r_nb = np.concatenate(r_nb)
+
+        s_order = np.argsort(s_mid, kind="stable")
+        s_mid_sorted = s_mid[s_order]
+        # Position of each receive's id in the sorted send ids.
+        pos = np.searchsorted(s_mid_sorted, r_mid)
+        pos_clipped = np.minimum(pos, s_mid_sorted.size - 1)
+        found = (r_mid >= 0) & (s_mid_sorted[pos_clipped] == r_mid)
+        if strict:
+            if not np.all(found):
+                bad = int(np.nonzero(~found)[0][0])
+                raise MatchingError(
+                    f"receive at rank {int(r_rank[bad])} index {int(r_idx[bad])} "
+                    f"has unmatched id {int(r_mid[bad])}"
+                )
+            if int(found.sum()) != s_mid.size:
+                raise MatchingError(
+                    f"{s_mid.size - int(found.sum())} send event(s) have no matching receive"
+                )
+        if not np.any(found):
+            return MessageTable.empty()
+        take_s = s_order[pos_clipped[found]]
+        return MessageTable(
+            s_rank[take_s], r_rank[found], r_tag[found], r_nb[found],
+            s_ts[take_s], r_ts[found], s_idx[take_s], r_idx[found],
+        )
+
+    def _match_fifo(self, strict: bool) -> MessageTable:
+        """FIFO matching per (src, dst, tag) channel (tool-style fallback).
+
+        Relies on MPI non-overtaking semantics: the k-th receive on a
+        channel matches the k-th send.  Receives recorded with concrete
+        source/tag only (wildcards were resolved at record time, as real
+        tools do via ``MPI_Status``).
+        """
+        from collections import defaultdict, deque
+
+        queues: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        for rank in self.ranks:
+            log = self.logs[rank]
+            for i in log.select(EventType.SEND):
+                key = (rank, int(log.a[i]), int(log.b[i]))
+                queues[key].append((int(i), float(log.timestamps[i]), int(log.c[i])))
+        src_l, dst_l, tag_l, nb_l, sts_l, rts_l, sidx_l, ridx_l = ([] for _ in range(8))
+        for rank in self.ranks:
+            log = self.logs[rank]
+            for i in log.select(EventType.RECV):
+                key = (int(log.a[i]), rank, int(log.b[i]))
+                q = queues.get(key)
+                if not q:
+                    if strict:
+                        raise MatchingError(
+                            f"receive at rank {rank} (src={key[0]}, tag={key[2]}) has no send"
+                        )
+                    continue
+                s_idx, s_ts, s_nb = q.popleft()
+                src_l.append(key[0])
+                dst_l.append(rank)
+                tag_l.append(key[2])
+                nb_l.append(s_nb)
+                sts_l.append(s_ts)
+                rts_l.append(float(log.timestamps[i]))
+                sidx_l.append(s_idx)
+                ridx_l.append(int(i))
+        leftovers = sum(len(q) for q in queues.values())
+        if strict and leftovers:
+            raise MatchingError(f"{leftovers} send event(s) have no matching receive")
+        if not src_l:
+            return MessageTable.empty()
+        return MessageTable(
+            np.array(src_l), np.array(dst_l), np.array(tag_l), np.array(nb_l),
+            np.array(sts_l), np.array(rts_l), np.array(sidx_l), np.array(ridx_l),
+        )
+
+    # ------------------------------------------------------------------
+    # Collective extraction
+    # ------------------------------------------------------------------
+    def collectives(self, refresh: bool = False) -> CollectiveTable:
+        """Collective instances with per-rank enter/exit times (cached)."""
+        if self._collectives is None or refresh:
+            self._collectives = self._extract_collectives()
+        return self._collectives
+
+    def _extract_collectives(self) -> CollectiveTable:
+        # instance -> {rank: (enter_ts, exit_ts, enter_idx, exit_idx, op, root)}
+        per_instance: dict[int, dict[int, list]] = {}
+        for rank in self.ranks:
+            log = self.logs[rank]
+            ts = log.timestamps
+            enters = log.select(EventType.COLL_ENTER)
+            exits = log.select(EventType.COLL_EXIT)
+            open_by_instance: dict[int, int] = {}
+            for i in enters:
+                inst = int(log.d[i])
+                open_by_instance[inst] = int(i)
+            for i in exits:
+                inst = int(log.d[i])
+                if inst not in open_by_instance:
+                    raise TraceError(
+                        f"rank {rank}: COLL_EXIT for instance {inst} without COLL_ENTER"
+                    )
+                e_idx = open_by_instance.pop(inst)
+                entry = per_instance.setdefault(inst, {})
+                entry[rank] = [
+                    float(ts[e_idx]),
+                    float(ts[i]),
+                    e_idx,
+                    int(i),
+                    int(log.a[i]),
+                    int(log.b[i]),
+                ]
+            if open_by_instance:
+                raise TraceError(
+                    f"rank {rank}: unclosed collective instances {sorted(open_by_instance)}"
+                )
+        records = []
+        for inst in sorted(per_instance):
+            members = per_instance[inst]
+            ranks = np.array(sorted(members), dtype=np.int64)
+            enter_ts = np.array([members[r][0] for r in ranks], dtype=np.float64)
+            exit_ts = np.array([members[r][1] for r in ranks], dtype=np.float64)
+            enter_idx = np.array([members[r][2] for r in ranks], dtype=np.int64)
+            exit_idx = np.array([members[r][3] for r in ranks], dtype=np.int64)
+            op = CollectiveOp(members[int(ranks[0])][4])
+            root = members[int(ranks[0])][5]
+            records.append(
+                CollectiveRecord(
+                    instance=inst,
+                    op=op,
+                    root=root,
+                    ranks=ranks,
+                    enter_ts=enter_ts,
+                    exit_ts=exit_ts,
+                    enter_idx=enter_idx,
+                    exit_idx=exit_idx,
+                )
+            )
+        return CollectiveTable(records)
+
+    # ------------------------------------------------------------------
+    def slice(self, t0: float, t1: float) -> "Trace":
+        """Sub-trace with only the events whose timestamp lies in ``[t0, t1)``.
+
+        The tool-side analogue of a partial-tracing window applied
+        postmortem.  Messages with one endpoint outside the window
+        become half-matched — use ``messages(strict=False)`` on the
+        result, exactly as with window-traced runs.  Collective
+        instances that lose their enter or exit are dropped from
+        ``collectives()`` extraction with an error, so slice on region
+        boundaries when collectives matter.
+        """
+        if t1 <= t0:
+            raise TraceError(f"empty slice window [{t0}, {t1})")
+        logs = {}
+        for rank, log in self.logs.items():
+            ts = log.timestamps
+            mask = (ts >= t0) & (ts < t1)
+            logs[rank] = EventLog.from_arrays(
+                ts[mask], log.etypes[mask], log.a[mask], log.b[mask],
+                log.c[mask], log.d[mask],
+            )
+        meta = dict(self.meta)
+        meta["slice"] = (t0, t1)
+        return Trace(logs, meta=meta)
+
+    def with_timestamps(self, new_ts: dict[int, np.ndarray]) -> "Trace":
+        """A corrected copy of this trace with replaced timestamps.
+
+        Ranks absent from ``new_ts`` keep their original timestamps.
+        """
+        logs = {
+            rank: (log.with_timestamps(new_ts[rank]) if rank in new_ts else log)
+            for rank, log in self.logs.items()
+        }
+        return Trace(logs, meta=dict(self.meta))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace(ranks={self.nranks}, events={self.total_events()})"

@@ -1,0 +1,146 @@
+"""Trace serialization.
+
+Two formats, both self-describing and round-trip safe:
+
+* ``.npz`` (default) — one compressed numpy archive holding the six
+  columns of every rank plus JSON-encoded metadata; compact and fast,
+  the moral equivalent of a binary OTF trace;
+* ``.jsonl`` — one JSON object per line (header, then events); slow but
+  greppable, for debugging and interchange.
+
+The format is chosen by file extension in :func:`write_trace` /
+:func:`repro.tracing.reader.read_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.tracing.events import EventType
+from repro.tracing.trace import Trace
+
+__all__ = ["write_trace", "write_trace_dir", "FORMAT_VERSION"]
+
+#: Bumped on any incompatible layout change; checked by the reader.
+FORMAT_VERSION = 1
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Serialize ``trace`` to ``path`` (.npz or .jsonl by extension)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        _write_npz(trace, path)
+    elif path.suffix == ".jsonl":
+        _write_jsonl(trace, path)
+    else:
+        raise TraceFormatError(f"unknown trace extension {path.suffix!r} (use .npz or .jsonl)")
+    return path
+
+
+def _write_npz(trace: Trace, path: Path) -> None:
+    payload: dict[str, np.ndarray] = {}
+    header = {
+        "version": FORMAT_VERSION,
+        "ranks": trace.ranks,
+        "meta": _jsonable_meta(trace.meta),
+    }
+    payload["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    for rank in trace.ranks:
+        log = trace.logs[rank]
+        payload[f"r{rank}_ts"] = log.timestamps
+        payload[f"r{rank}_et"] = log.etypes
+        payload[f"r{rank}_a"] = log.a
+        payload[f"r{rank}_b"] = log.b
+        payload[f"r{rank}_c"] = log.c
+        payload[f"r{rank}_d"] = log.d
+    np.savez_compressed(path, **payload)
+
+
+def _write_jsonl(trace: Trace, path: Path) -> None:
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "kind": "header",
+            "version": FORMAT_VERSION,
+            "ranks": trace.ranks,
+            "meta": _jsonable_meta(trace.meta),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for rank in trace.ranks:
+            log = trace.logs[rank]
+            ts, et = log.timestamps, log.etypes
+            a, b, c, d = log.a, log.b, log.c, log.d
+            for i in range(len(log)):
+                fh.write(
+                    json.dumps(
+                        {
+                            "kind": "event",
+                            "rank": rank,
+                            "ts": float(ts[i]),
+                            "type": EventType(int(et[i])).name,
+                            "a": int(a[i]),
+                            "b": int(b[i]),
+                            "c": int(c[i]),
+                            "d": int(d[i]),
+                        }
+                    )
+                    + "\n"
+                )
+
+
+def write_trace_dir(trace: Trace, directory: Union[str, Path]) -> Path:
+    """Serialize one file per rank plus an anchor, OTF-style.
+
+    Real tracing back-ends write each rank's stream to its own file so
+    ranks can flush independently and analyses can read subsets; this
+    mirrors that layout::
+
+        <dir>/anchor.json          # version, ranks, metadata
+        <dir>/rank_<r>.npz         # that rank's six columns
+
+    Counterpart: :func:`repro.tracing.reader.read_trace_dir`, which can
+    also load a *subset* of ranks.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    anchor = {
+        "version": FORMAT_VERSION,
+        "ranks": trace.ranks,
+        "meta": _jsonable_meta(trace.meta),
+    }
+    (directory / "anchor.json").write_text(json.dumps(anchor, indent=1), encoding="utf-8")
+    for rank in trace.ranks:
+        log = trace.logs[rank]
+        np.savez_compressed(
+            directory / f"rank_{rank}.npz",
+            ts=log.timestamps, et=log.etypes,
+            a=log.a, b=log.b, c=log.c, d=log.d,
+        )
+    return directory
+
+
+def _jsonable_meta(meta: dict) -> dict:
+    """Best-effort conversion of metadata values to JSON-encodable form."""
+    out = {}
+    for key, value in meta.items():
+        try:
+            json.dumps(value)
+            out[key] = value
+        except TypeError:
+            if isinstance(value, np.ndarray):
+                out[key] = value.tolist()
+            elif isinstance(value, (list, tuple)):
+                out[key] = [getattr(v, "__dict__", str(v)) if not _is_plain(v) else v for v in value]
+            else:
+                out[key] = str(value)
+    return out
+
+
+def _is_plain(v) -> bool:
+    return isinstance(v, (str, int, float, bool, type(None)))

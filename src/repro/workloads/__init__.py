@@ -1,0 +1,39 @@
+"""Synthetic application workloads.
+
+Stand-ins for the paper's evaluation codes, matched on the property the
+study depends on — the *communication pattern* and run length:
+
+* :mod:`repro.workloads.pingpong` — latency measurement kernels
+  (Table II);
+* :mod:`repro.workloads.pop` — Parallel Ocean Program surrogate: 2-D
+  stencil halo exchange + global reductions, partial tracing window;
+* :mod:`repro.workloads.smg2000` — semicoarsening multigrid surrogate:
+  long-range non-nearest-neighbour exchanges in V-cycles, sleep-padded
+  like the paper's emulated long run;
+* :mod:`repro.workloads.sparse` — randomized sparse point-to-point
+  pattern for stress/property tests;
+* :mod:`repro.workloads.sweep3d` — pipelined wavefront sweeps (long
+  happened-before chains, dense Late Sender chains).
+
+All builders return a ``worker(ctx)`` generator suitable for
+:meth:`repro.mpi.runtime.MpiWorld.run`.
+"""
+
+from repro.workloads.pingpong import collective_timing_worker, pingpong_worker
+from repro.workloads.pop import PopConfig, pop_worker
+from repro.workloads.smg2000 import Smg2000Config, smg2000_worker
+from repro.workloads.sparse import SparseConfig, sparse_worker
+from repro.workloads.sweep3d import Sweep3dConfig, sweep3d_worker
+
+__all__ = [
+    "pingpong_worker",
+    "collective_timing_worker",
+    "PopConfig",
+    "pop_worker",
+    "Smg2000Config",
+    "smg2000_worker",
+    "SparseConfig",
+    "sparse_worker",
+    "Sweep3dConfig",
+    "sweep3d_worker",
+]

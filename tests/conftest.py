@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import RngFabric
+
+
+@pytest.fixture
+def fabric() -> RngFabric:
+    """A deterministic randomness fabric with a fixed seed."""
+    return RngFabric(seed=12345)
+
+
+@pytest.fixture
+def rng(fabric: RngFabric) -> np.random.Generator:
+    """A deterministic generator for tests that need raw randomness."""
+    return fabric.generator("test")

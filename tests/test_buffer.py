@@ -1,0 +1,61 @@
+"""Tests for the trace buffer (repro.tracing.buffer) and Tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tracing.buffer import TraceBuffer
+from repro.tracing.events import EventType
+from repro.tracing.instrument import Tracer
+
+
+class TestTraceBuffer:
+    def test_append_returns_record_cost(self):
+        buf = TraceBuffer(record_cost=1e-7, flush_cost=1e-3)
+        cost = buf.append(1.0, EventType.ENTER)
+        assert cost == pytest.approx(1e-7)
+        assert len(buf) == 1
+
+    def test_capacity_triggers_flush(self):
+        buf = TraceBuffer(capacity=3, record_cost=1e-7, flush_cost=1e-3)
+        costs = [buf.append(float(i), EventType.ENTER) for i in range(7)]
+        # Flushes after records 3 and 6.
+        assert costs[2] == pytest.approx(1e-7 + 1e-3)
+        assert costs[5] == pytest.approx(1e-7 + 1e-3)
+        assert costs[6] == pytest.approx(1e-7)
+        assert buf.flushes == 2
+
+    def test_unbounded_never_flushes(self):
+        buf = TraceBuffer(capacity=0, record_cost=0.0, flush_cost=1e-3)
+        for i in range(100):
+            assert buf.append(float(i), EventType.ENTER) == 0.0
+        assert buf.flushes == 0
+
+    def test_records_survive_flush(self):
+        buf = TraceBuffer(capacity=2)
+        for i in range(5):
+            buf.append(float(i), EventType.ENTER, a=i)
+        assert len(buf.log) == 5
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ConfigurationError):
+            TraceBuffer(capacity=-1)
+        with pytest.raises(ConfigurationError):
+            TraceBuffer(record_cost=-1.0)
+
+
+class TestTracer:
+    def test_records_into_buffer(self):
+        tracer = Tracer()
+        tracer.record(1.0, EventType.SEND, 1, 2, 3, 4)
+        assert len(tracer.log) == 1
+        assert tracer.log[0].d == 4
+
+    def test_active_flag_default(self):
+        assert Tracer().active is True
+        assert Tracer(active=False).active is False
+
+    def test_cost_passthrough(self):
+        tracer = Tracer(TraceBuffer(record_cost=5e-8))
+        assert tracer.record(1.0, EventType.ENTER) == pytest.approx(5e-8)

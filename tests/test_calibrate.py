@@ -1,0 +1,123 @@
+"""Tests for clock characterization (repro.clocks.calibrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clocks.calibrate import DriftEstimate, allan_deviation, estimate_drift
+from repro.clocks.drift import (
+    ConstantDrift,
+    OrnsteinUhlenbeckDrift,
+    RandomWalkDrift,
+)
+from repro.errors import SynchronizationError
+
+
+def series(model, duration=2000.0, step=2.0, noise=0.0, seed=0):
+    t = np.arange(0.0, duration, step)
+    x = np.asarray(model.offset_at(t), dtype=np.float64)
+    if noise:
+        x = x + np.random.default_rng(seed).normal(0.0, noise, t.size)
+    return t, x
+
+
+class TestEstimateDrift:
+    def test_recovers_affine_parameters(self):
+        model = ConstantDrift(rate=2.5e-6, initial_offset=1e-3)
+        t, x = series(model)
+        est = estimate_drift(t, x)
+        assert est.rate == pytest.approx(2.5e-6, rel=1e-6)
+        assert est.initial_offset == pytest.approx(1e-3, rel=1e-3)
+        assert est.residual_rms < 1e-12
+        assert est.residual_max < 1e-12
+
+    def test_residual_captures_wander(self, fabric):
+        walk = RandomWalkDrift(fabric.generator("w"), sigma=2e-9, step=10.0, duration=2000.0)
+        t, x = series(walk)
+        est = estimate_drift(t, x)
+        assert est.residual_rms > 0
+        assert est.wander_rate_std > 0
+        # The affine part removes the mean rate; residual stays well
+        # below the raw excursion.
+        assert est.residual_max <= np.abs(x - x[0]).max() + 1e-12
+
+    def test_input_validation(self):
+        with pytest.raises(SynchronizationError):
+            estimate_drift(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+
+class TestAllanDeviation:
+    def test_white_noise_falls_with_tau(self):
+        rng = np.random.default_rng(1)
+        t = np.arange(0.0, 4000.0, 2.0)
+        x = rng.normal(0.0, 1e-6, t.size)  # pure white phase noise
+        taus, adev = allan_deviation(t, x)
+        assert adev[0] > adev[-1]  # decreasing
+        # Slope ~ -1 in log-log for white phase noise.
+        slope = np.polyfit(np.log(taus), np.log(adev), 1)[0]
+        assert slope < -0.6
+
+    def test_random_walk_rate_rises_with_tau(self, fabric):
+        walk = RandomWalkDrift(
+            fabric.generator("rw"), sigma=1e-9, step=2.0, duration=8000.0
+        )
+        t, x = series(walk, duration=8000.0, step=2.0)
+        taus, adev = allan_deviation(t, x)
+        slope = np.polyfit(np.log(taus), np.log(adev), 1)[0]
+        assert slope > 0.2  # rising (theory: +0.5)
+
+    def test_distinguishes_noise_types(self, fabric):
+        """The module's purpose: the statistic separates the model
+        families by slope sign."""
+        rng = np.random.default_rng(2)
+        t = np.arange(0.0, 8000.0, 2.0)
+        white = rng.normal(0.0, 1e-6, t.size)
+        walk = np.asarray(
+            RandomWalkDrift(
+                fabric.generator("rw2"), sigma=1e-9, step=2.0, duration=8000.0
+            ).offset_at(t)
+        )
+        s_white = np.polyfit(*map(np.log, allan_deviation(t, white)), 1)[0]
+        s_walk = np.polyfit(*map(np.log, allan_deviation(t, walk)), 1)[0]
+        assert s_white < 0 < s_walk
+
+    def test_requires_uniform_sampling(self):
+        t = np.array([0.0, 1.0, 5.0, 6.0, 7.0])
+        with pytest.raises(SynchronizationError):
+            allan_deviation(t, np.zeros_like(t))
+
+    def test_explicit_taus(self):
+        t = np.arange(0.0, 1000.0, 1.0)
+        x = np.random.default_rng(0).normal(0, 1e-6, t.size)
+        taus, adev = allan_deviation(t, x, taus=np.array([1.0, 4.0, 16.0]))
+        np.testing.assert_allclose(taus, [1.0, 4.0, 16.0])
+        assert adev.size == 3
+
+
+class TestEndToEndCalibration:
+    def test_calibrate_simulated_probe_series(self):
+        """Measure a simulated pair with Cristian probes, then recover
+        the relative drift rate between their models."""
+        from repro.analysis.deviation import measure_deviation
+        from repro.cluster import inter_node, xeon_cluster
+
+        preset = xeon_cluster()
+        pin = inter_node(preset.machine, 2)
+        series_map = measure_deviation(
+            preset, pin, timer="tsc", duration=300.0, probe_interval=5.0, seed=4
+        )
+        s = series_map[1]
+        est = estimate_drift(s.times, s.offsets)
+        # Ground truth relative rate from the drift models themselves.
+        from repro.clocks.factory import ClockEnsemble, timer_spec
+        from repro.rng import RngFabric
+
+        ens = ClockEnsemble(preset.machine, timer_spec("tsc"), RngFabric(4), 320.0)
+        d0 = ens.clock_for(pin[0]).drift
+        d1 = ens.clock_for(pin[1]).drift
+        true_rate = (
+            (float(d0.offset_at(300.0)) - float(d1.offset_at(300.0)))
+            - (float(d0.offset_at(0.0)) - float(d1.offset_at(0.0)))
+        ) / 300.0
+        assert est.rate == pytest.approx(true_rate, abs=5e-8)

@@ -1,0 +1,237 @@
+"""Tests for the controlled logical clock (repro.sync.clc)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynchronizationError
+from repro.sync.clc import ControlledLogicalClock
+from repro.sync.collectives_map import logical_messages
+from repro.sync.violations import scan_collectives, scan_messages
+from repro.tracing.events import CollectiveOp, EventLog, EventType
+from repro.tracing.trace import Trace
+
+
+def violated_trace(lmin=1e-6):
+    """Rank 0 sends at 10.0; rank 1's clock runs early: recv at 9.5."""
+    log0 = EventLog()
+    log0.append(9.0, EventType.ENTER, 1)
+    log0.append(10.0, EventType.SEND, 1, 0, 0, 0)
+    log0.append(11.0, EventType.EXIT, 1)
+    log1 = EventLog()
+    log1.append(8.0, EventType.ENTER, 1)
+    log1.append(9.5, EventType.RECV, 0, 0, 0, 0)
+    log1.append(10.5, EventType.EXIT, 1)
+    log1.append(11.5, EventType.ENTER, 2)
+    return Trace({0: log0, 1: log1})
+
+
+class TestForwardCorrection:
+    def test_restores_clock_condition(self):
+        trace = violated_trace()
+        lmin = 1e-6
+        result = ControlledLogicalClock().correct(trace, lmin=lmin)
+        rep = scan_messages(result.trace.messages(), lmin=lmin)
+        assert rep.violated == 0
+        assert result.jumps == 1
+        assert result.max_jump == pytest.approx(0.5 + lmin, rel=1e-6)
+
+    def test_receive_moved_to_send_plus_lmin(self):
+        trace = violated_trace()
+        result = ControlledLogicalClock(gamma=1.0, amortization_window=0).correct(
+            trace, lmin=1e-6
+        )
+        recv_ts = result.trace.logs[1].timestamps[1]
+        assert recv_ts == pytest.approx(10.0 + 1e-6)
+
+    def test_following_events_dragged_forward(self):
+        trace = violated_trace()
+        result = ControlledLogicalClock(gamma=1.0, amortization_window=0).correct(
+            trace, lmin=1e-6
+        )
+        ts = result.trace.logs[1].timestamps
+        # Original gaps after the receive: 1.0 and 1.0; preserved at gamma=1.
+        assert ts[2] - ts[1] == pytest.approx(1.0)
+        assert ts[3] - ts[2] == pytest.approx(1.0)
+
+    def test_gamma_lets_clock_glide_back(self):
+        """With gamma < 1, post-jump events approach the original
+        timestamps instead of staying shifted."""
+        log0 = EventLog()
+        log0.append(10.0, EventType.SEND, 1, 0, 0, 0)
+        log1 = EventLog()
+        log1.append(9.0, EventType.RECV, 0, 0, 0, 0)
+        for k in range(1, 200):
+            log1.append(9.0 + k * 1.0, EventType.ENTER, 1)
+        trace = Trace({0: log0, 1: log1})
+        result = ControlledLogicalClock(gamma=0.9, amortization_window=0).correct(
+            trace, lmin=0.0
+        )
+        shift = result.trace.logs[1].timestamps - trace.logs[1].timestamps
+        assert shift[0] == pytest.approx(1.0)
+        assert shift[-1] == pytest.approx(0.0, abs=1e-9)  # fully recovered
+        assert np.all(np.diff(shift) <= 1e-12)  # monotone decay
+
+    def test_never_moves_events_backward(self):
+        trace = violated_trace()
+        result = ControlledLogicalClock().correct(trace, lmin=1e-6)
+        for rank in trace.ranks:
+            shift = result.trace.logs[rank].timestamps - trace.logs[rank].timestamps
+            assert np.all(shift >= -1e-15)
+
+    def test_clean_trace_untouched(self):
+        log0 = EventLog()
+        log0.append(1.0, EventType.SEND, 1, 0, 0, 0)
+        log1 = EventLog()
+        log1.append(1.5, EventType.RECV, 0, 0, 0, 0)
+        trace = Trace({0: log0, 1: log1})
+        result = ControlledLogicalClock().correct(trace, lmin=1e-6)
+        assert result.jumps == 0
+        assert result.corrected_events == 0
+        np.testing.assert_array_equal(
+            result.trace.logs[1].timestamps, trace.logs[1].timestamps
+        )
+
+    def test_local_order_preserved(self):
+        trace = violated_trace()
+        result = ControlledLogicalClock().correct(trace, lmin=1e-6)
+        for rank in trace.ranks:
+            ts = result.trace.logs[rank].timestamps
+            assert np.all(np.diff(ts) >= 0)
+
+    def test_gamma_validation(self):
+        with pytest.raises(SynchronizationError):
+            ControlledLogicalClock(gamma=0.0)
+        with pytest.raises(SynchronizationError):
+            ControlledLogicalClock(gamma=1.5)
+        with pytest.raises(SynchronizationError):
+            ControlledLogicalClock(amortization_window=-1.0)
+
+
+class TestCollectiveCorrection:
+    def test_collective_violation_repaired(self):
+        logs = {}
+        # Rank 1's clock is early: its exit (1.0) precedes rank 0's enter (2.0).
+        for rank, (e, x) in enumerate([(2.0, 3.0), (0.5, 1.0)]):
+            log = EventLog()
+            log.append(e, EventType.COLL_ENTER, int(CollectiveOp.BARRIER), 0, 2, 0)
+            log.append(x, EventType.COLL_EXIT, int(CollectiveOp.BARRIER), 0, 2, 0)
+            logs[rank] = log
+        trace = Trace(logs)
+        before, _ = scan_collectives(trace, lmin=1e-7)
+        assert before.violated > 0
+        result = ControlledLogicalClock().correct(trace, lmin=1e-7)
+        after, _ = scan_collectives(result.trace, lmin=1e-7)
+        assert after.violated == 0
+
+    def test_collectives_can_be_ignored(self):
+        logs = {}
+        for rank, (e, x) in enumerate([(2.0, 3.0), (0.5, 1.0)]):
+            log = EventLog()
+            log.append(e, EventType.COLL_ENTER, int(CollectiveOp.BARRIER), 0, 2, 0)
+            log.append(x, EventType.COLL_EXIT, int(CollectiveOp.BARRIER), 0, 2, 0)
+            logs[rank] = log
+        trace = Trace(logs)
+        result = ControlledLogicalClock(include_collectives=False).correct(
+            trace, lmin=1e-7
+        )
+        after, _ = scan_collectives(result.trace, lmin=1e-7)
+        assert after.violated > 0  # untouched by design
+
+
+class TestBackwardAmortization:
+    def make_trace_with_preamble(self, n_pre=20, gap=0.01):
+        """Rank 1 has many local events before a violated receive."""
+        log0 = EventLog()
+        log0.append(10.0, EventType.SEND, 1, 0, 0, 0)
+        log1 = EventLog()
+        for k in range(n_pre):
+            log1.append(9.0 - (n_pre - k) * gap, EventType.ENTER, 1)
+        log1.append(9.0, EventType.RECV, 0, 0, 0, 0)
+        return Trace({0: log0, 1: log1})
+
+    def test_preceding_events_ramped_forward(self):
+        trace = self.make_trace_with_preamble()
+        with_amort = ControlledLogicalClock(gamma=1.0, amortization_window=1.0).correct(
+            trace, lmin=0.0
+        )
+        without = ControlledLogicalClock(gamma=1.0, amortization_window=0).correct(
+            trace, lmin=0.0
+        )
+        shift_with = with_amort.trace.logs[1].timestamps - trace.logs[1].timestamps
+        shift_without = without.trace.logs[1].timestamps - trace.logs[1].timestamps
+        # Without amortization nothing before the receive moves.
+        assert np.all(shift_without[:-1] == 0)
+        # With it, events inside the window move, increasingly toward
+        # the jump, and order is preserved.
+        assert shift_with[:-1].max() > 0
+        ts = with_amort.trace.logs[1].timestamps
+        assert np.all(np.diff(ts) >= -1e-15)
+
+    def test_ramp_is_monotone_toward_jump(self):
+        trace = self.make_trace_with_preamble()
+        result = ControlledLogicalClock(gamma=1.0, amortization_window=0.5).correct(
+            trace, lmin=0.0
+        )
+        shift = result.trace.logs[1].timestamps - trace.logs[1].timestamps
+        inside = shift[:-1][shift[:-1] > 0]
+        assert np.all(np.diff(inside) >= -1e-12)
+
+    def test_send_cap_respected(self):
+        """A send in the amortization window must not be pushed past its
+        receive minus l_min (no new violations)."""
+        lmin = 0.1
+        log0 = EventLog()
+        log0.append(8.95, EventType.SEND, 1, 0, 0, 1)  # 0 -> 1 (pre-window send)
+        log0.append(10.0, EventType.SEND, 1, 0, 0, 0)
+        log1 = EventLog()
+        log1.append(8.5, EventType.ENTER, 1)
+        log1.append(8.8, EventType.SEND, 0, 0, 0, 2)  # 1 -> 0 send inside window
+        log1.append(9.0, EventType.RECV, 0, 0, 0, 0)  # violated (send at 10.0)
+        log0b = EventLog()
+        # rank 0 also receives rank 1's message shortly after it was sent.
+        log0.append(10.5, EventType.RECV, 1, 0, 0, 2)
+        log1.append(9.3, EventType.RECV, 0, 0, 0, 1)
+        trace = Trace({0: log0, 1: log1})
+        result = ControlledLogicalClock(gamma=1.0, amortization_window=5.0).correct(
+            trace, lmin=lmin
+        )
+        rep = scan_messages(result.trace.messages(), lmin=lmin)
+        assert rep.violated == 0
+
+
+class TestClcProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**16), rounds=st.integers(2, 8))
+    def test_random_traces_fully_repaired(self, seed, rounds):
+        """Against arbitrary sparse traffic with badly drifting clocks,
+        the corrected trace always satisfies the clock condition and
+        keeps every rank's event order."""
+        from repro.cluster import inter_node, xeon_cluster
+        from repro.mpi import MpiWorld
+        from repro.workloads import SparseConfig, sparse_worker
+
+        preset = xeon_cluster()
+        world = MpiWorld(
+            preset,
+            inter_node(preset.machine, 4),
+            timer="mpi_wtime",  # the nastiest clocks
+            seed=seed,
+            duration_hint=30.0,
+        )
+        run = world.run(
+            sparse_worker(SparseConfig(rounds=rounds), seed=seed), measure_offsets=False
+        )
+        lmin = 1e-7
+        result = ControlledLogicalClock().correct(run.trace, lmin=lmin)
+        assert scan_messages(result.trace.messages(), lmin=lmin).violated == 0
+        coll_rep, _ = scan_collectives(result.trace, lmin=lmin)
+        assert coll_rep.violated == 0
+        for rank in result.trace.ranks:
+            ts = result.trace.logs[rank].timestamps
+            assert np.all(np.diff(ts) >= -1e-15)
+            shift = ts - run.trace.logs[rank].timestamps
+            assert np.all(shift >= -1e-15)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.tracing.reader import read_trace
+
+
+@pytest.fixture
+def sparse_trace_file(tmp_path):
+    path = tmp_path / "trace.npz"
+    rc = main(
+        [
+            "simulate", "--workload", "sparse", "--nprocs", "4",
+            "--timer", "mpi_wtime", "--seed", "5", "--scale", "0.2",
+            "--placement", "spread", "-o", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_trace_with_measurements(self, sparse_trace_file):
+        trace = read_trace(sparse_trace_file)
+        assert trace.nranks == 4
+        assert "init_offsets" in trace.meta
+        assert "final_offsets" in trace.meta
+
+    def test_pop_workload(self, tmp_path):
+        path = tmp_path / "pop.jsonl"
+        rc = main(
+            [
+                "simulate", "--workload", "pop", "--nprocs", "4",
+                "--seed", "1", "--scale", "0.005", "-o", str(path),
+            ]
+        )
+        assert rc == 0
+        assert read_trace(path).total_events() > 0
+
+
+class TestScan:
+    def test_exit_code_reflects_violations(self, sparse_trace_file, capsys):
+        rc = main(["scan", str(sparse_trace_file)])
+        out = capsys.readouterr().out
+        assert "violations" in out
+        assert rc in (0, 1)
+
+
+class TestSync:
+    def test_linear_plus_clc_round_trip(self, sparse_trace_file, tmp_path, capsys):
+        fixed = tmp_path / "fixed.npz"
+        rc = main(["sync", str(sparse_trace_file), "--clc", "-o", str(fixed)])
+        assert rc == 0
+        # The corrected trace must scan clean.
+        rc = main(["scan", str(fixed)])
+        assert rc == 0
+
+    def test_align_mode(self, sparse_trace_file, tmp_path):
+        fixed = tmp_path / "aligned.npz"
+        rc = main(
+            ["sync", str(sparse_trace_file), "--interpolation", "align", "-o", str(fixed)]
+        )
+        assert rc == 0
+
+    def test_missing_measurements_error(self, tmp_path, capsys):
+        # Write a trace without measurement metadata.
+        from repro.tracing.events import EventLog, EventType
+        from repro.tracing.trace import Trace
+        from repro.tracing.writer import write_trace
+
+        log = EventLog()
+        log.append(1.0, EventType.ENTER, a=1)
+        bare = tmp_path / "bare.npz"
+        write_trace(Trace({0: log}), bare)
+        rc = main(["sync", str(bare), "-o", str(tmp_path / "out.npz")])
+        assert rc == 2
+        assert "no offset measurements" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_summary_fields(self, sparse_trace_file, capsys):
+        rc = main(["report", str(sparse_trace_file), "--arrows", "2", "--timeline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ranks: 4" in out
+        assert "message-event fraction" in out
+        assert "timeline" in out
+        assert "->" in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys, tmp_path):
+        rc = main(["scan", str(tmp_path / "nope.npz")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Tests for the Clock front-end (repro.clocks.base)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.base import Clock
+from repro.clocks.drift import ConstantDrift
+from repro.errors import ClockError, ConfigurationError
+
+
+class TestScalarRead:
+    def test_ideal_clock_reads_true_time(self):
+        c = Clock(ConstantDrift(0.0))
+        assert c.read(123.456) == pytest.approx(123.456)
+
+    def test_drift_applied(self):
+        c = Clock(ConstantDrift(rate=1e-6, initial_offset=0.5))
+        assert c.read(1000.0) == pytest.approx(1000.0 + 0.5 + 1e-3)
+
+    def test_resolution_quantizes_down(self):
+        c = Clock(ConstantDrift(0.0), resolution=1e-6)
+        assert c.read(1.0000015) == pytest.approx(1.000001)
+
+    def test_monotone_under_negative_drift(self):
+        # Strong negative drift plus quantization can only ever clamp,
+        # never go backwards.
+        c = Clock(ConstantDrift(rate=-0.5), resolution=1e-6)
+        values = [c.read(t) for t in np.linspace(0, 1, 100)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            Clock(ConstantDrift(0.0), read_jitter=1e-8)
+
+    def test_jitter_delays_reading(self):
+        rng = np.random.default_rng(0)
+        c = Clock(ConstantDrift(0.0), read_jitter=1e-6, rng=rng)
+        # Exponential jitter samples the clock slightly late, so the
+        # reading is >= the true time (for a zero-drift clock).
+        assert c.read(5.0) >= 5.0
+
+    def test_ideal_read_bypasses_noise(self):
+        rng = np.random.default_rng(0)
+        c = Clock(ConstantDrift(1e-6), resolution=1e-6, read_jitter=1e-7, rng=rng)
+        assert c.ideal_read(100.0) == pytest.approx(100.0 + 1e-4)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Clock(ConstantDrift(0.0), resolution=-1.0)
+
+
+class TestReadArray:
+    def test_matches_scalar_reads_without_noise(self):
+        c1 = Clock(ConstantDrift(rate=2e-6, initial_offset=0.1), resolution=1e-6)
+        c2 = Clock(ConstantDrift(rate=2e-6, initial_offset=0.1), resolution=1e-6)
+        t = np.linspace(0, 100, 50)
+        arr = c1.read_array(t)
+        scalars = np.array([c2.read(x) for x in t])
+        np.testing.assert_allclose(arr, scalars)
+
+    def test_monotone_output(self):
+        rng = np.random.default_rng(3)
+        c = Clock(ConstantDrift(-1e-3), read_jitter=1e-5, rng=rng, resolution=1e-6)
+        t = np.linspace(0, 10, 1000)
+        out = c.read_array(t, jitter=True)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_rejects_decreasing_input(self):
+        c = Clock(ConstantDrift(0.0))
+        with pytest.raises(ClockError):
+            c.read_array(np.array([1.0, 0.5]))
+
+    def test_rejects_2d_input(self):
+        c = Clock(ConstantDrift(0.0))
+        with pytest.raises(ClockError):
+            c.read_array(np.zeros((2, 2)))
+
+    def test_jitter_flag_requires_rng(self):
+        c = Clock(ConstantDrift(0.0))
+        # No rng configured and jitter scale is 0: jitter=True is a no-op.
+        out = c.read_array(np.array([0.0, 1.0]), jitter=True)
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_independent_of_scalar_state(self):
+        c = Clock(ConstantDrift(0.0))
+        c.read(100.0)  # advances _last
+        out = c.read_array(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+
+class TestClockProperties:
+    @settings(max_examples=50)
+    @given(
+        rate=st.floats(min_value=-1e-3, max_value=1e-3),
+        res=st.sampled_from([0.0, 1e-9, 1e-6]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_reads_always_monotone(self, rate, res, seed):
+        rng = np.random.default_rng(seed)
+        c = Clock(ConstantDrift(rate=rate), resolution=res, read_jitter=1e-7, rng=rng)
+        ts = np.sort(rng.uniform(0, 100, size=20))
+        values = [c.read(t) for t in ts]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    @settings(max_examples=50)
+    @given(res=st.floats(min_value=1e-9, max_value=1e-3), t=st.floats(min_value=0, max_value=1e4))
+    def test_quantization_error_bounded_by_resolution(self, res, t):
+        c = Clock(ConstantDrift(0.0), resolution=res)
+        v = c.read(t)
+        assert t - res <= v <= t

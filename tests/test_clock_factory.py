@@ -1,0 +1,133 @@
+"""Tests for timer specs and clock ensembles (repro.clocks.factory)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clocks.factory import TIMER_TECHNOLOGIES, ClockEnsemble, TimerSpec, timer_spec
+from repro.clocks.drift import ConstantDrift
+from repro.cluster.machines import itanium_node, xeon_cluster
+from repro.cluster.topology import Location
+from repro.errors import ConfigurationError
+from repro.rng import RngFabric
+
+
+class TestTimerSpec:
+    def test_all_technologies_have_specs(self):
+        for tech in TIMER_TECHNOLOGIES:
+            spec = timer_spec(tech)
+            assert spec.name == tech
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            timer_spec("sundial")
+
+    def test_scopes(self):
+        assert timer_spec("tsc").scope == "chip"
+        assert timer_spec("timebase").scope == "chip"
+        assert timer_spec("gettimeofday").scope == "node"
+        assert timer_spec("mpi_wtime").scope == "node"
+        assert timer_spec("global").scope == "global"
+
+    def test_opteron_gettimeofday_differs_from_xeon(self):
+        xeon = timer_spec("gettimeofday", "xeon")
+        opteron = timer_spec("gettimeofday", "opteron")
+        assert xeon.drift_builder is not opteron.drift_builder
+
+    def test_itanium_tsc_has_large_chip_offsets(self):
+        generic = timer_spec("tsc", "xeon")
+        itan = timer_spec("tsc", "itanium")
+        assert itan.chip_offset_spread > generic.chip_offset_spread
+        assert itan.chip_rate_spread > 0.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimerSpec(name="x", scope="rack", resolution=0, read_overhead=0, read_jitter=0)
+        with pytest.raises(ConfigurationError):
+            TimerSpec(name="x", scope="chip", resolution=0, read_overhead=0, read_jitter=0)
+
+
+class TestClockEnsemble:
+    def setup_method(self):
+        self.preset = xeon_cluster()
+        self.fabric = RngFabric(42)
+
+    def ensemble(self, tech="tsc", duration=100.0):
+        return ClockEnsemble(
+            self.preset.machine, timer_spec(tech, self.preset.kind), self.fabric, duration
+        )
+
+    def test_same_chip_shares_clock_instance(self):
+        ens = self.ensemble("tsc")
+        a = ens.clock_for(Location(0, 0, 0))
+        b = ens.clock_for(Location(0, 0, 3))
+        assert a is b
+
+    def test_different_chips_distinct_clocks(self):
+        ens = self.ensemble("tsc")
+        a = ens.clock_for(Location(0, 0, 0))
+        b = ens.clock_for(Location(0, 1, 0))
+        assert a is not b
+
+    def test_node_scope_shares_across_chips(self):
+        ens = self.ensemble("gettimeofday")
+        a = ens.clock_for(Location(2, 0, 0))
+        b = ens.clock_for(Location(2, 1, 3))
+        assert a is b
+
+    def test_global_scope_single_clock(self):
+        ens = self.ensemble("global")
+        a = ens.clock_for(Location(0, 0, 0))
+        b = ens.clock_for(Location(50, 1, 2))
+        assert a is b
+        assert isinstance(a.drift, ConstantDrift)
+        assert a.drift.rate == 0.0
+
+    def test_same_node_chips_share_oscillator(self):
+        """Chips of one node share the board oscillator: their relative
+        deviation stays sub-0.1 us over a run (paper's intra-node
+        finding), while different nodes diverge at ppm rates."""
+        ens = self.ensemble("tsc", duration=600.0)
+        t = np.linspace(0, 600, 100)
+        c00 = ens.clock_for(Location(0, 0, 0)).drift
+        c01 = ens.clock_for(Location(0, 1, 0)).drift
+        c10 = ens.clock_for(Location(1, 0, 0)).drift
+        intra = np.asarray(c00.offset_at(t)) - np.asarray(c01.offset_at(t))
+        inter = np.asarray(c00.offset_at(t)) - np.asarray(c10.offset_at(t))
+        assert np.abs(intra - intra[0]).max() < 1e-7  # constant apart from offset
+        assert np.abs(inter).max() > 1e-5  # nodes really diverge
+
+    def test_deterministic_across_ensembles(self):
+        e1 = ClockEnsemble(self.preset.machine, timer_spec("tsc"), RngFabric(7), 100.0)
+        e2 = ClockEnsemble(self.preset.machine, timer_spec("tsc"), RngFabric(7), 100.0)
+        t = np.linspace(0, 100, 20)
+        a = np.asarray(e1.clock_for(Location(3, 1, 0)).drift.offset_at(t))
+        b = np.asarray(e2.clock_for(Location(3, 1, 0)).drift.offset_at(t))
+        np.testing.assert_array_equal(a, b)
+
+    def test_build_order_irrelevant(self):
+        e1 = ClockEnsemble(self.preset.machine, timer_spec("tsc"), RngFabric(7), 100.0)
+        e2 = ClockEnsemble(self.preset.machine, timer_spec("tsc"), RngFabric(7), 100.0)
+        # Touch clocks in different orders; streams are named, not positional.
+        e1.clock_for(Location(0, 0, 0))
+        a = e1.clock_for(Location(5, 1, 0)).drift.offset_at(50.0)
+        b = e2.clock_for(Location(5, 1, 0)).drift.offset_at(50.0)
+        assert a == b
+
+    def test_validates_location(self):
+        ens = self.ensemble()
+        with pytest.raises(ConfigurationError):
+            ens.clock_for(Location(99, 0, 0))
+
+    def test_itanium_interchip_offsets_are_submicrosecond_but_nonzero(self):
+        preset = itanium_node()
+        ens = ClockEnsemble(
+            preset.machine, timer_spec("tsc", preset.kind), RngFabric(3), 60.0
+        )
+        offs = []
+        for chip in range(4):
+            d = ens.clock_for(Location(0, chip, 0)).drift
+            offs.append(float(np.asarray(d.offset_at(0.0))))
+        spread = max(offs) - min(offs)
+        assert 0.0 < spread < 2e-6

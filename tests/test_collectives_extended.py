@@ -1,0 +1,171 @@
+"""Tests for scan, reduce_scatter, nonblocking ops, and barrier waits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.waitstates import barrier_waits
+from repro.cluster import inter_node, xeon_cluster
+from repro.mpi import MpiWorld
+from repro.sync.collectives_map import logical_messages
+from repro.sync.order import build_dependencies
+from repro.tracing.events import CollectiveOp, EventType
+
+
+def run(worker, nprocs=5, tracing=False, timer="global", seed=0):
+    preset = xeon_cluster()
+    world = MpiWorld(
+        preset, inter_node(preset.machine, nprocs), timer=timer, seed=seed,
+        duration_hint=10.0,
+    )
+    return world.run(worker, tracing=tracing, measure_offsets=False)
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+class TestScan:
+    def test_inclusive_prefix(self, nprocs):
+        def worker(ctx):
+            return (yield from ctx.scan(value=ctx.rank + 1))
+
+        res = run(worker, nprocs)
+        for r in range(nprocs):
+            assert res.results[r] == sum(range(1, r + 2))
+
+    def test_noncommutative_op_ordering(self, nprocs):
+        def worker(ctx):
+            return (yield from ctx.scan(value=str(ctx.rank), op=lambda a, b: a + b))
+
+        res = run(worker, nprocs)
+        for r in range(nprocs):
+            assert res.results[r] == "".join(str(i) for i in range(r + 1))
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+class TestReduceScatter:
+    def test_chunk_reduction(self, nprocs):
+        def worker(ctx):
+            values = {d: (ctx.rank + 1) * (d + 1) for d in range(ctx.size)}
+            return (yield from ctx.reduce_scatter(values=values))
+
+        res = run(worker, nprocs)
+        total = sum(range(1, nprocs + 1))
+        for r in range(nprocs):
+            assert res.results[r] == total * (r + 1)
+
+
+class TestScanSemantics:
+    def traced_scan(self):
+        def worker(ctx):
+            yield from ctx.compute(1e-5 * (ctx.size - ctx.rank))  # staggered
+            yield from ctx.scan(value=1)
+            return None
+
+        return run(worker, nprocs=4, tracing=True).trace
+
+    def test_prefix_logical_messages(self):
+        trace = self.traced_scan()
+        logical = logical_messages(trace.collectives())
+        # One logical message per member with a lower-rank predecessor.
+        assert len(logical) == 3
+        for m in logical:
+            assert m.src < m.dst  # constraint flows up-rank only
+
+    def test_prefix_dependencies(self):
+        trace = self.traced_scan()
+        deps = build_dependencies(trace)
+        rec = trace.collectives()[0]
+        # Rank 0's exit has no remote deps; rank 3's depends on 0,1,2.
+        assert (0, int(rec.exit_idx[0])) not in deps
+        sources = deps[(3, int(rec.exit_idx[3]))]
+        assert {r for r, _ in sources} == {0, 1, 2}
+
+    def test_true_time_prefix_condition_holds(self):
+        trace = self.traced_scan()
+        rec = trace.collectives()[0]
+        for i in range(1, 4):
+            assert rec.exit_ts[i] >= rec.enter_ts[:i].max()
+
+    def test_flavor_assignment(self):
+        from repro.tracing.events import COLLECTIVE_FLAVORS, CollectiveFlavor
+
+        assert COLLECTIVE_FLAVORS[CollectiveOp.SCAN] is CollectiveFlavor.PREFIX
+        assert (
+            COLLECTIVE_FLAVORS[CollectiveOp.REDUCE_SCATTER] is CollectiveFlavor.N_TO_N
+        )
+
+
+class TestNonblocking:
+    def test_ring_exchange(self):
+        def worker(ctx):
+            right = (ctx.rank + 1) % ctx.size
+            left = (ctx.rank - 1) % ctx.size
+            req = ctx.irecv(src=left, tag=3)
+            yield from ctx.isend(right, tag=3, payload=ctx.rank)
+            msg = yield from ctx.wait(req)
+            return msg.payload
+
+        res = run(worker, nprocs=6)
+        assert res.results == {r: (r - 1) % 6 for r in range(6)}
+
+    def test_waitall_order(self):
+        def worker(ctx):
+            if ctx.rank == 0:
+                reqs = [ctx.irecv(src=1, tag=t) for t in (1, 2, 3)]
+                msgs = yield from ctx.waitall(reqs)
+                return [m.payload for m in msgs]
+            if ctx.rank == 1:
+                for t in (1, 2, 3):
+                    yield from ctx.isend(0, tag=t, payload=t * 10)
+            return None
+
+        res = run(worker, nprocs=2)
+        assert res.results[0] == [10, 20, 30]
+
+    def test_traced_nonblocking_records_events(self):
+        def worker(ctx):
+            peer = 1 - ctx.rank
+            req = ctx.irecv(src=peer, tag=1)
+            yield from ctx.isend(peer, tag=1)
+            yield from ctx.wait(req)
+            return None
+
+        res = run(worker, nprocs=2, tracing=True)
+        msgs = res.trace.messages()
+        assert len(msgs) == 2
+
+
+class TestBarrierWaits:
+    def test_attributes_wait_to_early_arrivers(self):
+        def worker(ctx):
+            yield from ctx.compute(1e-4 * (ctx.rank + 1))  # rank 3 last
+            yield from ctx.barrier()
+            return None
+
+        res = run(worker, nprocs=4, tracing=True)
+        report = barrier_waits(res.trace)
+        assert len(report) == 4
+        by_rank = report.by_rank()
+        # Rank 0 arrived first: biggest wait; last arriver ~0.
+        assert by_rank[0] == max(by_rank.values())
+        assert by_rank.get(3, 0.0) == min(by_rank.get(r, 0.0) for r in range(4))
+        assert report.total == pytest.approx(
+            (3 + 2 + 1) * 1e-4, rel=0.1
+        )
+
+    def test_clock_errors_shift_attribution(self):
+        """With skewed clocks the apparently-last arriver can change —
+        the 'false conclusion' in collective wait analysis."""
+
+        def worker(ctx):
+            yield from ctx.barrier()  # simultaneous arrival in truth
+            return None
+
+        truth = barrier_waits(run(worker, nprocs=4, tracing=True).trace)
+        skewed = barrier_waits(
+            run(worker, nprocs=4, tracing=True, timer="mpi_wtime", seed=3).trace
+        )
+        # Truth: waits ~ 0 (everyone arrives together, us-scale spread).
+        assert truth.total < 5e-5
+        # Skewed clocks manufacture fake waits out of clock offsets.
+        assert skewed.total > truth.total

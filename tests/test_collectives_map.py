@@ -1,0 +1,115 @@
+"""Tests for collective -> logical message mapping (repro.sync.collectives_map)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sync.collectives_map import logical_messages
+from repro.tracing.events import CollectiveOp, EventLog, EventType
+from repro.tracing.trace import Trace
+
+
+def collective_trace(op, root, enter, exit_):
+    logs = {}
+    for rank, (e, x) in enumerate(zip(enter, exit_)):
+        log = EventLog()
+        log.append(e, EventType.COLL_ENTER, int(op), root, len(enter), 0)
+        log.append(x, EventType.COLL_EXIT, int(op), root, len(enter), 0)
+        logs[rank] = log
+    return Trace(logs)
+
+
+class TestOneToN:
+    def test_bcast_messages(self):
+        trace = collective_trace(
+            CollectiveOp.BCAST, root=1, enter=[1.0, 0.9, 1.1], exit_=[2.0, 2.1, 2.2]
+        )
+        msgs = logical_messages(trace.collectives())
+        assert len(msgs) == 2
+        assert set(msgs.src) == {1}
+        assert set(msgs.dst) == {0, 2}
+        # Send side is the root's enter.
+        np.testing.assert_allclose(msgs.send_ts, [0.9, 0.9])
+        # Receive side is each destination's exit.
+        assert set(np.round(msgs.recv_ts, 6)) == {2.0, 2.2}
+
+
+class TestNToOne:
+    def test_reduce_messages(self):
+        trace = collective_trace(
+            CollectiveOp.REDUCE, root=0, enter=[1.0, 1.2, 1.4], exit_=[2.0, 1.9, 1.8]
+        )
+        msgs = logical_messages(trace.collectives())
+        assert len(msgs) == 2
+        assert set(msgs.dst) == {0}
+        assert set(msgs.src) == {1, 2}
+        np.testing.assert_allclose(sorted(msgs.send_ts), [1.2, 1.4])
+        np.testing.assert_allclose(msgs.recv_ts, [2.0, 2.0])
+
+
+class TestNToN:
+    def test_one_message_per_member(self):
+        trace = collective_trace(
+            CollectiveOp.ALLREDUCE, root=0, enter=[1.0, 1.5, 1.2], exit_=[2.0, 2.1, 2.2]
+        )
+        msgs = logical_messages(trace.collectives())
+        assert len(msgs) == 3
+
+    def test_binding_sender_is_latest_other_enter(self):
+        trace = collective_trace(
+            CollectiveOp.BARRIER, root=0, enter=[1.0, 9.0, 1.2], exit_=[10.0, 10.1, 10.2]
+        )
+        msgs = logical_messages(trace.collectives())
+        for i in range(len(msgs)):
+            m = msgs.row(i)
+            if m.dst == 1:
+                # Rank 1 is the latest enterer; its binding sender is the
+                # latest of the *others* (rank 2 at 1.2).
+                assert m.src == 2
+                assert m.send_ts == pytest.approx(1.2)
+            else:
+                assert m.src == 1
+                assert m.send_ts == pytest.approx(9.0)
+
+    def test_equivalence_with_full_pairwise_check(self):
+        """The per-member binding message detects a violation iff the
+        full n*(n-1) pairwise expansion does."""
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            n = int(rng.integers(2, 6))
+            enter = rng.uniform(0, 10, n)
+            exit_ = rng.uniform(0, 10, n)
+            trace = collective_trace(CollectiveOp.BARRIER, 0, enter.tolist(), exit_.tolist())
+            msgs = logical_messages(trace.collectives())
+            compact = bool(np.any(msgs.recv_ts < msgs.send_ts))
+            full = any(
+                exit_[i] < enter[j]
+                for i in range(n)
+                for j in range(n)
+                if i != j
+            )
+            assert compact == full
+
+
+class TestEdgeCases:
+    def test_single_member_collective_ignored(self):
+        trace = collective_trace(CollectiveOp.BARRIER, root=0, enter=[1.0], exit_=[2.0])
+        assert len(logical_messages(trace.collectives())) == 0
+
+    def test_empty_table(self):
+        log = EventLog()
+        log.append(1.0, EventType.ENTER, a=1)
+        trace = Trace({0: log})
+        assert len(logical_messages(trace.collectives())) == 0
+
+    def test_indices_point_at_collective_events(self):
+        trace = collective_trace(
+            CollectiveOp.BCAST, root=0, enter=[1.0, 1.1], exit_=[2.0, 2.1]
+        )
+        msgs = logical_messages(trace.collectives())
+        m = msgs.row(0)
+        send_ev = trace.logs[m.src][m.send_idx]
+        recv_ev = trace.logs[m.dst][m.recv_idx]
+        assert send_ev.etype == EventType.COLL_ENTER
+        assert recv_ev.etype == EventType.COLL_EXIT

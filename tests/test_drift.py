@@ -1,0 +1,229 @@
+"""Tests for drift models (repro.clocks.drift)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.drift import (
+    CompositeDrift,
+    ConstantDrift,
+    DriftModel,
+    LinearRampDrift,
+    PiecewiseConstantDrift,
+    RandomWalkDrift,
+    SinusoidalDrift,
+)
+from repro.errors import ConfigurationError
+
+finite_times = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+class TestConstantDrift:
+    def test_offset_formula(self):
+        d = ConstantDrift(rate=2e-6, initial_offset=0.5)
+        assert d.offset_at(0.0) == pytest.approx(0.5)
+        assert d.offset_at(1000.0) == pytest.approx(0.5 + 2e-3)
+
+    def test_rate_is_constant(self):
+        d = ConstantDrift(rate=3e-6)
+        assert d.rate_at(0.0) == pytest.approx(3e-6)
+        assert d.rate_at(9999.0) == pytest.approx(3e-6)
+
+    def test_vectorized_matches_scalar(self):
+        d = ConstantDrift(rate=1e-6, initial_offset=-0.1)
+        t = np.array([0.0, 10.0, 500.0])
+        np.testing.assert_allclose(d.offset_at(t), [d.offset_at(x) for x in t])
+
+    def test_scalar_in_scalar_out(self):
+        d = ConstantDrift(rate=1e-6)
+        assert isinstance(d.offset_at(5.0), float)
+        assert isinstance(d.offset_at(np.array([5.0])), np.ndarray)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ConstantDrift(0.0), DriftModel)
+
+
+class TestLinearRampDrift:
+    def test_quadratic_offset(self):
+        d = LinearRampDrift(rate0=1e-6, accel=2e-9, initial_offset=1.0)
+        t = 100.0
+        expected = 1.0 + 1e-6 * t + 0.5 * 2e-9 * t * t
+        assert d.offset_at(t) == pytest.approx(expected)
+
+    def test_rate_ramps(self):
+        d = LinearRampDrift(rate0=1e-6, accel=1e-9)
+        assert d.rate_at(0.0) == pytest.approx(1e-6)
+        assert d.rate_at(1000.0) == pytest.approx(1e-6 + 1e-6)
+
+    def test_rate_is_derivative_of_offset(self):
+        d = LinearRampDrift(rate0=5e-7, accel=3e-10)
+        t, h = 250.0, 1e-3
+        numeric = (d.offset_at(t + h) - d.offset_at(t - h)) / (2 * h)
+        assert numeric == pytest.approx(d.rate_at(t), rel=1e-6)
+
+
+class TestPiecewiseConstantDrift:
+    def test_offset_continuous_at_breakpoints(self):
+        d = PiecewiseConstantDrift([0.0, 10.0, 20.0], [1e-6, -2e-6, 5e-7])
+        eps = 1e-9
+        for bp in (10.0, 20.0):
+            before = d.offset_at(bp - eps)
+            after = d.offset_at(bp + eps)
+            assert after == pytest.approx(before, abs=1e-11)
+
+    def test_segment_rates(self):
+        d = PiecewiseConstantDrift([0.0, 10.0], [1e-6, 2e-6])
+        assert d.rate_at(5.0) == pytest.approx(1e-6)
+        assert d.rate_at(15.0) == pytest.approx(2e-6)
+        # Extended leftward and rightward.
+        assert d.rate_at(-5.0) == pytest.approx(1e-6)
+        assert d.rate_at(100.0) == pytest.approx(2e-6)
+
+    def test_cumulative_offsets(self):
+        d = PiecewiseConstantDrift([0.0, 10.0], [1e-6, 2e-6], initial_offset=1.0)
+        # After 10 s at 1 ppm plus 5 s at 2 ppm.
+        assert d.offset_at(15.0) == pytest.approx(1.0 + 10e-6 + 10e-6)
+
+    def test_single_segment(self):
+        d = PiecewiseConstantDrift([0.0], [3e-6])
+        assert d.offset_at(100.0) == pytest.approx(3e-4)
+
+    def test_vectorized_matches_scalar(self):
+        d = PiecewiseConstantDrift([0.0, 7.0, 33.0], [1e-6, -1e-6, 4e-6], initial_offset=0.2)
+        t = np.array([-1.0, 0.0, 3.5, 7.0, 20.0, 33.0, 50.0])
+        np.testing.assert_allclose(d.offset_at(t), [d.offset_at(x) for x in t])
+
+    def test_rejects_non_increasing_breakpoints(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseConstantDrift([0.0, 5.0, 5.0], [1e-6, 1e-6, 1e-6])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseConstantDrift([0.0, 5.0], [1e-6])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseConstantDrift([], [])
+
+
+class TestSinusoidalDrift:
+    def test_zero_offset_at_origin(self):
+        d = SinusoidalDrift(amplitude=1e-8, period=600.0, phase_time=123.0)
+        assert d.offset_at(0.0) == pytest.approx(0.0, abs=1e-18)
+
+    def test_periodicity_of_rate(self):
+        d = SinusoidalDrift(amplitude=1e-8, period=600.0)
+        assert d.rate_at(50.0) == pytest.approx(d.rate_at(650.0), abs=1e-16)
+
+    def test_rate_is_derivative_of_offset(self):
+        d = SinusoidalDrift(amplitude=2e-8, period=900.0, phase_time=100.0)
+        t, h = 333.0, 1e-3
+        numeric = (d.offset_at(t + h) - d.offset_at(t - h)) / (2 * h)
+        assert numeric == pytest.approx(d.rate_at(t), rel=1e-5, abs=1e-14)
+
+    def test_offset_bounded_by_amplitude_scale(self):
+        amp, period = 1e-8, 600.0
+        d = SinusoidalDrift(amplitude=amp, period=period)
+        t = np.linspace(0, 10 * period, 2000)
+        bound = 2 * amp * period / (2 * np.pi)
+        assert np.all(np.abs(d.offset_at(t)) <= bound + 1e-15)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidalDrift(amplitude=1e-8, period=0.0)
+
+
+class TestRandomWalkDrift:
+    def test_deterministic_given_rng(self, fabric):
+        d1 = RandomWalkDrift(fabric.generator("w"), sigma=1e-9, step=5.0, duration=100.0)
+        d2 = RandomWalkDrift(fabric.generator("w"), sigma=1e-9, step=5.0, duration=100.0)
+        t = np.linspace(0, 150, 50)
+        np.testing.assert_array_equal(d1.offset_at(t), d2.offset_at(t))
+
+    def test_starts_at_rate0(self, rng):
+        d = RandomWalkDrift(rng, sigma=1e-9, step=10.0, duration=100.0, rate0=5e-6)
+        assert d.rate_at(0.0) == pytest.approx(5e-6)
+
+    def test_extends_last_rate_beyond_duration(self, rng):
+        d = RandomWalkDrift(rng, sigma=1e-9, step=10.0, duration=50.0)
+        assert d.rate_at(1e6) == pytest.approx(d.rate_at(49.9))
+
+    def test_wander_magnitude_scales_with_sigma(self, fabric):
+        t = np.linspace(0, 1000, 200)
+        small = RandomWalkDrift(fabric.generator("a"), sigma=1e-10, step=10.0, duration=1000.0)
+        large = RandomWalkDrift(fabric.generator("a"), sigma=1e-7, step=10.0, duration=1000.0)
+        assert np.abs(large.offset_at(t)).max() > np.abs(small.offset_at(t)).max()
+
+    def test_rejects_bad_step(self, rng):
+        with pytest.raises(ConfigurationError):
+            RandomWalkDrift(rng, sigma=1e-9, step=0.0, duration=10.0)
+
+
+class TestCompositeDrift:
+    def test_sums_offsets(self):
+        a = ConstantDrift(rate=1e-6, initial_offset=0.1)
+        b = ConstantDrift(rate=2e-6, initial_offset=-0.3)
+        c = CompositeDrift([a, b])
+        t = 500.0
+        assert c.offset_at(t) == pytest.approx(a.offset_at(t) + b.offset_at(t))
+        assert c.rate_at(t) == pytest.approx(3e-6)
+
+    def test_vectorized(self):
+        c = CompositeDrift([ConstantDrift(1e-6), SinusoidalDrift(1e-8, 600.0)])
+        t = np.linspace(0, 1000, 11)
+        np.testing.assert_allclose(c.offset_at(t), [c.offset_at(x) for x in t])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CompositeDrift([])
+
+
+class TestDriftProperties:
+    """Property-based invariants shared by all drift models."""
+
+    @given(
+        rate=st.floats(min_value=-1e-4, max_value=1e-4),
+        offset=st.floats(min_value=-10, max_value=10),
+        t=finite_times,
+    )
+    def test_constant_drift_linearity(self, rate, offset, t):
+        d = ConstantDrift(rate=rate, initial_offset=offset)
+        assert d.offset_at(2 * t) - d.offset_at(t) == pytest.approx(
+            d.offset_at(t) - d.offset_at(0.0), abs=1e-9
+        )
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=1000), finite_times)
+    def test_piecewise_offset_consistent_with_rate_integral(self, seed, t):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 8))
+        bps = np.sort(rng.uniform(0, 100, size=n))
+        bps[0] = 0.0
+        if n > 1 and np.any(np.diff(bps) <= 0):
+            bps = np.arange(n, dtype=float) * 10.0
+        rates = rng.uniform(-1e-5, 1e-5, size=n)
+        d = PiecewiseConstantDrift(bps, rates)
+        # Numerically integrate the rate and compare to offset_at.  The
+        # trapezoid rule smears each rate discontinuity over one grid
+        # cell, so allow that much absolute error per breakpoint.
+        grid = np.linspace(0.0, max(t, 1.0), 20001)
+        dx = grid[1] - grid[0]
+        integral = np.trapezoid(d.rate_at(grid), grid)
+        tol = 1e-5 * dx * (n + 1) + 1e-9
+        assert d.offset_at(grid[-1]) - d.offset_at(0.0) == pytest.approx(
+            integral, abs=tol
+        )
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_clock_function_monotone_for_small_rates(self, seed):
+        # A clock c(t) = t + offset(t) must be increasing whenever
+        # |rate| < 1; all our physical models are ppm-scale.
+        rng = np.random.default_rng(seed)
+        d = RandomWalkDrift(rng, sigma=1e-8, step=5.0, duration=200.0)
+        t = np.linspace(0, 300, 500)
+        c = t + d.offset_at(t)
+        assert np.all(np.diff(c) > 0)

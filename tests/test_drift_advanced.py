@@ -1,0 +1,124 @@
+"""Tests for the OU drift model and the DVFS cycle counter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clocks.cycle import DvfsParams, build_cycle_counter_drift
+from repro.clocks.drift import OrnsteinUhlenbeckDrift, RandomWalkDrift
+from repro.errors import ConfigurationError
+
+
+class TestOrnsteinUhlenbeck:
+    def test_deterministic_given_rng(self, fabric):
+        a = OrnsteinUhlenbeckDrift(fabric.generator("ou"), sigma=1e-8, duration=200.0)
+        b = OrnsteinUhlenbeckDrift(fabric.generator("ou"), sigma=1e-8, duration=200.0)
+        t = np.linspace(0, 200, 100)
+        np.testing.assert_array_equal(a.offset_at(t), b.offset_at(t))
+
+    def test_rate_is_stationary(self, fabric):
+        """The rate's running std stays near sigma (no growth) — unlike
+        the random walk whose rate variance grows linearly in time."""
+        sigma = 2e-8
+        rates = []
+        for k in range(40):
+            d = OrnsteinUhlenbeckDrift(
+                fabric.generator("ou", k), sigma=sigma, tau=60.0, step=5.0, duration=2000.0
+            )
+            rates.append(d.rate_at(np.array([100.0, 1000.0, 1900.0])))
+        rates = np.array(rates)
+        early = rates[:, 0].std()
+        late = rates[:, 2].std()
+        assert early == pytest.approx(sigma, rel=0.5)
+        assert late == pytest.approx(sigma, rel=0.5)
+
+    def test_offset_scales_like_sqrt_t(self, fabric):
+        """Integrated OU fluctuation ~ sqrt(T) for T >> tau; the random
+        walk's grows ~ T^1.5.  Compare the growth *ratios* between a
+        short and a 16x longer horizon."""
+        def spread(model_factory, T):
+            finals = []
+            for k in range(30):
+                d = model_factory(fabric.generator("scale", k))
+                finals.append(float(np.asarray(d.offset_at(T))))
+            return np.std(finals)
+
+        sigma = 1e-8
+        ou = lambda rng: OrnsteinUhlenbeckDrift(rng, sigma=sigma, tau=30.0, step=5.0,
+                                                duration=4000.0)
+        walk = lambda rng: RandomWalkDrift(rng, sigma=sigma, step=5.0, duration=4000.0)
+        t_short, t_long = 250.0, 4000.0
+        ou_ratio = spread(ou, t_long) / spread(ou, t_short)
+        walk_ratio = spread(walk, t_long) / spread(walk, t_short)
+        # sqrt(16) = 4 vs 16^1.5 = 64; allow generous statistical slack.
+        assert ou_ratio < 12
+        assert walk_ratio > 20
+        assert walk_ratio > 2 * ou_ratio
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            OrnsteinUhlenbeckDrift(rng, sigma=1e-8, tau=0.0)
+        with pytest.raises(ConfigurationError):
+            OrnsteinUhlenbeckDrift(rng, sigma=1e-8, step=-1.0)
+
+
+class TestDvfsCycleCounter:
+    def test_rates_match_frequency_levels(self, rng):
+        params = DvfsParams(nominal_ghz=3.0, levels_ghz=(3.0, 2.0),
+                            level_weights=(0.5, 0.5), mean_dwell=10.0)
+        d = build_cycle_counter_drift(params, rng, duration=500.0,
+                                      base_rate_spread=0.0, initial_offset_spread=0.0)
+        t = np.linspace(0, 500, 5000)
+        rates = np.asarray(d.rate_at(t))
+        # Rate is either 0 (nominal) or -1/3 (2.0 GHz on a 3.0 nominal).
+        expected = {0.0, 2.0 / 3.0 - 1.0}
+        observed = set(np.round(rates, 9))
+        assert observed <= {round(e, 9) for e in expected}
+        assert len(observed) == 2  # both levels actually occur
+
+    def test_huge_rate_errors(self, rng):
+        """Section II: cycle counters are 'only useful to compare events
+        happening on the same CPU chip' — drift reaches 10^5 ppm."""
+        d = build_cycle_counter_drift(DvfsParams(), rng, duration=300.0)
+        t = np.linspace(0, 300, 1000)
+        rates = np.abs(np.asarray(d.rate_at(t)))
+        assert rates.max() > 1e-2  # > 10,000 ppm
+
+    def test_dwell_time_scale(self, fabric):
+        params = DvfsParams(mean_dwell=5.0)
+        d = build_cycle_counter_drift(
+            params, fabric.generator("dvfs"), duration=1000.0,
+            base_rate_spread=0.0, initial_offset_spread=0.0,
+        )
+        t = np.linspace(0, 1000, 20000)
+        rates = np.asarray(d.rate_at(t))
+        switches = np.count_nonzero(np.diff(rates) != 0)
+        # ~1000/5 = 200 dwell periods; some switches keep the same level.
+        assert 50 < switches < 400
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DvfsParams(nominal_ghz=0.0)
+        with pytest.raises(ConfigurationError):
+            DvfsParams(levels_ghz=(3.0,), level_weights=(0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            DvfsParams(mean_dwell=0.0)
+
+    def test_cycle_timer_in_ensemble(self, fabric):
+        """The 'cycle' technology plugs into the standard ensemble and
+        produces far worse inter-node deviations than the TSC."""
+        from repro.clocks.factory import ClockEnsemble, timer_spec
+        from repro.cluster.machines import xeon_cluster
+        from repro.cluster.topology import Location
+
+        machine = xeon_cluster().machine
+        t = np.linspace(0, 200, 50)
+        devs = {}
+        for tech in ("cycle", "tsc"):
+            ens = ClockEnsemble(machine, timer_spec(tech), fabric, 300.0)
+            a = np.asarray(ens.clock_for(Location(0, 0, 0)).drift.offset_at(t))
+            b = np.asarray(ens.clock_for(Location(1, 0, 0)).drift.offset_at(t))
+            rel = (a - b) - (a[0] - b[0])
+            devs[tech] = np.abs(rel).max()
+        assert devs["cycle"] > 100 * devs["tsc"]

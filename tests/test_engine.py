@@ -1,0 +1,398 @@
+"""Tests for the discrete-event engine (repro.sim.engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clocks.base import Clock
+from repro.clocks.drift import ConstantDrift
+from repro.cluster.network import HierarchicalLatency, LatencySample
+from repro.cluster.topology import Location
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine, Transport
+from repro.sim.primitives import ANY_SOURCE, ANY_TAG, Compute, Message, ReadClock, Recv, Send
+from repro.units import USEC
+
+
+def make_transport(rng=None, jitter=0.0):
+    lat = HierarchicalLatency(
+        inter_node=LatencySample(base=4.0 * USEC, bandwidth=1e9, jitter=jitter),
+        same_node=LatencySample(base=1.0 * USEC, bandwidth=2e9, jitter=jitter),
+        same_chip=LatencySample(base=0.5 * USEC, bandwidth=4e9, jitter=jitter),
+    )
+    return Transport(
+        lat,
+        rng or np.random.default_rng(0),
+        send_overhead=0.1 * USEC,
+        recv_overhead=0.1 * USEC,
+    )
+
+
+def perfect_clock():
+    return Clock(ConstantDrift(0.0))
+
+
+def add(engine, rank, gen, node=None):
+    engine.add_process(rank, gen, Location(node if node is not None else rank, 0, 0), perfect_clock())
+
+
+class TestCompute:
+    def test_advances_time(self):
+        eng = Engine()
+
+        def proc():
+            yield Compute(1.5)
+            yield Compute(0.5)
+            return "done"
+
+        eng.add_process(0, proc(), Location(0, 0, 0), perfect_clock())
+        final = eng.run()
+        assert final == pytest.approx(2.0)
+        assert eng.result_of(0) == "done"
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+    def test_processes_interleave(self):
+        eng = Engine()
+        order = []
+
+        def proc(name, step):
+            for i in range(3):
+                yield Compute(step)
+                order.append((name, i))
+
+        eng.add_process(0, proc("a", 1.0), Location(0, 0, 0), perfect_clock())
+        eng.add_process(1, proc("b", 0.4), Location(1, 0, 0), perfect_clock())
+        eng.run()
+        assert order == [("b", 0), ("b", 1), ("a", 0), ("b", 2), ("a", 1), ("a", 2)]
+
+
+class TestSendRecv:
+    def test_basic_delivery(self):
+        eng = Engine(make_transport())
+        got = {}
+
+        def sender():
+            yield Compute(1.0)
+            mid = yield Send(dst=1, tag=7, nbytes=100, payload="hello")
+            got["send_mid"] = mid
+
+        def receiver():
+            msg = yield Recv(src=0, tag=7)
+            got["msg"] = msg
+
+        add(eng, 0, sender())
+        add(eng, 1, receiver())
+        eng.run()
+        msg = got["msg"]
+        assert msg.payload == "hello"
+        assert msg.src == 0 and msg.tag == 7
+        assert msg.match_id == got["send_mid"]
+        # Inter-node floor 4 us + 100 B / 1 GB/s.
+        assert msg.delivered_at == pytest.approx(1.0 + 4.1e-6)
+        assert msg.sent_at == pytest.approx(1.0)
+
+    def test_recv_posted_before_send(self):
+        eng = Engine(make_transport())
+        got = {}
+
+        def sender():
+            yield Compute(2.0)
+            yield Send(dst=1, tag=0)
+
+        def receiver():
+            msg = yield Recv(src=0)
+            got["t"] = eng.now
+
+        add(eng, 0, sender())
+        add(eng, 1, receiver())
+        eng.run()
+        assert got["t"] >= 2.0 + 4.0e-6
+
+    def test_wildcard_source_and_tag(self):
+        eng = Engine(make_transport())
+        seen = []
+
+        def sender(rank, delay):
+            yield Compute(delay)
+            yield Send(dst=2, tag=rank * 10)
+
+        def receiver():
+            for _ in range(2):
+                msg = yield Recv(src=ANY_SOURCE, tag=ANY_TAG)
+                seen.append(msg.src)
+
+        add(eng, 0, sender(0, 1.0))
+        add(eng, 1, sender(1, 0.5))
+        add(eng, 2, receiver())
+        eng.run()
+        assert seen == [1, 0]  # arrival order
+
+    def test_tag_selective_matching(self):
+        eng = Engine(make_transport())
+        seen = []
+
+        def sender():
+            yield Send(dst=1, tag=1, payload="first")
+            yield Send(dst=1, tag=2, payload="second")
+
+        def receiver():
+            msg = yield Recv(src=0, tag=2)
+            seen.append(msg.payload)
+            msg = yield Recv(src=0, tag=1)
+            seen.append(msg.payload)
+
+        add(eng, 0, sender())
+        add(eng, 1, receiver())
+        eng.run()
+        assert seen == ["second", "first"]
+
+    def test_non_overtaking_same_pair(self):
+        # Even with large latency noise, two messages on the same
+        # (src, dst) must deliver in send order.
+        rng = np.random.default_rng(42)
+        eng = Engine(make_transport(rng=rng, jitter=5.0 * USEC))
+        payloads = []
+
+        def sender():
+            for i in range(20):
+                yield Send(dst=1, tag=0, payload=i)
+
+        def receiver():
+            for _ in range(20):
+                msg = yield Recv(src=0, tag=0)
+                payloads.append(msg.payload)
+
+        add(eng, 0, sender())
+        add(eng, 1, receiver())
+        eng.run()
+        assert payloads == list(range(20))
+
+    def test_causality_never_violated_in_true_time(self):
+        rng = np.random.default_rng(7)
+        eng = Engine(make_transport(rng=rng, jitter=2.0 * USEC))
+        msgs = []
+
+        def sender():
+            for i in range(50):
+                yield Compute(1e-5)
+                yield Send(dst=1, tag=0)
+
+        def receiver():
+            for _ in range(50):
+                msg = yield Recv(src=0)
+                msgs.append(msg)
+
+        add(eng, 0, sender())
+        add(eng, 1, receiver())
+        eng.run()
+        floor = 4.0e-6
+        for m in msgs:
+            assert m.delivered_at >= m.sent_at + floor - 1e-15
+
+    def test_send_to_unknown_rank(self):
+        eng = Engine(make_transport())
+
+        def proc():
+            yield Send(dst=99)
+
+        add(eng, 0, proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+
+class TestReadClock:
+    def test_returns_clock_value(self):
+        eng = Engine()
+        values = []
+
+        def proc():
+            yield Compute(10.0)
+            v = yield ReadClock()
+            values.append(v)
+
+        clock = Clock(ConstantDrift(rate=1e-6, initial_offset=0.5), read_overhead=1e-7)
+        eng.add_process(0, proc(), Location(0, 0, 0), clock)
+        eng.run()
+        assert values[0] == pytest.approx(10.0 + 0.5 + 1e-5)
+
+    def test_charges_read_overhead(self):
+        eng = Engine()
+
+        def proc():
+            yield ReadClock()
+            yield ReadClock()
+
+        clock = Clock(ConstantDrift(0.0), read_overhead=1.0)
+        eng.add_process(0, proc(), Location(0, 0, 0), clock)
+        assert eng.run() == pytest.approx(2.0)
+
+
+class TestErrorsAndEdgeCases:
+    def test_deadlock_detection(self):
+        eng = Engine(make_transport())
+
+        def receiver():
+            yield Recv(src=0)
+
+        add(eng, 1, receiver())
+        with pytest.raises(DeadlockError, match="rank 1"):
+            eng.run()
+
+    def test_duplicate_rank_rejected(self):
+        eng = Engine()
+
+        def proc():
+            yield Compute(0.0)
+
+        add(eng, 0, proc())
+        with pytest.raises(SimulationError):
+            add(eng, 0, proc())
+
+    def test_unknown_request_rejected(self):
+        eng = Engine()
+
+        def proc():
+            yield "not a request"
+
+        add(eng, 0, proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_result_of_unfinished(self):
+        eng = Engine(make_transport())
+
+        def proc():
+            yield Recv(src=ANY_SOURCE)
+
+        add(eng, 0, proc())
+        with pytest.raises(SimulationError):
+            eng.result_of(0)
+
+    def test_run_until_pauses(self):
+        eng = Engine()
+
+        def proc():
+            yield Compute(10.0)
+            yield Compute(10.0)
+
+        add(eng, 0, proc())
+        t = eng.run(until=5.0)
+        assert t == pytest.approx(5.0)
+        t = eng.run()
+        assert t == pytest.approx(20.0)
+
+    def test_empty_engine_runs(self):
+        assert Engine().run() == 0.0
+
+    def test_send_without_transport(self):
+        eng = Engine()
+
+        def proc():
+            yield Send(dst=0)
+
+        add(eng, 0, proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def build():
+            rng = np.random.default_rng(3)
+            eng = Engine(make_transport(rng=rng, jitter=1.0 * USEC))
+            deliveries = []
+
+            def sender():
+                for i in range(10):
+                    yield Compute(1e-5)
+                    yield Send(dst=1, tag=0)
+
+            def receiver():
+                for _ in range(10):
+                    msg = yield Recv(src=0)
+                    deliveries.append(msg.delivered_at)
+
+            add(eng, 0, sender())
+            add(eng, 1, receiver())
+            eng.run()
+            return deliveries
+
+        assert build() == build()
+
+
+class TestCongestion:
+    def make_congested(self, alpha):
+        rng = np.random.default_rng(5)
+        lat = HierarchicalLatency(
+            inter_node=LatencySample(base=4.0 * USEC, bandwidth=1e9, jitter=2.0 * USEC),
+            same_node=LatencySample(base=1.0 * USEC, bandwidth=2e9, jitter=0.5 * USEC),
+            same_chip=LatencySample(base=0.5 * USEC, bandwidth=4e9, jitter=0.2 * USEC),
+        )
+        return Transport(
+            lat, rng, send_overhead=1e-8, recv_overhead=1e-8,
+            congestion_alpha=alpha, congestion_capacity=4,
+        )
+
+    def run_burst(self, alpha, senders=8, msgs=10):
+        eng = Engine(self.make_congested(alpha))
+        latencies = []
+
+        def sender(rank):
+            for _ in range(msgs):
+                yield Send(dst=senders, tag=rank)
+
+        def receiver():
+            for _ in range(senders * msgs):
+                msg = yield Recv(src=ANY_SOURCE, tag=ANY_TAG)
+                latencies.append(msg.delivered_at - msg.sent_at)
+
+        for r in range(senders):
+            add(eng, r, sender(r), node=r)
+        add(eng, senders, receiver(), node=senders)
+        eng.run()
+        return np.mean(latencies), eng.transport.peak_in_flight
+
+    def test_load_inflates_latency(self):
+        quiet_mean, _ = self.run_burst(alpha=0.0)
+        loaded_mean, peak = self.run_burst(alpha=4.0)
+        assert peak > 1  # the burst really overlapped
+        assert loaded_mean > quiet_mean
+
+    def test_floor_never_violated_under_congestion(self):
+        eng = Engine(self.make_congested(alpha=10.0))
+        violations = []
+
+        def sender(rank):
+            for _ in range(20):
+                yield Send(dst=4, tag=0)
+
+        def receiver():
+            for _ in range(4 * 20):
+                msg = yield Recv(src=ANY_SOURCE, tag=ANY_TAG)
+                if msg.delivered_at - msg.sent_at < 4.0 * USEC - 1e-15:
+                    violations.append(msg)
+
+        for r in range(4):
+            add(eng, r, sender(r), node=r)
+        add(eng, 4, receiver(), node=4)
+        eng.run()
+        assert violations == []
+
+    def test_in_flight_returns_to_zero(self):
+        transport = self.make_congested(alpha=1.0)
+        eng = Engine(transport)
+
+        def sender():
+            yield Send(dst=1, tag=0)
+
+        def receiver():
+            yield Recv(src=0)
+
+        add(eng, 0, sender())
+        add(eng, 1, receiver())
+        eng.run()
+        assert transport.in_flight == 0

@@ -1,0 +1,138 @@
+"""Tests for the event model (repro.tracing.events)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.tracing.events import (
+    COLLECTIVE_FLAVORS,
+    CollectiveFlavor,
+    CollectiveOp,
+    Event,
+    EventLog,
+    EventType,
+)
+
+
+class TestEnums:
+    def test_event_type_values_stable(self):
+        # The on-disk format depends on these; pin them.
+        assert EventType.ENTER == 0
+        assert EventType.EXIT == 1
+        assert EventType.SEND == 2
+        assert EventType.RECV == 3
+        assert EventType.COLL_ENTER == 4
+        assert EventType.COLL_EXIT == 5
+        assert EventType.OMP_FORK == 6
+        assert EventType.OMP_JOIN == 7
+
+    def test_every_collective_has_a_flavor(self):
+        for op in CollectiveOp:
+            assert op in COLLECTIVE_FLAVORS
+
+    def test_flavor_assignments(self):
+        assert COLLECTIVE_FLAVORS[CollectiveOp.BCAST] is CollectiveFlavor.ONE_TO_N
+        assert COLLECTIVE_FLAVORS[CollectiveOp.SCATTER] is CollectiveFlavor.ONE_TO_N
+        assert COLLECTIVE_FLAVORS[CollectiveOp.REDUCE] is CollectiveFlavor.N_TO_ONE
+        assert COLLECTIVE_FLAVORS[CollectiveOp.GATHER] is CollectiveFlavor.N_TO_ONE
+        for op in (
+            CollectiveOp.BARRIER,
+            CollectiveOp.ALLREDUCE,
+            CollectiveOp.ALLGATHER,
+            CollectiveOp.ALLTOALL,
+        ):
+            assert COLLECTIVE_FLAVORS[op] is CollectiveFlavor.N_TO_N
+
+
+class TestEventLog:
+    def test_append_and_read(self):
+        log = EventLog()
+        log.append(1.0, EventType.SEND, a=3, b=7, c=64, d=42)
+        log.append(2.0, EventType.RECV, a=1, b=7, c=64, d=43)
+        assert len(log) == 2
+        ev = log[0]
+        assert ev == Event(1.0, EventType.SEND, 3, 7, 64, 42)
+        assert log[1].etype is EventType.RECV
+
+    def test_freeze_idempotent(self):
+        log = EventLog()
+        log.append(1.0, EventType.ENTER, a=5)
+        log.freeze()
+        log.freeze()
+        assert isinstance(log.timestamps, np.ndarray)
+
+    def test_append_after_freeze_rejected(self):
+        log = EventLog()
+        log.append(1.0, EventType.ENTER)
+        log.freeze()
+        with pytest.raises(TraceError):
+            log.append(2.0, EventType.EXIT)
+
+    def test_columns_have_expected_dtypes(self):
+        log = EventLog()
+        log.append(1.5, EventType.SEND, a=1)
+        assert log.timestamps.dtype == np.float64
+        assert log.etypes.dtype == np.int8
+        assert log.a.dtype == np.int64
+
+    def test_select_by_type(self):
+        log = EventLog()
+        log.append(1.0, EventType.SEND)
+        log.append(2.0, EventType.RECV)
+        log.append(3.0, EventType.SEND)
+        np.testing.assert_array_equal(log.select(EventType.SEND), [0, 2])
+        np.testing.assert_array_equal(log.select(EventType.ENTER), [])
+
+    def test_from_arrays_roundtrip(self):
+        log = EventLog()
+        log.append(1.0, EventType.SEND, 1, 2, 3, 4)
+        log.append(2.0, EventType.RECV, 5, 6, 7, 8)
+        rebuilt = EventLog.from_arrays(
+            log.timestamps, log.etypes, log.a, log.b, log.c, log.d
+        )
+        assert list(rebuilt) == list(log)
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(TraceError):
+            EventLog.from_arrays(
+                np.array([1.0]), np.array([0, 1]), np.array([0]),
+                np.array([0]), np.array([0]), np.array([0]),
+            )
+
+    def test_with_timestamps(self):
+        log = EventLog()
+        log.append(1.0, EventType.SEND, a=9)
+        log.append(2.0, EventType.RECV, a=9)
+        shifted = log.with_timestamps(np.array([10.0, 20.0]))
+        assert shifted[0].timestamp == 10.0
+        assert shifted[0].a == 9  # attributes preserved
+        assert log[0].timestamp == 1.0  # original untouched
+
+    def test_with_timestamps_shape_check(self):
+        log = EventLog()
+        log.append(1.0, EventType.SEND)
+        with pytest.raises(TraceError):
+            log.with_timestamps(np.array([1.0, 2.0]))
+
+    def test_is_sorted(self):
+        log = EventLog()
+        for t in (1.0, 2.0, 2.0, 3.0):
+            log.append(t, EventType.ENTER)
+        assert log.is_sorted()
+        bad = log.with_timestamps(np.array([1.0, 3.0, 2.0, 4.0]))
+        assert not bad.is_sorted()
+
+    def test_empty_log(self):
+        log = EventLog()
+        assert len(log) == 0
+        assert log.is_sorted()
+        assert log.timestamps.size == 0
+
+    def test_iteration(self):
+        log = EventLog()
+        log.append(1.0, EventType.ENTER, a=1)
+        log.append(2.0, EventType.EXIT, a=1)
+        types = [ev.etype for ev in log]
+        assert types == [EventType.ENTER, EventType.EXIT]

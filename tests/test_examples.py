@@ -1,0 +1,67 @@
+"""Keep the example scripts green.
+
+Each example exposes a ``main()``; these tests import and run them with
+reduced parameters so the examples stay working documentation rather
+than rotting prose.  (Full-scale invocations are exercised manually /
+by the benches; here the point is that every code path still executes.)
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "clock condition" in out
+
+    def test_timer_comparison_short(self, capsys):
+        load_example("timer_comparison").main(duration=30.0)
+        out = capsys.readouterr().out
+        for timer in ("mpi_wtime", "gettimeofday", "tsc"):
+            assert timer in out
+
+    def test_pop_violation_study_tiny(self, capsys):
+        load_example("pop_violation_study").main(scale=0.005, nprocs=8, seed=3)
+        out = capsys.readouterr().out
+        assert "reversed-message scan by stage" in out
+        assert "clc" in out
+
+    def test_smg2000_clc_correction(self, capsys):
+        load_example("smg2000_clc_correction").main(seed=1, nprocs=8)
+        out = capsys.readouterr().out
+        assert "after CLC: 0/" in out
+        assert "identical result to sequential: True" in out
+
+    def test_openmp_pomp_study(self, capsys):
+        load_example("openmp_pomp_study").main(seed=1)
+        out = capsys.readouterr().out
+        assert "threads" in out
+        assert "barrier" in out
+
+    def test_waitstate_accuracy(self, capsys):
+        load_example("waitstate_accuracy").main()
+        out = capsys.readouterr().out
+        assert "ground truth" in out
+        assert "misclassified" in out
+
+    def test_calibration_study(self, capsys):
+        load_example("calibration_study").main(duration=120.0)
+        out = capsys.readouterr().out
+        assert "Allan" in out
+        assert "tsc" in out and "mpi_wtime" in out

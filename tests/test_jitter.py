@@ -1,0 +1,55 @@
+"""Tests for the OS jitter model (repro.cluster.jitter)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.jitter import OsJitterModel
+from repro.errors import ConfigurationError
+
+
+class TestOsJitterModel:
+    def test_quiet_model_is_identity(self, rng):
+        m = OsJitterModel.quiet()
+        assert m.perturb(1.5, rng) == 1.5
+
+    def test_never_shrinks_duration(self, rng):
+        m = OsJitterModel(rate=100.0, mean_delay=1e-5)
+        for _ in range(100):
+            assert m.perturb(0.01, rng) >= 0.01
+
+    def test_zero_duration(self, rng):
+        m = OsJitterModel(rate=100.0, mean_delay=1e-5)
+        assert m.perturb(0.0, rng) == 0.0
+
+    def test_mean_inflation_matches_expectation(self, rng):
+        # E[extra] = rate * duration * mean_delay
+        m = OsJitterModel(rate=50.0, mean_delay=1e-5)
+        d = 0.1
+        samples = np.array([m.perturb(d, rng) - d for _ in range(2000)])
+        assert samples.mean() == pytest.approx(50.0 * d * 1e-5, rel=0.15)
+
+    def test_rejects_negative_duration(self, rng):
+        with pytest.raises(ConfigurationError):
+            OsJitterModel().perturb(-1.0, rng)
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ConfigurationError):
+            OsJitterModel(rate=-1.0)
+
+    def test_perturb_array_matches_scalar_statistics(self, rng):
+        m = OsJitterModel(rate=50.0, mean_delay=1e-5)
+        d = np.full(2000, 0.1)
+        out = m.perturb_array(d, rng)
+        assert np.all(out >= d)
+        assert (out - d).mean() == pytest.approx(50.0 * 0.1 * 1e-5, rel=0.15)
+
+    def test_perturb_array_quiet(self, rng):
+        m = OsJitterModel.quiet()
+        d = np.array([0.1, 0.2])
+        np.testing.assert_array_equal(m.perturb_array(d, rng), d)
+
+    def test_presets_ordering(self):
+        # A full OS is noisier than a compute-node kernel.
+        assert OsJitterModel.full_os().rate > OsJitterModel.compute_node().rate

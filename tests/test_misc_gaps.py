@@ -1,0 +1,101 @@
+"""Small coverage gaps: error hierarchy, engine start_at, transport API,
+CLI smg2000 path, report helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.clocks.base import Clock
+from repro.clocks.drift import ConstantDrift
+from repro.cluster.topology import Location
+from repro.sim.engine import Engine, Transport
+from repro.sim.primitives import Compute
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.TraceFormatError, errors.TraceError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MatchingError("x")
+
+
+class TestEngineStartAt:
+    def test_staggered_starts(self):
+        eng = Engine()
+        order = []
+
+        def proc(name):
+            yield Compute(0.1)
+            order.append((name, eng.now))
+
+        clock = Clock(ConstantDrift(0.0))
+        eng.add_process(0, proc("late"), Location(0, 0, 0), clock, start_at=1.0)
+        eng.add_process(1, proc("early"), Location(1, 0, 0), clock)
+        eng.run()
+        assert [n for n, _ in order] == ["early", "late"]
+        assert order[1][1] == pytest.approx(1.1)
+
+
+class TestTransportApi:
+    def test_min_latency_passthrough(self):
+        from repro.cluster.machines import xeon_cluster
+
+        preset = xeon_cluster()
+        transport = Transport(preset.latency, np.random.default_rng(0))
+        a, b = Location(0, 0, 0), Location(1, 0, 0)
+        assert transport.min_latency(a, b) == pytest.approx(4.29e-6)
+        assert transport.delivery_delay(a, b, 0) >= transport.min_latency(a, b)
+
+
+class TestCliSmg2000:
+    def test_simulate_smg(self, tmp_path):
+        from repro.cli import main
+        from repro.tracing.reader import read_trace
+
+        path = tmp_path / "smg.npz"
+        rc = main(
+            [
+                "simulate", "--workload", "smg2000", "--nprocs", "8",
+                "--seed", "2", "--scale", "0.02", "-o", str(path),
+            ]
+        )
+        assert rc == 0
+        trace = read_trace(path)
+        assert trace.nranks == 8
+        assert trace.total_events() > 0
+
+
+class TestUnitsEdges:
+    def test_format_rate_boundary(self):
+        from repro.units import format_rate
+
+        # Exactly at the ppb/ppm boundary stays in ppm.
+        assert format_rate(0.01e-6).endswith("ppm")
+        assert format_rate(0.009e-6).endswith("ppb")
+
+    def test_format_seconds_negative_nano(self):
+        from repro.units import format_seconds
+
+        assert format_seconds(-2e-9) == "-2.000 ns"
+
+
+class TestPinningDescribe:
+    def test_dominant_distance_same_core(self):
+        from repro.cluster.machines import xeon_cluster
+        from repro.cluster.pinning import Pinning
+
+        machine = xeon_cluster().machine
+        pin = Pinning(machine, (Location(0, 0, 0), Location(0, 0, 0)), label="stacked")
+        from repro.cluster.topology import DistanceClass
+
+        assert pin.dominant_distance() is DistanceClass.SAME_CORE

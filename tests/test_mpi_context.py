@@ -1,0 +1,222 @@
+"""Tests for the MPI context and instrumentation behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import inter_node, xeon_cluster
+from repro.cluster.jitter import OsJitterModel
+from repro.mpi import MpiWorld
+from repro.sim.primitives import ANY_SOURCE, ANY_TAG
+from repro.tracing.events import EventType
+
+
+def make_world(nprocs=2, timer="global", jitter=None, seed=0, **kw):
+    preset = xeon_cluster()
+    return MpiWorld(
+        preset,
+        inter_node(preset.machine, nprocs),
+        timer=timer,
+        seed=seed,
+        duration_hint=30.0,
+        jitter=jitter,
+        **kw,
+    )
+
+
+class TestTracedPointToPoint:
+    def test_send_recv_events_recorded(self):
+        def worker(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=3, nbytes=128)
+            else:
+                yield from ctx.recv(src=0, tag=3)
+            return None
+
+        res = make_world().run(worker, measure_offsets=False)
+        send_log = res.trace.logs[0]
+        recv_log = res.trace.logs[1]
+        assert len(send_log.select(EventType.SEND)) == 1
+        assert len(recv_log.select(EventType.RECV)) == 1
+        s = send_log[int(send_log.select(EventType.SEND)[0])]
+        r = recv_log[int(recv_log.select(EventType.RECV)[0])]
+        assert s.a == 1 and s.b == 3 and s.c == 128
+        assert r.a == 0 and r.b == 3 and r.c == 128
+        assert s.d == r.d  # shared match id
+
+    def test_wildcard_recv_resolves_source(self):
+        def worker(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=9)
+            else:
+                yield from ctx.recv(src=ANY_SOURCE, tag=ANY_TAG)
+            return None
+
+        res = make_world().run(worker, measure_offsets=False)
+        r = res.trace.logs[1][int(res.trace.logs[1].select(EventType.RECV)[0])]
+        assert r.a == 0  # resolved like MPI_Status
+        assert r.b == 9
+
+    def test_untraced_run_has_no_trace(self):
+        def worker(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1)
+            else:
+                yield from ctx.recv(src=0)
+            return None
+
+        res = make_world().run(worker, tracing=False, measure_offsets=False)
+        assert res.trace is None
+
+    def test_set_tracing_window(self):
+        def worker(ctx):
+            ctx.set_tracing(False)
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=1)
+            else:
+                yield from ctx.recv(src=0, tag=1)
+            ctx.set_tracing(True)
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=2)
+            else:
+                yield from ctx.recv(src=0, tag=2)
+            return None
+
+        res = make_world().run(worker, measure_offsets=False)
+        msgs = res.trace.messages()
+        assert len(msgs) == 1
+        assert msgs.row(0).tag == 2
+
+    def test_sendrecv(self):
+        def worker(ctx):
+            peer = 1 - ctx.rank
+            msg = yield from ctx.sendrecv(dst=peer, src=peer, sendtag=5, recvtag=5)
+            return msg.src
+
+        res = make_world().run(worker, measure_offsets=False)
+        assert res.results == {0: 1, 1: 0}
+
+    def test_region_events(self):
+        def worker(ctx):
+            yield from ctx.enter_region(42)
+            yield from ctx.compute(1e-6)
+            yield from ctx.exit_region(42)
+            return None
+
+        res = make_world().run(worker, measure_offsets=False)
+        log = res.trace.logs[0]
+        assert [int(e) for e in log.etypes] == [int(EventType.ENTER), int(EventType.EXIT)]
+        assert log[0].a == 42
+        assert log[1].timestamp > log[0].timestamp
+
+
+class TestOffsetMeasurementProtocol:
+    def test_measurements_present_and_sane(self):
+        def worker(ctx):
+            yield from ctx.compute(1e-4)
+            return None
+
+        res = make_world(nprocs=4, timer="tsc", seed=3).run(worker)
+        assert set(res.init_offsets) == {1, 2, 3}
+        assert set(res.final_offsets) == {1, 2, 3}
+        for m in res.init_offsets.values():
+            # RTT at least 2x the inter-node floor.
+            assert m.rtt >= 2 * 4.29e-6 - 1e-12
+            assert m.repeats == 10
+
+    def test_offset_accuracy_with_perfect_clocks(self):
+        """With a global clock, measured offsets must be ~0 (bounded by
+        half the RTT asymmetry, i.e. ~ jitter scale)."""
+
+        def worker(ctx):
+            yield from ctx.compute(1e-5)
+            return None
+
+        res = make_world(nprocs=3, timer="global").run(worker)
+        for m in res.init_offsets.items():
+            assert abs(m[1].offset) < 1e-6
+
+    def test_offset_tracks_known_constant_offset(self):
+        """Against drifting TSC clocks the measured offset must match the
+        true drift-model offset to within microseconds."""
+        world = make_world(nprocs=2, timer="tsc", seed=11)
+
+        def worker(ctx):
+            yield from ctx.compute(1e-5)
+            return None
+
+        res = world.run(worker)
+        measured = res.init_offsets[1].offset
+        master_clock = world.ensemble.clock_for(world.pinning[0])
+        worker_clock = world.ensemble.clock_for(world.pinning[1])
+        true_offset = master_clock.ideal_read(0.0) - worker_clock.ideal_read(0.0)
+        assert measured == pytest.approx(true_offset, abs=5e-6)
+
+    def test_measurement_events_not_traced(self):
+        def worker(ctx):
+            return None
+            yield  # pragma: no cover
+
+        res = make_world(nprocs=3).run(worker)
+        assert res.trace.total_events() == 0
+
+
+class TestComputeAndJitter:
+    def test_jitter_inflates_compute(self):
+        noisy = make_world(jitter=OsJitterModel(rate=1000.0, mean_delay=1e-4), seed=1)
+        quiet = make_world(jitter=OsJitterModel.quiet(), seed=1)
+
+        def worker(ctx):
+            t0 = yield from ctx.wtime()
+            yield from ctx.compute(0.01)
+            t1 = yield from ctx.wtime()
+            return t1 - t0
+
+        noisy_t = noisy.run(worker, tracing=False, measure_offsets=False).results[0]
+        quiet_t = quiet.run(worker, tracing=False, measure_offsets=False).results[0]
+        # quiet time = compute + one clock-read overhead (t0's read).
+        assert quiet_t == pytest.approx(0.01, abs=1e-6)
+        assert noisy_t > quiet_t
+
+    def test_sleep_is_exact_under_jitter(self):
+        world = make_world(jitter=OsJitterModel(rate=1000.0, mean_delay=1e-4))
+
+        def worker(ctx):
+            t0 = yield from ctx.wtime()
+            yield from ctx.sleep(0.01)
+            t1 = yield from ctx.wtime()
+            return t1 - t0
+
+        res = world.run(worker, tracing=False, measure_offsets=False)
+        assert res.results[0] == pytest.approx(0.01, abs=1e-6)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def worker(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=1)
+            else:
+                yield from ctx.recv(src=0, tag=1)
+            yield from ctx.allreduce(value=ctx.rank)
+            return None
+
+        def run():
+            res = make_world(nprocs=2, timer="tsc", seed=99).run(worker)
+            return [res.trace.logs[r].timestamps.tolist() for r in res.trace.ranks]
+
+        assert run() == run()
+
+    def test_different_seed_different_timestamps(self):
+        def worker(ctx):
+            yield from ctx.enter_region(1)
+            yield from ctx.allreduce(value=1)
+            yield from ctx.exit_region(1)
+            return None
+
+        a = make_world(nprocs=2, timer="tsc", seed=1).run(worker)
+        b = make_world(nprocs=2, timer="tsc", seed=2).run(worker)
+        assert (
+            a.trace.logs[0].timestamps.tolist() != b.trace.logs[0].timestamps.tolist()
+        )

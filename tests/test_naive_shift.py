@@ -1,0 +1,85 @@
+"""Tests for the Lamport-style naive shift baseline (repro.sync.clc)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sync.clc import ControlledLogicalClock, naive_shift_correct
+from repro.sync.violations import scan_collectives, scan_messages
+from repro.tracing.events import EventLog, EventType
+from repro.tracing.trace import Trace
+
+
+def violated_trace():
+    log0 = EventLog()
+    log0.append(10.0, EventType.SEND, 1, 0, 0, 0)
+    log1 = EventLog()
+    log1.append(8.0, EventType.ENTER, 1)
+    log1.append(9.0, EventType.RECV, 0, 0, 0, 0)
+    log1.append(9.5, EventType.ENTER, 2)
+    log1.append(11.5, EventType.ENTER, 3)
+    return Trace({0: log0, 1: log1})
+
+
+class TestNaiveShift:
+    def test_restores_clock_condition(self):
+        result = naive_shift_correct(violated_trace(), lmin=0.1)
+        rep = scan_messages(result.trace.messages(), lmin=0.1)
+        assert rep.violated == 0
+        assert result.jumps == 1
+
+    def test_collapses_interval_behind_jump(self):
+        """The defining weakness: the event after the jumped receive
+        keeps its original timestamp if legal — here the 0.5 s interval
+        between the receive (9.0 -> 10.1) and the next event (9.5) is
+        crushed to zero."""
+        result = naive_shift_correct(violated_trace(), lmin=0.1)
+        ts = result.trace.logs[1].timestamps
+        assert ts[1] == pytest.approx(10.1)
+        assert ts[2] == pytest.approx(10.1)  # clamped, interval -> 0
+        assert ts[3] == pytest.approx(11.5)  # far event untouched
+
+    def test_clc_preserves_the_interval_naive_kills(self):
+        trace = violated_trace()
+        naive = naive_shift_correct(trace, lmin=0.1)
+        clc = ControlledLogicalClock(gamma=1.0, amortization_window=0).correct(
+            trace, lmin=0.1
+        )
+        d_naive = np.diff(naive.trace.logs[1].timestamps)
+        d_clc = np.diff(clc.trace.logs[1].timestamps)
+        d_orig = np.diff(trace.logs[1].timestamps)
+        # CLC keeps the post-receive interval; naive flattens it.
+        assert d_clc[1] == pytest.approx(d_orig[1])
+        assert d_naive[1] == pytest.approx(0.0, abs=1e-12)
+        assert naive.max_interval_growth >= clc.interval_distortion * 0 + d_orig[1] - 1e-12
+
+    def test_never_moves_backward_and_stays_monotone(self):
+        result = naive_shift_correct(violated_trace(), lmin=0.1)
+        for rank in result.trace.ranks:
+            ts = result.trace.logs[rank].timestamps
+            orig = violated_trace().logs[rank].timestamps
+            assert np.all(np.diff(ts) >= -1e-15)
+            assert np.all(ts - orig >= -1e-15)
+
+    def test_handles_collectives(self):
+        logs = {}
+        for rank, (e, x) in enumerate([(2.0, 3.0), (0.5, 1.0)]):
+            log = EventLog()
+            log.append(e, EventType.COLL_ENTER, 0, 0, 2, 0)
+            log.append(x, EventType.COLL_EXIT, 0, 0, 2, 0)
+            logs[rank] = log
+        trace = Trace(logs)
+        result = naive_shift_correct(trace, lmin=1e-6)
+        rep, _ = scan_collectives(result.trace, lmin=1e-6)
+        assert rep.violated == 0
+
+    def test_clean_trace_untouched(self):
+        log0 = EventLog()
+        log0.append(1.0, EventType.SEND, 1, 0, 0, 0)
+        log1 = EventLog()
+        log1.append(2.0, EventType.RECV, 0, 0, 0, 0)
+        trace = Trace({0: log0, 1: log1})
+        result = naive_shift_correct(trace, lmin=1e-6)
+        assert result.jumps == 0
+        assert result.corrected_events == 0

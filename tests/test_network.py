@@ -1,0 +1,158 @@
+"""Tests for latency models (repro.cluster.network)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machines import opteron_cluster, xeon_cluster
+from repro.cluster.network import HierarchicalLatency, LatencyModel, LatencySample, TorusLatency
+from repro.cluster.topology import Location
+from repro.errors import ConfigurationError
+from repro.units import USEC
+
+
+def simple_hier() -> HierarchicalLatency:
+    return HierarchicalLatency(
+        inter_node=LatencySample(base=4.0 * USEC, bandwidth=1e9, jitter=0.1 * USEC),
+        same_node=LatencySample(base=1.0 * USEC, bandwidth=2e9, jitter=0.02 * USEC),
+        same_chip=LatencySample(base=0.5 * USEC, bandwidth=4e9, jitter=0.01 * USEC),
+    )
+
+
+class TestLatencySample:
+    def test_floor_includes_bandwidth_term(self):
+        s = LatencySample(base=1e-6, bandwidth=1e9, jitter=0.0)
+        assert s.floor(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_draw_without_jitter_equals_floor(self, rng):
+        s = LatencySample(base=1e-6, bandwidth=1e9, jitter=0.0)
+        assert s.draw(0, rng) == pytest.approx(1e-6)
+
+    def test_draw_mean_approximates_floor_plus_jitter(self, rng):
+        s = LatencySample(base=1e-6, bandwidth=1e9, jitter=5e-7)
+        draws = np.array([s.draw(0, rng) for _ in range(4000)])
+        assert draws.mean() == pytest.approx(1.5e-6, rel=0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            LatencySample(base=-1.0, bandwidth=1e9, jitter=0.0)
+        with pytest.raises(ConfigurationError):
+            LatencySample(base=0.0, bandwidth=0.0, jitter=0.0)
+
+
+class TestHierarchicalLatency:
+    def setup_method(self):
+        self.model = simple_hier()
+
+    def test_distance_selection(self):
+        inter = self.model.min_latency(Location(0, 0, 0), Location(1, 0, 0))
+        chip = self.model.min_latency(Location(0, 0, 0), Location(0, 1, 0))
+        core = self.model.min_latency(Location(0, 0, 0), Location(0, 0, 1))
+        assert inter == pytest.approx(4.0 * USEC)
+        assert chip == pytest.approx(1.0 * USEC)
+        assert core == pytest.approx(0.5 * USEC)
+        assert inter > chip > core
+
+    def test_samples_never_below_floor(self, rng):
+        src, dst = Location(0, 0, 0), Location(1, 0, 0)
+        floor = self.model.min_latency(src, dst, 64)
+        for _ in range(200):
+            assert self.model.sample(src, dst, 64, rng) >= floor
+
+    def test_same_core_defaults_to_same_chip(self):
+        a = Location(0, 0, 0)
+        assert self.model.min_latency(a, a) == pytest.approx(0.5 * USEC)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(self.model, LatencyModel)
+
+
+class TestTorusLatency:
+    def setup_method(self):
+        self.preset = opteron_cluster()
+        self.model = self.preset.latency
+
+    def test_coordinates_roundtrip(self):
+        assert self.model.coordinates(0) == (0, 0, 0)
+        dx, dy, dz = self.model.dims
+        assert self.model.coordinates(dy * dz) == (1, 0, 0)
+        with pytest.raises(ConfigurationError):
+            self.model.coordinates(dx * dy * dz)
+
+    def test_hops_symmetric_and_wraparound(self):
+        assert self.model.hops(0, 0) == 0
+        assert self.model.hops(0, 5) == self.model.hops(5, 0)
+        # Wraparound: last node along z is 1 hop from node 0.
+        _, _, dz = self.model.dims
+        assert self.model.hops(0, dz - 1) == 1
+
+    def test_latency_grows_with_hops(self):
+        near = self.model.min_latency(Location(0, 0, 0), Location(1, 0, 0))
+        far_node = self.model.dims[2] // 2  # farthest along z
+        far = self.model.min_latency(Location(0, 0, 0), Location(far_node, 0, 0))
+        assert far > near
+
+    def test_intra_node_delegates(self):
+        a, b = Location(5, 0, 0), Location(5, 0, 1)
+        assert self.model.min_latency(a, b) < 1.0 * USEC
+
+    def test_samples_never_below_floor(self, rng):
+        a, b = Location(0, 0, 0), Location(100, 0, 0)
+        floor = self.model.min_latency(a, b, 0)
+        for _ in range(100):
+            assert self.model.sample(a, b, 0, rng) >= floor
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            TorusLatency(
+                dims=(0, 1, 1),
+                inter_node_base=1e-6,
+                per_hop=1e-7,
+                bandwidth=1e9,
+                jitter=0.0,
+                intra_node=simple_hier(),
+            )
+
+
+class TestXeonPreset:
+    """The Xeon preset must reproduce the Table II floors."""
+
+    def test_table2_floors(self):
+        preset = xeon_cluster()
+        lat = preset.latency
+        assert lat.min_latency(Location(0, 0, 0), Location(1, 0, 0)) == pytest.approx(
+            4.29 * USEC
+        )
+        assert lat.min_latency(Location(0, 0, 0), Location(0, 1, 0)) == pytest.approx(
+            0.86 * USEC
+        )
+        assert lat.min_latency(Location(0, 0, 0), Location(0, 0, 1)) == pytest.approx(
+            0.47 * USEC
+        )
+
+    def test_machine_shape(self):
+        preset = xeon_cluster()
+        assert preset.machine.nodes == 62
+        assert preset.machine.chips_per_node == 2
+        assert preset.machine.cores_per_chip == 4
+
+
+class TestLatencyProperties:
+    @settings(max_examples=40)
+    @given(
+        nbytes=st.integers(0, 10**6),
+        seed=st.integers(0, 2**16),
+        src_flat=st.integers(0, 495),
+        dst_flat=st.integers(0, 495),
+    )
+    def test_sample_at_least_min(self, nbytes, seed, src_flat, dst_flat):
+        preset = xeon_cluster()
+        m = preset.machine
+        src, dst = m.location_of_core(src_flat), m.location_of_core(dst_flat)
+        rng = np.random.default_rng(seed)
+        assert preset.latency.sample(src, dst, nbytes, rng) >= preset.latency.min_latency(
+            src, dst, nbytes
+        )

@@ -1,0 +1,123 @@
+"""Tests for the NTP discipline model (repro.clocks.ntp)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clocks.drift import ConstantDrift, PiecewiseConstantDrift
+from repro.clocks.ntp import NTPDiscipline
+from repro.errors import ConfigurationError
+
+
+def make(base_rate=2e-6, **kw):
+    defaults = dict(
+        base=ConstantDrift(rate=base_rate),
+        rng=np.random.default_rng(0),
+        duration=2000.0,
+        poll_interval=64.0,
+        measurement_error=0.0,
+        adjust_threshold=1.28e-4,
+        amortization=300.0,
+        max_slew=5e-4,
+        initial_offset=0.0,
+    )
+    defaults.update(kw)
+    return NTPDiscipline(**defaults)
+
+
+class TestNTPDiscipline:
+    def test_offset_continuous(self):
+        d = make()
+        t = np.linspace(0, 2000, 40001)
+        offs = d.offset_at(t)
+        # Slew-only discipline: "jumps are avoided" — no step larger than
+        # what the max slew rate can produce over one grid interval plus
+        # base drift.
+        dt = t[1] - t[0]
+        assert np.abs(np.diff(offs)).max() <= (5e-4 + 2e-6) * dt * 1.5
+
+    def test_steers_offset_back_toward_zero(self):
+        d = make(base_rate=2e-6)
+        # Without discipline the offset at 2000 s would be 4 ms; the
+        # discipline must do substantially better.
+        assert abs(d.offset_at(2000.0)) < 2e-3
+
+    def test_dead_band_keeps_drift_constant_initially(self):
+        d = make(base_rate=1e-6, adjust_threshold=1e-3)
+        # 1 ppm crosses 1 ms only after 1000 s; before that no
+        # adjustment may fire and the offset is exactly the base drift.
+        assert d.offset_at(500.0) == pytest.approx(5e-4, rel=1e-9)
+        assert d.rate_at(500.0) == pytest.approx(1e-6)
+
+    def test_adjustment_epochs_reported(self):
+        d = make(base_rate=3e-6)
+        epochs = d.adjustment_epochs
+        assert epochs.size >= 1
+        # First adjustment happens once 3 ppm accumulates past 128 us,
+        # i.e. after ~42.7 s -> at the 64 s poll.
+        assert epochs[0] == pytest.approx(64.0)
+
+    def test_no_adjustments_for_perfect_clock(self):
+        d = make(base_rate=0.0)
+        assert d.adjustment_epochs.size == 0
+        assert d.offset_at(1500.0) == pytest.approx(0.0)
+
+    def test_rate_changes_at_adjustment(self):
+        d = make(base_rate=3e-6)
+        first = d.adjustment_epochs[0]
+        assert d.rate_at(first - 1.0) == pytest.approx(3e-6)
+        assert d.rate_at(first + 1.0) != pytest.approx(3e-6)
+
+    def test_max_slew_clamps_correction(self):
+        d = make(base_rate=2e-6, initial_offset=1.0, max_slew=1e-4, amortization=10.0)
+        # Correction of 1 s over 10 s would need 0.1 rate; clamp to 1e-4.
+        t = np.linspace(0, 2000, 2001)
+        rates = d.rate_at(t)
+        assert np.all(rates >= 2e-6 - 1e-4 - 1e-12)
+
+    def test_measurement_noise_changes_behaviour(self):
+        quiet = make(measurement_error=0.0)
+        noisy = make(measurement_error=1e-3, rng=np.random.default_rng(1))
+        t = np.linspace(0, 2000, 100)
+        assert not np.allclose(quiet.offset_at(t), noisy.offset_at(t))
+
+    def test_deterministic_given_rng_seed(self):
+        a = make(measurement_error=1e-3, rng=np.random.default_rng(7))
+        b = make(measurement_error=1e-3, rng=np.random.default_rng(7))
+        t = np.linspace(0, 2000, 100)
+        np.testing.assert_array_equal(a.offset_at(t), b.offset_at(t))
+
+    def test_holds_last_rate_beyond_duration(self):
+        d = make(base_rate=2e-6)
+        # Just past the final poll epoch the correction rate is frozen.
+        r = d.rate_at(2100.0)
+        assert d.rate_at(5000.0) == pytest.approx(r)
+
+    def test_piecewise_base_supported(self):
+        base = PiecewiseConstantDrift([0.0, 500.0], [1e-6, -1e-6])
+        d = NTPDiscipline(
+            base=base, rng=np.random.default_rng(0), duration=1000.0, measurement_error=0.0
+        )
+        # Offset must track base curvature between polls.
+        assert np.isfinite(d.offset_at(np.linspace(0, 1000, 101))).all()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            make(poll_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            make(amortization=-1.0)
+
+    def test_vectorized_matches_scalar(self):
+        d = make(base_rate=2.5e-6)
+        t = np.array([0.0, 63.9, 64.0, 100.0, 1500.0, 2500.0])
+        np.testing.assert_allclose(d.offset_at(t), [d.offset_at(x) for x in t], rtol=1e-12)
+
+    def test_slope_phases_visible(self):
+        """The Fig. 4 signature: long linear phases, abrupt slope changes."""
+        d = make(base_rate=2e-6)
+        epochs = d.adjustment_epochs
+        assert epochs.size >= 2
+        # Between consecutive adjustments the rate is exactly constant.
+        mid = (epochs[0] + epochs[1]) / 2
+        assert d.rate_at(mid) == pytest.approx(d.rate_at(mid + 1.0))

@@ -1,0 +1,74 @@
+"""Tests for Cristian offset measurement (repro.sync.offset)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sync.offset import OffsetMeasurement, cristian_offset
+
+
+class TestCristianFormula:
+    def test_symmetric_delays_exact(self):
+        # Master sends at t1=10, worker replies t0=4.5 (its clock), reply
+        # arrives t2=11.  Midpoint master time 10.5 -> offset 6.0.
+        assert cristian_offset(10.0, 4.5, 11.0) == pytest.approx(6.0)
+
+    def test_zero_offset(self):
+        assert cristian_offset(10.0, 10.5, 11.0) == pytest.approx(0.0)
+
+    def test_negative_offset(self):
+        assert cristian_offset(10.0, 12.0, 11.0) == pytest.approx(-1.5)
+
+    def test_error_bounded_by_asymmetry(self):
+        """With asymmetric delays d1 != d2 the estimate errs by
+        (d2 - d1)/2 — the bound Cristian's method relies on."""
+        true_offset = 3.0
+        d1, d2 = 2e-6, 6e-6
+        t1 = 100.0
+        t0 = (t1 + d1) - true_offset  # worker reads at master-time t1+d1
+        t2 = t1 + d1 + d2
+        estimate = cristian_offset(t1, t0, t2)
+        assert estimate - true_offset == pytest.approx((d2 - d1) / 2)
+
+
+class TestMeasurementProtocolInSimulation:
+    """End-to-end accuracy of the min-RTT protocol (see also
+    tests/test_mpi_context.py::TestOffsetMeasurementProtocol)."""
+
+    def make_run(self, timer, seed=0, repeats=10):
+        from repro.cluster import inter_node, xeon_cluster
+        from repro.mpi import MpiWorld
+
+        preset = xeon_cluster()
+        world = MpiWorld(
+            preset, inter_node(preset.machine, 2), timer=timer, seed=seed, duration_hint=20.0
+        )
+
+        def worker(ctx):
+            return None
+            yield  # pragma: no cover
+
+        return world, world.run(worker, tracing=False, sync_repeats=repeats)
+
+    def test_more_repeats_do_not_hurt(self):
+        """Best-of-N RTT selection: the winning RTT with N=20 is <= the
+        winning RTT with N=2 (same seed => same early exchanges is not
+        guaranteed, so compare statistically over seeds)."""
+        rtts_2, rtts_20 = [], []
+        for seed in range(5):
+            _, few = self.make_run("tsc", seed=seed, repeats=2)
+            _, many = self.make_run("tsc", seed=seed, repeats=20)
+            rtts_2.append(few.init_offsets[1].rtt)
+            rtts_20.append(many.init_offsets[1].rtt)
+        assert sum(rtts_20) <= sum(rtts_2)
+
+    def test_measurement_fields(self):
+        _, run = self.make_run("tsc", seed=1)
+        m = run.init_offsets[1]
+        assert isinstance(m, OffsetMeasurement)
+        assert m.worker == 1
+        assert m.worker_time >= 0 or True  # worker clock may start anywhere
+        assert m.rtt > 0
+        # Final measurement happens later on the worker clock.
+        m2 = run.final_offsets[1]
+        assert m2.worker_time > m.worker_time

@@ -1,0 +1,144 @@
+"""Tests for the OpenMP team simulation (repro.openmp)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.openmp.team import (
+    OmpTeamConfig,
+    _children,
+    _parent,
+    _spread_placement,
+    run_parallel_for_benchmark,
+    shm_latency,
+)
+from repro.cluster.machines import itanium_node
+from repro.sync.violations import scan_pomp
+from repro.tracing.events import EventType
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OmpTeamConfig(threads=1)
+        with pytest.raises(ConfigurationError):
+            OmpTeamConfig(regions=0)
+        with pytest.raises(ConfigurationError):
+            OmpTeamConfig(body_time=0.0)
+
+
+class TestTreeHelpers:
+    def test_children_parent_inverse(self):
+        for n in (2, 5, 16):
+            for tid in range(1, n):
+                assert tid in _children(_parent(tid), n)
+
+    def test_root_has_no_parent_reference_needed(self):
+        assert _children(0, 4) == [1, 2]
+        assert _children(0, 2) == [1]
+
+
+class TestPlacement:
+    def test_round_robin_over_chips(self):
+        machine = itanium_node().machine
+        locs = _spread_placement(machine, 4)
+        assert [loc.chip for loc in locs] == [0, 1, 2, 3]
+        locs8 = _spread_placement(machine, 8)
+        assert [loc.chip for loc in locs8] == [0, 1, 2, 3, 0, 1, 2, 3]
+        # No core oversubscription.
+        assert len(set(locs8)) == 8
+
+    def test_capacity_check(self):
+        machine = itanium_node().machine
+        with pytest.raises(ConfigurationError):
+            _spread_placement(machine, machine.cores_per_node + 1)
+
+
+class TestShmLatency:
+    def test_below_mpi_latencies(self):
+        lat = shm_latency()
+        from repro.cluster.topology import Location
+
+        assert lat.min_latency(Location(0, 0, 0), Location(0, 1, 0)) < 0.86e-6
+        assert lat.min_latency(Location(0, 0, 0), Location(0, 0, 1)) < 0.47e-6
+
+    def test_contention_scales(self):
+        from repro.cluster.topology import Location
+
+        base = shm_latency(contention=1.0)
+        loaded = shm_latency(contention=4.0)
+        a, b = Location(0, 0, 0), Location(0, 1, 0)
+        assert loaded.min_latency(a, b) == pytest.approx(4 * base.min_latency(a, b))
+
+
+class TestBenchmarkTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return run_parallel_for_benchmark(OmpTeamConfig(threads=4, regions=10), seed=2)
+
+    def test_event_counts(self, trace):
+        # Master: FORK + PAR_ENTER/EXIT + BARRIER_ENTER/EXIT + JOIN per region.
+        master = trace.logs[0]
+        assert len(master.select(EventType.OMP_FORK)) == 10
+        assert len(master.select(EventType.OMP_JOIN)) == 10
+        for tid in trace.ranks:
+            log = trace.logs[tid]
+            assert len(log.select(EventType.OMP_PAR_ENTER)) == 10
+            assert len(log.select(EventType.OMP_PAR_EXIT)) == 10
+            assert len(log.select(EventType.OMP_BARRIER_ENTER)) == 10
+            assert len(log.select(EventType.OMP_BARRIER_EXIT)) == 10
+
+    def test_workers_have_no_fork_join(self, trace):
+        for tid in (1, 2, 3):
+            log = trace.logs[tid]
+            assert len(log.select(EventType.OMP_FORK)) == 0
+            assert len(log.select(EventType.OMP_JOIN)) == 0
+
+    def test_timestamps_locally_sorted(self, trace):
+        for tid in trace.ranks:
+            assert trace.logs[tid].is_sorted()
+
+    def test_meta(self, trace):
+        assert trace.meta["threads"] == 4
+        assert trace.meta["model"] == "pomp"
+        assert len(trace.meta["locations"]) == 4
+
+    def test_deterministic(self):
+        a = run_parallel_for_benchmark(OmpTeamConfig(threads=4, regions=5), seed=9)
+        b = run_parallel_for_benchmark(OmpTeamConfig(threads=4, regions=5), seed=9)
+        for tid in a.ranks:
+            np.testing.assert_array_equal(
+                a.logs[tid].timestamps, b.logs[tid].timestamps
+            )
+
+
+class TestViolationShape:
+    """The Fig. 8 trend: many violated regions at 4 threads, (almost)
+    none at 16, exits more frequent than entries."""
+
+    def test_trend_with_thread_count(self):
+        pcts = {}
+        for n in (4, 16):
+            reps = [
+                scan_pomp(
+                    run_parallel_for_benchmark(
+                        OmpTeamConfig(threads=n, regions=60), seed=s
+                    )
+                )
+                for s in (1, 2, 3)
+            ]
+            pcts[n] = float(np.mean([r.pct("any") for r in reps]))
+        assert pcts[4] > 50.0
+        assert pcts[16] < 10.0
+        assert pcts[4] > pcts[16]
+
+    def test_true_time_semantics_hold_with_perfect_clock(self):
+        """With the global timer the recorded order equals true order:
+        zero violations — proving violations come from clocks alone."""
+        trace = run_parallel_for_benchmark(
+            OmpTeamConfig(threads=8, regions=40, timer="global"), seed=4
+        )
+        rep = scan_pomp(trace)
+        assert rep.any_violations == 0

@@ -1,0 +1,102 @@
+"""Tests for happened-before dependencies and replay order (repro.sync.order)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SynchronizationError
+from repro.sync.order import build_dependencies, replay_schedule
+from repro.tracing.events import CollectiveOp, EventLog, EventType
+from repro.tracing.trace import Trace
+
+
+def message_trace():
+    """0 sends to 1; 1 then sends to 2."""
+    log0 = EventLog()
+    log0.append(1.0, EventType.SEND, 1, 0, 0, 0)
+    log1 = EventLog()
+    log1.append(1.5, EventType.RECV, 0, 0, 0, 0)
+    log1.append(2.0, EventType.SEND, 2, 0, 0, 1)
+    log2 = EventLog()
+    log2.append(2.5, EventType.RECV, 1, 0, 0, 1)
+    return Trace({0: log0, 1: log1, 2: log2})
+
+
+class TestBuildDependencies:
+    def test_message_deps(self):
+        deps = build_dependencies(message_trace())
+        assert deps[(1, 0)] == [(0, 0)]
+        assert deps[(2, 0)] == [(1, 1)]
+        assert (0, 0) not in deps
+
+    def test_collective_deps_n_to_n(self):
+        logs = {}
+        for rank in range(3):
+            log = EventLog()
+            log.append(1.0, EventType.COLL_ENTER, int(CollectiveOp.BARRIER), 0, 3, 0)
+            log.append(2.0, EventType.COLL_EXIT, int(CollectiveOp.BARRIER), 0, 3, 0)
+            logs[rank] = log
+        deps = build_dependencies(Trace(logs))
+        # Every exit depends on both other enters.
+        for rank in range(3):
+            sources = set(deps[(rank, 1)])
+            assert sources == {(r, 0) for r in range(3) if r != rank}
+
+    def test_collective_deps_one_to_n(self):
+        logs = {}
+        for rank in range(3):
+            log = EventLog()
+            log.append(1.0, EventType.COLL_ENTER, int(CollectiveOp.BCAST), 1, 3, 0)
+            log.append(2.0, EventType.COLL_EXIT, int(CollectiveOp.BCAST), 1, 3, 0)
+            logs[rank] = log
+        deps = build_dependencies(Trace(logs))
+        assert deps[(0, 1)] == [(1, 0)]  # non-root exit <- root enter
+        assert deps[(2, 1)] == [(1, 0)]
+        assert (1, 1) not in deps  # root exit unconstrained
+
+    def test_collectives_can_be_excluded(self):
+        logs = {}
+        for rank in range(2):
+            log = EventLog()
+            log.append(1.0, EventType.COLL_ENTER, int(CollectiveOp.BARRIER), 0, 2, 0)
+            log.append(2.0, EventType.COLL_EXIT, int(CollectiveOp.BARRIER), 0, 2, 0)
+            logs[rank] = log
+        assert build_dependencies(Trace(logs), include_collectives=False) == {}
+
+
+class TestReplaySchedule:
+    def test_covers_all_events_once(self):
+        trace = message_trace()
+        refs = list(replay_schedule(trace))
+        assert len(refs) == 4
+        assert len(set(refs)) == 4
+
+    def test_respects_local_order(self):
+        refs = list(replay_schedule(message_trace()))
+        assert refs.index((1, 0)) < refs.index((1, 1))
+
+    def test_respects_message_order(self):
+        refs = list(replay_schedule(message_trace()))
+        assert refs.index((0, 0)) < refs.index((1, 0))
+        assert refs.index((1, 1)) < refs.index((2, 0))
+
+    def test_simulated_trace_schedules_fully(self):
+        from repro.cluster import inter_node, xeon_cluster
+        from repro.mpi import MpiWorld
+        from repro.workloads import SparseConfig, sparse_worker
+
+        preset = xeon_cluster()
+        world = MpiWorld(
+            preset, inter_node(preset.machine, 5), timer="tsc", seed=2, duration_hint=30.0
+        )
+        run = world.run(sparse_worker(SparseConfig(rounds=6)))
+        trace = run.trace
+        refs = list(replay_schedule(trace))
+        assert len(refs) == trace.total_events()
+
+    def test_empty_logs_ok(self):
+        log = EventLog()
+        log.append(1.0, EventType.ENTER, a=1)
+        trace = Trace({0: log, 1: EventLog().freeze()})
+        assert list(replay_schedule(trace)) == [(0, 0)]

@@ -1,0 +1,101 @@
+"""Tests for process pinning (repro.cluster.pinning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machines import xeon_cluster
+from repro.cluster.pinning import inter_chip, inter_core, inter_node, scheduler_default
+from repro.cluster.topology import DistanceClass
+from repro.errors import ConfigurationError
+from repro.rng import RngFabric
+
+
+@pytest.fixture
+def machine():
+    return xeon_cluster().machine
+
+
+class TestTableIPinnings:
+    """The three deliberate placements of Table I."""
+
+    def test_inter_node(self, machine):
+        pin = inter_node(machine, 4)
+        assert pin.nranks == 4
+        assert len({loc.node for loc in pin}) == 4
+        assert pin.dominant_distance() is DistanceClass.INTER_NODE
+
+    def test_inter_chip(self, machine):
+        pin = inter_chip(machine)
+        assert pin.nranks == machine.chips_per_node == 2
+        assert len({loc.node for loc in pin}) == 1
+        assert len({loc.chip for loc in pin}) == 2
+        assert pin.dominant_distance() is DistanceClass.SAME_NODE
+
+    def test_inter_core(self, machine):
+        pin = inter_core(machine)
+        assert pin.nranks == machine.cores_per_chip == 4
+        assert len({(loc.node, loc.chip) for loc in pin}) == 1
+        assert pin.dominant_distance() is DistanceClass.SAME_CHIP
+
+    def test_inter_node_capacity_check(self, machine):
+        with pytest.raises(ConfigurationError):
+            inter_node(machine, machine.nodes + 1)
+
+    def test_inter_chip_capacity_check(self, machine):
+        with pytest.raises(ConfigurationError):
+            inter_chip(machine, machine.chips_per_node + 1)
+
+    def test_inter_core_capacity_check(self, machine):
+        with pytest.raises(ConfigurationError):
+            inter_core(machine, machine.cores_per_chip + 1)
+
+
+class TestSchedulerDefault:
+    def test_fills_nodes_in_order(self, machine):
+        pin = scheduler_default(machine, 32)
+        nodes = sorted({loc.node for loc in pin})
+        assert nodes == [0, 1, 2, 3]  # 32 procs / 8 cores per node
+
+    def test_no_core_oversubscription(self, machine):
+        pin = scheduler_default(machine, 32)
+        assert len(set(pin.locations)) == 32
+
+    def test_shuffle_with_rng(self, machine):
+        a = scheduler_default(machine, 16, RngFabric(1).generator("s"))
+        b = scheduler_default(machine, 16, RngFabric(2).generator("s"))
+        assert a.locations != b.locations
+
+    def test_deterministic_given_seed(self, machine):
+        a = scheduler_default(machine, 16, RngFabric(5).generator("s"))
+        b = scheduler_default(machine, 16, RngFabric(5).generator("s"))
+        assert a.locations == b.locations
+
+    def test_capacity_check(self, machine):
+        with pytest.raises(ConfigurationError):
+            scheduler_default(machine, machine.total_cores + 1)
+
+    def test_partial_node(self, machine):
+        pin = scheduler_default(machine, 3)
+        assert pin.nranks == 3
+        assert all(loc.node == 0 for loc in pin)
+
+
+class TestPinningApi:
+    def test_indexing_and_iteration(self, machine):
+        pin = inter_node(machine, 3)
+        assert pin[0].node == 0
+        assert [loc.node for loc in pin] == [0, 1, 2]
+        assert len(pin) == 3
+
+    def test_describe(self, machine):
+        text = inter_node(machine, 4).describe()
+        assert "4 processes" in text
+        assert "4 node(s)" in text
+
+    def test_validates_against_machine(self, machine):
+        from repro.cluster.pinning import Pinning
+        from repro.cluster.topology import Location
+
+        with pytest.raises(ConfigurationError):
+            Pinning(machine, (Location(999, 0, 0),))

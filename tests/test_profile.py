@@ -1,0 +1,118 @@
+"""Tests for region profiles (repro.analysis.profile)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.profile import region_profile
+from repro.cluster import inter_node, xeon_cluster
+from repro.errors import TraceError
+from repro.mpi import MpiWorld
+from repro.tracing.events import EventLog, EventType
+from repro.tracing.trace import Trace
+from repro.workloads import PopConfig, pop_worker
+
+
+def nested_trace():
+    """Region 1 [0..10] containing region 2 [2..5], visited twice."""
+    log = EventLog()
+    log.append(0.0, EventType.ENTER, a=1)
+    log.append(2.0, EventType.ENTER, a=2)
+    log.append(5.0, EventType.EXIT, a=2)
+    log.append(10.0, EventType.EXIT, a=1)
+    log.append(20.0, EventType.ENTER, a=1)
+    log.append(21.0, EventType.EXIT, a=1)
+    return Trace({0: log})
+
+
+class TestRegionProfile:
+    def test_inclusive_exclusive_nesting(self):
+        profile = region_profile(nested_trace())
+        inc1, exc1, visits1 = profile.rank_region(0, 1)
+        inc2, exc2, visits2 = profile.rank_region(0, 2)
+        assert inc1 == pytest.approx(11.0)  # 10 + 1
+        assert exc1 == pytest.approx(8.0)  # 11 - 3 (child)
+        assert visits1 == 2
+        assert inc2 == pytest.approx(3.0)
+        assert exc2 == pytest.approx(3.0)
+        assert visits2 == 1
+
+    def test_by_region_aggregation(self):
+        profile = region_profile(nested_trace())
+        agg = profile.by_region("inclusive")
+        assert agg[1] == pytest.approx(11.0)
+        assert agg[2] == pytest.approx(3.0)
+
+    def test_collectives_profiled_separately(self):
+        log = EventLog()
+        log.append(0.0, EventType.COLL_ENTER, 3, 0, 2, 0)  # op id 3
+        log.append(1.0, EventType.COLL_EXIT, 3, 0, 2, 0)
+        profile = region_profile(Trace({0: log}))
+        inc, _, visits = profile.rank_region(0, -(3 + 1))
+        assert inc == pytest.approx(1.0)
+        assert visits == 1
+
+    def test_unbalanced_nesting_rejected(self):
+        log = EventLog()
+        log.append(0.0, EventType.ENTER, a=1)
+        with pytest.raises(TraceError, match="never exited"):
+            region_profile(Trace({0: log}))
+
+    def test_exit_without_enter_rejected(self):
+        log = EventLog()
+        log.append(0.0, EventType.EXIT, a=1)
+        with pytest.raises(TraceError, match="without matching enter"):
+            region_profile(Trace({0: log}))
+
+    def test_mismatched_nesting_rejected(self):
+        log = EventLog()
+        log.append(0.0, EventType.ENTER, a=1)
+        log.append(1.0, EventType.EXIT, a=2)
+        with pytest.raises(TraceError, match="mismatched"):
+            region_profile(Trace({0: log}))
+
+
+class TestProfilesSurviveClockErrors:
+    """The asymmetry the module documents: clock errors that completely
+    break event orderings barely move the profile."""
+
+    def run_pop(self, timer, seed=5):
+        preset = xeon_cluster()
+        world = MpiWorld(
+            preset, inter_node(preset.machine, 4), timer=timer, seed=seed,
+            duration_hint=30.0,
+        )
+        cfg = PopConfig(
+            steps=12, step_time=2e-3, trace_window=None, grid=(2, 2)
+        )
+        return world.run(pop_worker(cfg, seed=seed), measure_offsets=False)
+
+    def test_profile_agrees_across_timers_while_order_breaks(self):
+        from repro.sync.violations import scan_messages
+
+        truth_run = self.run_pop("global")
+        skew_run = self.run_pop("mpi_wtime")
+        truth_profile = region_profile(truth_run.trace)
+        skew_profile = region_profile(skew_run.trace)
+
+        truth_total = truth_profile.total_time()
+        skew_total = skew_profile.total_time()
+        # Profiles agree to well under a percent...
+        assert skew_total == pytest.approx(truth_total, rel=5e-3)
+        # ... while the ordering is badly violated on the skewed trace.
+        violations = scan_messages(skew_run.trace.messages(strict=False), 0.0)
+        assert violations.violated > 0
+
+    def test_offsets_cancel_in_intervals(self):
+        """Apply a constant offset to one rank: the profile is unchanged
+        (up to float rounding of the shifted subtraction)."""
+        run = self.run_pop("global")
+        shifted = run.trace.with_timestamps(
+            {1: run.trace.logs[1].timestamps + 5.0}
+        )
+        a = region_profile(run.trace)
+        b = region_profile(shifted)
+        assert set(a.inclusive) == set(b.inclusive)
+        for key, value in a.inclusive.items():
+            assert b.inclusive[key] == pytest.approx(value, abs=1e-9)

@@ -1,0 +1,75 @@
+"""Tests for the replay-based parallel CLC (repro.sync.replay)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import inter_node, xeon_cluster
+from repro.mpi import MpiWorld
+from repro.sync.clc import ControlledLogicalClock
+from repro.sync.replay import replay_correct
+from repro.sync.violations import scan_collectives, scan_messages
+from repro.workloads import SparseConfig, sparse_worker
+
+
+def traced_run(seed=7, rounds=6, nprocs=5, timer="mpi_wtime"):
+    preset = xeon_cluster()
+    world = MpiWorld(
+        preset, inter_node(preset.machine, nprocs), timer=timer, seed=seed, duration_hint=30.0
+    )
+    return world.run(
+        sparse_worker(SparseConfig(rounds=rounds), seed=seed), measure_offsets=False
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_identical_to_sequential_clc(self, seed):
+        run = traced_run(seed=seed)
+        lmin = 1e-7
+        sequential = ControlledLogicalClock(gamma=0.99).correct(run.trace, lmin=lmin)
+        replay = replay_correct(run.trace, lmin=lmin, gamma=0.99)
+        for rank in run.trace.ranks:
+            np.testing.assert_array_equal(
+                sequential.trace.logs[rank].timestamps,
+                replay.clc.trace.logs[rank].timestamps,
+            )
+        assert replay.clc.jumps == sequential.jumps
+        assert replay.clc.max_jump == sequential.max_jump
+
+    def test_result_is_violation_free(self):
+        run = traced_run(seed=3)
+        lmin = 1e-7
+        replay = replay_correct(run.trace, lmin=lmin)
+        assert scan_messages(replay.clc.trace.messages(), lmin=lmin).violated == 0
+        coll, _ = scan_collectives(replay.clc.trace, lmin=lmin)
+        assert coll.violated == 0
+
+
+class TestReplayStatistics:
+    def test_round_count_reported(self):
+        replay = replay_correct(traced_run().trace, lmin=1e-7)
+        assert replay.rounds >= 1
+        assert replay.max_queue >= 1
+
+    def test_rounds_bounded_by_dependency_chains(self):
+        """A trace with no messages finishes in one round."""
+        preset = xeon_cluster()
+        world = MpiWorld(
+            preset, inter_node(preset.machine, 3), timer="tsc", seed=0, duration_hint=10.0
+        )
+
+        def worker(ctx):
+            yield from ctx.enter_region(1)
+            yield from ctx.compute(1e-5)
+            yield from ctx.exit_region(1)
+            return None
+
+        run = world.run(worker, measure_offsets=False)
+        replay = replay_correct(run.trace, lmin=1e-7)
+        assert replay.rounds == 1
+
+    def test_meta_marks_replay(self):
+        replay = replay_correct(traced_run().trace, lmin=1e-7)
+        assert replay.clc.trace.meta["clc"]["replay"] is True

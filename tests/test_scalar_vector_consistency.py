@@ -1,0 +1,101 @@
+"""Scalar fast paths must agree with the vectorized paths bit-for-bit-ish.
+
+The drift models grew scalar fast paths (the simulation engine's hot
+loop); any divergence from the vector path would silently change every
+figure.  These property tests pin scalar == vector for every model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.drift import (
+    CompositeDrift,
+    ConstantDrift,
+    LinearRampDrift,
+    OrnsteinUhlenbeckDrift,
+    PiecewiseConstantDrift,
+    RandomWalkDrift,
+    SinusoidalDrift,
+)
+from repro.clocks.hardware import TSC_PARAMS, build_oscillator_drift
+from repro.clocks.ntp import NTPDiscipline
+
+times = st.floats(min_value=-50.0, max_value=5000.0, allow_nan=False)
+
+
+def assert_scalar_matches_vector(model, t: float):
+    scalar = model.offset_at(t)
+    vector = float(model.offset_at(np.array([t]))[0])
+    assert scalar == pytest.approx(vector, rel=1e-12, abs=1e-18)
+    scalar_rate = model.rate_at(t)
+    vector_rate = float(model.rate_at(np.array([t]))[0])
+    assert scalar_rate == pytest.approx(vector_rate, rel=1e-12, abs=1e-18)
+
+
+class TestScalarVectorAgreement:
+    @given(t=times, rate=st.floats(-1e-4, 1e-4), off=st.floats(-1, 1))
+    def test_constant(self, t, rate, off):
+        assert_scalar_matches_vector(ConstantDrift(rate, off), t)
+
+    @given(t=times)
+    def test_linear_ramp(self, t):
+        assert_scalar_matches_vector(LinearRampDrift(1e-6, 2e-10, 0.1), t)
+
+    @settings(max_examples=50)
+    @given(t=times, seed=st.integers(0, 2**16))
+    def test_piecewise(self, t, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 10))
+        bps = np.cumsum(rng.uniform(1, 50, n)) - 1.0
+        rates = rng.uniform(-1e-5, 1e-5, n)
+        assert_scalar_matches_vector(PiecewiseConstantDrift(bps, rates, 0.3), t)
+
+    @given(t=times)
+    def test_sinusoidal(self, t):
+        assert_scalar_matches_vector(SinusoidalDrift(2e-8, 700.0, 123.0), t)
+
+    @settings(max_examples=30)
+    @given(t=times, seed=st.integers(0, 2**10))
+    def test_random_walk(self, t, seed):
+        model = RandomWalkDrift(np.random.default_rng(seed), sigma=1e-9, duration=500.0)
+        assert_scalar_matches_vector(model, t)
+
+    @settings(max_examples=30)
+    @given(t=times, seed=st.integers(0, 2**10))
+    def test_ou(self, t, seed):
+        model = OrnsteinUhlenbeckDrift(np.random.default_rng(seed), sigma=2e-8, duration=500.0)
+        assert_scalar_matches_vector(model, t)
+
+    @settings(max_examples=30)
+    @given(t=times, seed=st.integers(0, 2**10))
+    def test_composite_oscillator(self, t, seed):
+        model = build_oscillator_drift(
+            TSC_PARAMS, np.random.default_rng(seed), duration=500.0
+        )
+        scalar = model.offset_at(t)
+        vector = float(np.asarray(model.offset_at(np.array([t])))[0])
+        assert scalar == pytest.approx(vector, rel=1e-12, abs=1e-15)
+
+    @settings(max_examples=20)
+    @given(t=st.floats(0.0, 3000.0), seed=st.integers(0, 2**10))
+    def test_ntp(self, t, seed):
+        model = NTPDiscipline(
+            base=ConstantDrift(2e-6),
+            rng=np.random.default_rng(seed),
+            duration=2000.0,
+            measurement_error=1e-4,
+        )
+        scalar = model.offset_at(t)
+        vector = float(np.asarray(model.offset_at(np.array([t])))[0])
+        assert scalar == pytest.approx(vector, rel=1e-12, abs=1e-15)
+
+    def test_numpy_scalar_takes_vector_path(self):
+        """np.float64 inputs are not the fast-path type but must still
+        return correct values through the array path."""
+        model = ConstantDrift(1e-6, 0.5)
+        v = model.offset_at(np.float64(100.0))
+        assert v == pytest.approx(0.5 + 1e-4)

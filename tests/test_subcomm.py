@@ -1,0 +1,205 @@
+"""Tests for sub-communicators (repro.mpi.subcomm)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import inter_node, xeon_cluster
+from repro.errors import ConfigurationError
+from repro.mpi import MpiWorld
+from repro.mpi.subcomm import COMM_INSTANCE_STRIDE
+from repro.sim.primitives import ANY_SOURCE
+
+
+def run(worker, nprocs=6, timer="global", seed=0, tracing=True):
+    preset = xeon_cluster()
+    world = MpiWorld(
+        preset, inter_node(preset.machine, nprocs), timer=timer, seed=seed,
+        duration_hint=30.0,
+    )
+    return world.run(worker, tracing=tracing, measure_offsets=False)
+
+
+class TestSplitMechanics:
+    def test_membership_and_local_ranks(self):
+        def worker(ctx):
+            comm = yield from ctx.split(color=ctx.rank % 2)
+            return (comm.comm_id, comm.rank, comm.size, tuple(comm.members))
+
+        res = run(worker)
+        evens = [res.results[r] for r in (0, 2, 4)]
+        odds = [res.results[r] for r in (1, 3, 5)]
+        assert all(m == (0, 2, 4) for _, _, _, m in evens)
+        assert all(m == (1, 3, 5) for _, _, _, m in odds)
+        assert [lr for _, lr, _, _ in evens] == [0, 1, 2]
+        # Distinct communicator ids per color, shared within a color.
+        assert len({cid for cid, *_ in evens}) == 1
+        assert evens[0][0] != odds[0][0]
+
+    def test_key_orders_local_ranks(self):
+        def worker(ctx):
+            comm = yield from ctx.split(color=0, key=-ctx.rank)  # reversed
+            return comm.rank
+
+        res = run(worker, nprocs=4)
+        assert res.results == {0: 3, 1: 2, 2: 1, 3: 0}
+
+    def test_two_splits_get_distinct_ids(self):
+        def worker(ctx):
+            a = yield from ctx.split(color=0)
+            b = yield from ctx.split(color=0)
+            return (a.comm_id, b.comm_id)
+
+        res = run(worker, nprocs=3)
+        a, b = res.results[0]
+        assert a != b
+
+    def test_nested_split(self):
+        def worker(ctx):
+            half = yield from ctx.split(color=ctx.rank // 3)
+            pair = yield from half.split(color=half.rank % 2)
+            total = yield from pair.allreduce(value=1)
+            return (pair.comm_id, pair.size, total)
+
+        res = run(worker)
+        for cid, size, total in res.results.values():
+            assert total == size  # allreduce over exactly the pair/singleton
+
+
+class TestSubcommCommunication:
+    def test_point_to_point_local_ranks(self):
+        def worker(ctx):
+            comm = yield from ctx.split(color=ctx.rank % 2)
+            peer = (comm.rank + 1) % comm.size
+            yield from comm.send(peer, tag=9, payload=ctx.rank)
+            msg = yield from comm.recv(src=(comm.rank - 1) % comm.size, tag=9)
+            return msg.payload
+
+        res = run(worker)
+        # Even comm ring: 0 <- 4, 2 <- 0, 4 <- 2.
+        assert res.results[0] == 4
+        assert res.results[2] == 0
+
+    def test_same_tag_no_cross_comm_match(self):
+        """Identical tags on two comms never cross-match."""
+
+        def worker(ctx):
+            comm = yield from ctx.split(color=ctx.rank % 2)
+            peer = (comm.rank + 1) % comm.size
+            yield from comm.send(peer, tag=1, payload=("comm", ctx.rank % 2))
+            msg = yield from comm.recv(src=(comm.rank - 1) % comm.size, tag=1)
+            return msg.payload
+
+        res = run(worker)
+        for rank, (_, color) in res.results.items():
+            assert color == rank % 2  # payload stayed within the color group
+
+    def test_collectives_per_comm(self):
+        def worker(ctx):
+            comm = yield from ctx.split(color=ctx.rank // 3)
+            s = yield from comm.allreduce(value=ctx.rank)
+            g = yield from comm.gather(root=0, value=ctx.rank)
+            b = yield from comm.bcast(root=1, payload=ctx.rank if comm.rank == 1 else None)
+            return (s, g, b)
+
+        res = run(worker)
+        assert res.results[0][0] == 0 + 1 + 2
+        assert res.results[3][0] == 3 + 4 + 5
+        assert res.results[0][1] == {0: 0, 1: 1, 2: 2}
+        assert res.results[4][2] == 4  # bcast root local rank 1 = world 4
+
+    def test_wildcard_rejected(self):
+        def worker(ctx):
+            comm = yield from ctx.split(color=0)
+            yield from comm.recv(src=ANY_SOURCE)
+            return None
+
+        from repro.errors import SimulationError
+
+        with pytest.raises((ConfigurationError, SimulationError)):
+            run(worker, nprocs=2)
+
+    def test_oversized_tag_rejected(self):
+        def worker(ctx):
+            comm = yield from ctx.split(color=0)
+            yield from comm.send((comm.rank + 1) % comm.size, tag=1 << 20)
+            return None
+
+        from repro.errors import SimulationError
+
+        with pytest.raises((ConfigurationError, SimulationError)):
+            run(worker, nprocs=2)
+
+
+class TestSubcommTracing:
+    def test_instances_unique_and_grouped_correctly(self):
+        def worker(ctx):
+            comm = yield from ctx.split(color=ctx.rank % 2)
+            yield from comm.barrier()
+            yield from ctx.barrier()
+            return None
+
+        res = run(worker)
+        colls = res.trace.collectives()
+        # One barrier per color group + one world barrier = 3 records.
+        assert len(colls) == 3
+        sizes = sorted(rec.ranks.size for rec in colls)
+        assert sizes == [3, 3, 6]
+        # Subcomm instances carry the comm id, far above world instances.
+        instances = sorted(rec.instance for rec in colls)
+        assert instances[0] < COMM_INSTANCE_STRIDE
+        assert instances[1] >= COMM_INSTANCE_STRIDE
+
+    def test_events_record_world_ranks(self):
+        def worker(ctx):
+            comm = yield from ctx.split(color=ctx.rank % 2)
+            peer = (comm.rank + 1) % comm.size
+            yield from comm.send(peer, tag=2)
+            yield from comm.recv(src=(comm.rank - 1) % comm.size, tag=2)
+            return None
+
+        res = run(worker)
+        msgs = res.trace.messages()
+        # All endpoints are world ranks within the same color class.
+        for m in msgs:
+            assert m.src % 2 == m.dst % 2
+
+    def test_corrections_work_through_subcomms(self):
+        from repro.sync.clc import ControlledLogicalClock
+        from repro.sync.violations import scan_collectives, scan_messages
+
+        def worker(ctx):
+            comm = yield from ctx.split(color=ctx.rank % 2)
+            for _ in range(5):
+                peer = (comm.rank + 1) % comm.size
+                yield from comm.send(peer, tag=3)
+                yield from comm.recv(src=(comm.rank - 1) % comm.size, tag=3)
+                yield from comm.allreduce(value=1)
+            return None
+
+        res = run(worker, timer="mpi_wtime", seed=7)
+        result = ControlledLogicalClock().correct(res.trace, lmin=1e-7)
+        assert scan_messages(result.trace.messages(refresh=True), 1e-7).violated == 0
+        coll, _ = scan_collectives(result.trace, 1e-7)
+        assert coll.violated == 0
+
+
+class TestSubcommProperties:
+    def test_random_splits_property(self):
+        """Random color assignments: each group's allreduce sums exactly
+        its members' contributions, for several seeds."""
+        import numpy as np
+
+        for seed in (1, 5, 9):
+            colors = np.random.default_rng(seed).integers(0, 3, size=6).tolist()
+
+            def worker(ctx, colors=colors):
+                comm = yield from ctx.split(color=colors[ctx.rank])
+                total = yield from comm.allreduce(value=ctx.rank)
+                return (colors[ctx.rank], total)
+
+            res = run(worker)
+            for rank, (color, total) in res.results.items():
+                expected = sum(r for r in range(6) if colors[r] == color)
+                assert total == expected, (seed, rank)

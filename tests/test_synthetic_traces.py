@@ -1,0 +1,126 @@
+"""Property tests on directly synthesized traces (no simulation).
+
+A hypothesis strategy builds arbitrary *valid* traces — true-time
+message schedules with per-rank affine clock errors applied — so the
+postmortem algorithms are exercised on shapes no workload generator
+would produce, with the ground truth known by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sync.clc import ControlledLogicalClock, naive_shift_correct
+from repro.sync.lamport import lamport_clocks
+from repro.sync.violations import scan_messages
+from repro.tracing.events import EventLog, EventType
+from repro.tracing.trace import Trace
+
+LMIN = 1e-6
+
+
+@st.composite
+def synthetic_traces(draw):
+    """A trace with known true-time schedule and known clock errors.
+
+    Returns ``(trace, true_violations)`` where ``true_violations`` is
+    the number of messages whose *recorded* receive precedes its
+    recorded send (computable exactly from the construction).
+    """
+    nranks = draw(st.integers(2, 5))
+    nmsgs = draw(st.integers(1, 15))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+
+    # Per-rank affine clock error: offset + tiny rate (order-preserving).
+    offsets = rng.uniform(-5e-4, 5e-4, nranks)
+    rates = rng.uniform(-2e-6, 2e-6, nranks)
+
+    # True-time schedule: sends at random times, receives after >= LMIN.
+    events: dict[int, list[tuple[float, EventType, int, int]]] = {
+        r: [] for r in range(nranks)
+    }
+    for mid in range(nmsgs):
+        src = int(rng.integers(0, nranks))
+        dst = int((src + 1 + rng.integers(0, nranks - 1)) % nranks)
+        t_send = float(rng.uniform(0.0, 1.0))
+        t_recv = t_send + LMIN + float(rng.exponential(2e-4))
+        events[src].append((t_send, EventType.SEND, dst, mid))
+        events[dst].append((t_recv, EventType.RECV, src, mid))
+    # Local filler events.
+    for r in range(nranks):
+        for _ in range(int(rng.integers(0, 4))):
+            events[r].append((float(rng.uniform(0.0, 1.2)), EventType.ENTER, 1, -1))
+
+    logs = {}
+    recorded: dict[int, tuple[float, float]] = {}  # mid -> (send_rec, recv_rec)
+    for r in range(nranks):
+        events[r].sort(key=lambda e: e[0])
+        log = EventLog()
+        for t_true, etype, peer, mid in events[r]:
+            ts = t_true + offsets[r] + rates[r] * t_true
+            if etype is EventType.ENTER:
+                log.append(ts, etype, a=peer)
+            else:
+                log.append(ts, etype, a=peer, b=0, c=0, d=mid)
+                if mid >= 0:
+                    s, rv = recorded.get(mid, (np.nan, np.nan))
+                    if etype is EventType.SEND:
+                        recorded[mid] = (ts, rv)
+                    else:
+                        recorded[mid] = (s, ts)
+        logs[r] = log
+    trace = Trace(logs)
+    true_violations = sum(1 for s, rv in recorded.values() if rv < s)
+    return trace, true_violations
+
+
+class TestSyntheticTraceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=synthetic_traces())
+    def test_scan_counts_exactly_the_injected_reversals(self, data):
+        trace, true_violations = data
+        report = scan_messages(trace.messages(), lmin=0.0)
+        assert report.violated == true_violations
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=synthetic_traces())
+    def test_clc_always_repairs(self, data):
+        trace, _ = data
+        result = ControlledLogicalClock().correct(trace, lmin=LMIN)
+        assert scan_messages(result.trace.messages(refresh=True), lmin=LMIN).violated == 0
+        for rank in trace.ranks:
+            ts = result.trace.logs[rank].timestamps
+            assert np.all(np.diff(ts) >= -1e-15)
+            assert np.all(ts - trace.logs[rank].timestamps >= -1e-15)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=synthetic_traces())
+    def test_naive_always_repairs(self, data):
+        trace, _ = data
+        result = naive_shift_correct(trace, lmin=LMIN)
+        assert scan_messages(result.trace.messages(refresh=True), lmin=LMIN).violated == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=synthetic_traces())
+    def test_lamport_respects_messages(self, data):
+        trace, _ = data
+        clocks = lamport_clocks(trace)
+        msgs = trace.messages()
+        for k in range(len(msgs)):
+            src, dst = int(msgs.src[k]), int(msgs.dst[k])
+            s_idx, r_idx = int(msgs.send_idx[k]), int(msgs.recv_idx[k])
+            assert clocks[src][s_idx] < clocks[dst][r_idx]
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=synthetic_traces())
+    def test_roundtrip_preserves_scan(self, data, tmp_path_factory):
+        from repro.tracing.reader import read_trace
+        from repro.tracing.writer import write_trace
+
+        trace, true_violations = data
+        path = tmp_path_factory.mktemp("synth") / "t.npz"
+        loaded = read_trace(write_trace(trace, path))
+        assert scan_messages(loaded.messages(), lmin=0.0).violated == true_violations

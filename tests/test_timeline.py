@@ -1,0 +1,85 @@
+"""Tests for the ASCII timeline renderer (repro.analysis.timeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeline import TimelineOptions, render_message_arrows, render_timeline
+from repro.errors import TraceError
+from repro.tracing.events import EventLog, EventType
+from repro.tracing.trace import Trace
+
+
+def simple_trace():
+    log0 = EventLog()
+    log0.append(0.0, EventType.ENTER, a=1)
+    log0.append(1.0, EventType.SEND, 1, 0, 0, 0)
+    log0.append(2.0, EventType.EXIT, a=1)
+    log1 = EventLog()
+    log1.append(1.5, EventType.RECV, 0, 0, 0, 0)
+    log1.append(1.6, EventType.ENTER, a=2)
+    log1.append(1.9, EventType.EXIT, a=2)
+    return Trace({0: log0, 1: log1})
+
+
+class TestRenderTimeline:
+    def test_lanes_per_rank(self):
+        text = render_timeline(simple_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("timeline")
+        assert lines[1].startswith("rank   0")
+        assert lines[2].startswith("rank   1")
+
+    def test_occupancy_shape(self):
+        text = render_timeline(simple_trace(), options=TimelineOptions(width=40))
+        lane0 = text.splitlines()[1]
+        lane1 = text.splitlines()[2]
+        # Rank 0 is busy from t=0 to t=2 (the full window): mostly '#'.
+        assert lane0.count("#") > 30
+        # Rank 1's region covers only 0.3/2.0 of the window.
+        assert 2 <= lane1.count("#") <= 12
+
+    def test_window_selection(self):
+        text = render_timeline(simple_trace(), t0=1.55, t1=1.95)
+        lane1 = text.splitlines()[2]
+        assert lane1.count("#") > 30  # region fills the narrowed window
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            render_timeline(Trace({0: EventLog().freeze()}))
+
+    def test_pomp_events_render(self):
+        log = EventLog()
+        log.append(0.0, EventType.OMP_BARRIER_ENTER, 1, 2, 0, 0)
+        log.append(1.0, EventType.OMP_BARRIER_EXIT, 1, 2, 0, 0)
+        text = render_timeline(Trace({0: log}))
+        assert "#" in text
+
+
+class TestMessageArrows:
+    def test_lists_messages(self):
+        text = render_message_arrows(simple_trace())
+        assert "0 ->   1" in text
+        assert "BACKWARD" not in text
+
+    def test_flags_backward(self):
+        log0 = EventLog()
+        log0.append(2.0, EventType.SEND, 1, 0, 0, 0)
+        log1 = EventLog()
+        log1.append(1.0, EventType.RECV, 0, 0, 0, 0)
+        text = render_message_arrows(Trace({0: log0, 1: log1}))
+        assert "BACKWARD" in text
+
+    def test_limit(self):
+        log0 = EventLog()
+        log1 = EventLog()
+        for k in range(10):
+            log0.append(float(k), EventType.SEND, 1, 0, 0, k)
+            log1.append(float(k) + 0.5, EventType.RECV, 0, 0, 0, k)
+        text = render_message_arrows(Trace({0: log0, 1: log1}), limit=3)
+        assert text.count("->") == 3
+        assert "10 messages total" in text
+
+    def test_empty_window(self):
+        text = render_message_arrows(simple_trace(), t0=100.0, t1=200.0)
+        assert "no messages" in text

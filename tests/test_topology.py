@@ -1,0 +1,91 @@
+"""Tests for machine topology (repro.cluster.topology)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.topology import DistanceClass, Location, Machine, distance_class
+from repro.errors import ConfigurationError
+
+
+class TestLocation:
+    def test_ordered_and_hashable(self):
+        a = Location(0, 0, 0)
+        b = Location(0, 0, 1)
+        assert a < b
+        assert len({a, b, Location(0, 0, 0)}) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Location(-1, 0, 0)
+
+
+class TestDistanceClass:
+    def test_same_core(self):
+        assert distance_class(Location(1, 1, 1), Location(1, 1, 1)) is DistanceClass.SAME_CORE
+
+    def test_same_chip(self):
+        assert distance_class(Location(1, 1, 0), Location(1, 1, 3)) is DistanceClass.SAME_CHIP
+
+    def test_same_node(self):
+        assert distance_class(Location(1, 0, 0), Location(1, 1, 0)) is DistanceClass.SAME_NODE
+
+    def test_inter_node(self):
+        assert distance_class(Location(0, 0, 0), Location(1, 0, 0)) is DistanceClass.INTER_NODE
+
+    def test_symmetry(self):
+        a, b = Location(2, 1, 3), Location(2, 0, 3)
+        assert distance_class(a, b) is distance_class(b, a)
+
+
+class TestMachine:
+    def setup_method(self):
+        self.m = Machine(name="m", nodes=3, chips_per_node=2, cores_per_chip=4)
+
+    def test_counts(self):
+        assert self.m.cores_per_node == 8
+        assert self.m.total_cores == 24
+
+    def test_location_of_core_roundtrip(self):
+        locs = self.m.all_locations()
+        assert len(locs) == 24
+        assert len(set(locs)) == 24
+        assert locs[0] == Location(0, 0, 0)
+        assert locs[7] == Location(0, 1, 3)
+        assert locs[8] == Location(1, 0, 0)
+
+    def test_location_of_core_bounds(self):
+        with pytest.raises(ConfigurationError):
+            self.m.location_of_core(24)
+        with pytest.raises(ConfigurationError):
+            self.m.location_of_core(-1)
+
+    def test_validate(self):
+        self.m.validate(Location(2, 1, 3))
+        with pytest.raises(ConfigurationError):
+            self.m.validate(Location(3, 0, 0))
+        with pytest.raises(ConfigurationError):
+            self.m.validate(Location(0, 2, 0))
+        with pytest.raises(ConfigurationError):
+            self.m.validate(Location(0, 0, 4))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ConfigurationError):
+            Machine(name="bad", nodes=0, chips_per_node=1, cores_per_chip=1)
+
+    @given(
+        nodes=st.integers(1, 8),
+        chips=st.integers(1, 4),
+        cores=st.integers(1, 8),
+        data=st.data(),
+    )
+    def test_flat_mapping_bijective(self, nodes, chips, cores, data):
+        m = Machine(name="p", nodes=nodes, chips_per_node=chips, cores_per_chip=cores)
+        flat = data.draw(st.integers(0, m.total_cores - 1))
+        loc = m.location_of_core(flat)
+        m.validate(loc)
+        # Invert manually.
+        rebuilt = (loc.node * m.cores_per_node) + loc.chip * m.cores_per_chip + loc.core
+        assert rebuilt == flat

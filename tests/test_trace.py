@@ -1,0 +1,172 @@
+"""Tests for the Trace container and record extraction (repro.tracing.trace)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError, TraceError
+from repro.tracing.events import CollectiveOp, EventLog, EventType
+from repro.tracing.trace import Trace
+
+
+def two_rank_trace(with_ids=True, recv_before_send=False):
+    """Rank 0 sends two tagged messages to rank 1."""
+    send_ts = [1.0, 2.0]
+    recv_ts = [1.5, 2.5] if not recv_before_send else [0.5, 2.5]
+    log0 = EventLog()
+    log0.append(0.5, EventType.ENTER, a=1)
+    log0.append(send_ts[0], EventType.SEND, a=1, b=7, c=100, d=0 if with_ids else -1)
+    log0.append(send_ts[1], EventType.SEND, a=1, b=8, c=200, d=1 if with_ids else -1)
+    log0.append(3.0, EventType.EXIT, a=1)
+    log1 = EventLog()
+    log1.append(recv_ts[0], EventType.RECV, a=0, b=7, c=100, d=0 if with_ids else -1)
+    log1.append(recv_ts[1], EventType.RECV, a=0, b=8, c=200, d=1 if with_ids else -1)
+    return Trace({0: log0, 1: log1}, meta={"machine": "test"})
+
+
+class TestBasics:
+    def test_requires_nonempty(self):
+        with pytest.raises(TraceError):
+            Trace({})
+
+    def test_ranks_sorted(self):
+        t = two_rank_trace()
+        assert t.ranks == [0, 1]
+        assert t.nranks == 2
+
+    def test_total_events_and_counts(self):
+        t = two_rank_trace()
+        assert t.total_events() == 6
+        counts = t.event_counts()
+        assert counts[EventType.SEND] == 2
+        assert counts[EventType.RECV] == 2
+        assert counts[EventType.ENTER] == 1
+
+    def test_message_event_fraction(self):
+        t = two_rank_trace()
+        assert t.message_event_fraction() == pytest.approx(4 / 6)
+
+
+class TestMatching:
+    def test_match_by_id(self):
+        msgs = two_rank_trace(with_ids=True).messages()
+        assert len(msgs) == 2
+        by_tag = {int(t): i for i, t in enumerate(msgs.tag)}
+        m7 = msgs.row(by_tag[7])
+        assert (m7.src, m7.dst) == (0, 1)
+        assert m7.send_ts == 1.0 and m7.recv_ts == 1.5
+        assert m7.nbytes == 100
+
+    def test_match_fifo_agrees_with_ids(self):
+        by_id = two_rank_trace(with_ids=True).messages()
+        fifo = two_rank_trace(with_ids=False).messages()
+        assert len(by_id) == len(fifo)
+        key = lambda m: (m.src, m.dst, m.tag, m.send_ts, m.recv_ts)
+        assert sorted(map(key, by_id)) == sorted(map(key, fifo))
+
+    def test_fifo_ordering_within_channel(self):
+        # Two same-tag messages must match first-to-first.
+        log0 = EventLog()
+        log0.append(1.0, EventType.SEND, a=1, b=5, c=10, d=-1)
+        log0.append(2.0, EventType.SEND, a=1, b=5, c=20, d=-1)
+        log1 = EventLog()
+        log1.append(1.4, EventType.RECV, a=0, b=5, c=0, d=-1)
+        log1.append(2.4, EventType.RECV, a=0, b=5, c=0, d=-1)
+        msgs = Trace({0: log0, 1: log1}).messages()
+        order = np.argsort(msgs.send_ts)
+        assert msgs.recv_ts[order[0]] == 1.4
+        assert msgs.recv_ts[order[1]] == 2.4
+
+    def test_unmatched_receive_strict_raises(self):
+        log0 = EventLog()  # no sends
+        log1 = EventLog()
+        log1.append(1.0, EventType.RECV, a=0, b=5, c=0, d=-1)
+        trace = Trace({0: log0, 1: log1})
+        with pytest.raises(MatchingError):
+            trace.messages()
+
+    def test_unmatched_send_strict_raises(self):
+        log0 = EventLog()
+        log0.append(1.0, EventType.SEND, a=1, b=5, c=0, d=-1)
+        trace = Trace({0: log0, 1: EventLog()})
+        with pytest.raises(MatchingError):
+            trace.messages()
+
+    def test_nonstrict_drops_half_matched(self):
+        log0 = EventLog()
+        log0.append(1.0, EventType.SEND, a=1, b=5, c=0, d=7)
+        log0.append(2.0, EventType.SEND, a=1, b=5, c=0, d=8)
+        log1 = EventLog()
+        log1.append(1.5, EventType.RECV, a=0, b=5, c=0, d=7)
+        # d=8's receive fell outside the tracing window.
+        trace = Trace({0: log0, 1: log1})
+        msgs = trace.messages(strict=False)
+        assert len(msgs) == 1
+
+    def test_violated_timestamps_still_match(self):
+        # Matching is structural; reversed timestamps must not break it.
+        msgs = two_rank_trace(recv_before_send=True).messages()
+        assert len(msgs) == 2
+        assert (msgs.recv_ts < msgs.send_ts).any()
+
+    def test_empty_trace_matches_empty(self):
+        log = EventLog()
+        log.append(1.0, EventType.ENTER, a=1)
+        assert len(Trace({0: log}).messages()) == 0
+
+
+class TestCollectives:
+    def make_collective_trace(self):
+        logs = {}
+        for rank in range(3):
+            log = EventLog()
+            log.append(1.0 + 0.1 * rank, EventType.COLL_ENTER,
+                       int(CollectiveOp.ALLREDUCE), 0, 3, 0)
+            log.append(2.0 + 0.1 * rank, EventType.COLL_EXIT,
+                       int(CollectiveOp.ALLREDUCE), 0, 3, 0)
+            log.append(3.0, EventType.COLL_ENTER, int(CollectiveOp.BCAST), 1, 3, 1)
+            log.append(4.0, EventType.COLL_EXIT, int(CollectiveOp.BCAST), 1, 3, 1)
+            logs[rank] = log
+        return Trace(logs)
+
+    def test_extraction(self):
+        colls = self.make_collective_trace().collectives()
+        assert len(colls) == 2
+        first = colls[0]
+        assert first.op is CollectiveOp.ALLREDUCE
+        assert first.root == 0
+        np.testing.assert_array_equal(first.ranks, [0, 1, 2])
+        np.testing.assert_allclose(first.enter_ts, [1.0, 1.1, 1.2])
+        second = colls[1]
+        assert second.op is CollectiveOp.BCAST
+        assert second.root == 1
+
+    def test_unclosed_collective_rejected(self):
+        log = EventLog()
+        log.append(1.0, EventType.COLL_ENTER, int(CollectiveOp.BARRIER), 0, 2, 0)
+        with pytest.raises(TraceError):
+            Trace({0: log}).collectives()
+
+    def test_exit_without_enter_rejected(self):
+        log = EventLog()
+        log.append(1.0, EventType.COLL_EXIT, int(CollectiveOp.BARRIER), 0, 2, 0)
+        with pytest.raises(TraceError):
+            Trace({0: log}).collectives()
+
+
+class TestWithTimestamps:
+    def test_replaces_selected_ranks(self):
+        t = two_rank_trace()
+        new = t.with_timestamps({1: t.logs[1].timestamps + 100.0})
+        assert new.logs[1][0].timestamp == pytest.approx(101.5)
+        assert new.logs[0][0].timestamp == pytest.approx(0.5)
+        # Metadata carried over.
+        assert new.meta["machine"] == "test"
+
+    def test_caches_are_not_shared(self):
+        t = two_rank_trace()
+        _ = t.messages()
+        new = t.with_timestamps({1: t.logs[1].timestamps + 100.0})
+        msgs = new.messages()
+        assert (msgs.recv_ts > 100.0).all()

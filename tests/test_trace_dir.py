@@ -1,0 +1,76 @@
+"""Tests for the per-rank trace directory format."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.tracing.events import EventLog, EventType
+from repro.tracing.reader import read_trace_dir
+from repro.tracing.trace import Trace
+from repro.tracing.writer import write_trace_dir
+
+
+@pytest.fixture
+def trace():
+    log0 = EventLog()
+    log0.append(1.0, EventType.SEND, 1, 7, 64, 0)
+    log1 = EventLog()
+    log1.append(1.5, EventType.RECV, 0, 7, 64, 0)
+    log2 = EventLog()
+    log2.append(2.0, EventType.ENTER, a=3)
+    log2.append(2.5, EventType.EXIT, a=3)
+    return Trace({0: log0, 1: log1, 2: log2}, meta={"machine": "xeon", "timer": "tsc"})
+
+
+class TestRoundTrip:
+    def test_full(self, trace, tmp_path):
+        d = write_trace_dir(trace, tmp_path / "trace")
+        loaded = read_trace_dir(d)
+        assert loaded.ranks == trace.ranks
+        for rank in trace.ranks:
+            np.testing.assert_array_equal(
+                loaded.logs[rank].timestamps, trace.logs[rank].timestamps
+            )
+        assert loaded.meta["machine"] == "xeon"
+        assert len(loaded.messages()) == 1
+
+    def test_layout(self, trace, tmp_path):
+        d = write_trace_dir(trace, tmp_path / "trace")
+        assert (d / "anchor.json").exists()
+        for rank in (0, 1, 2):
+            assert (d / f"rank_{rank}.npz").exists()
+
+    def test_subset_load(self, trace, tmp_path):
+        d = write_trace_dir(trace, tmp_path / "trace")
+        sub = read_trace_dir(d, ranks=[2])
+        assert sub.ranks == [2]
+        assert sub.total_events() == 2
+
+
+class TestErrors:
+    def test_missing_anchor(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="anchor"):
+            read_trace_dir(tmp_path)
+
+    def test_unknown_rank_requested(self, trace, tmp_path):
+        d = write_trace_dir(trace, tmp_path / "trace")
+        with pytest.raises(TraceFormatError, match="not in anchor"):
+            read_trace_dir(d, ranks=[9])
+
+    def test_missing_rank_file(self, trace, tmp_path):
+        d = write_trace_dir(trace, tmp_path / "trace")
+        (d / "rank_1.npz").unlink()
+        with pytest.raises(TraceFormatError, match="rank_1"):
+            read_trace_dir(d)
+
+    def test_version_check(self, trace, tmp_path):
+        d = write_trace_dir(trace, tmp_path / "trace")
+        anchor = json.loads((d / "anchor.json").read_text())
+        anchor["version"] = 99
+        (d / "anchor.json").write_text(json.dumps(anchor))
+        with pytest.raises(TraceFormatError, match="version"):
+            read_trace_dir(d)

@@ -1,0 +1,77 @@
+"""Tests for postmortem trace slicing (Trace.slice)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import inter_node, xeon_cluster
+from repro.errors import TraceError
+from repro.mpi import MpiWorld
+from repro.tracing.events import EventLog, EventType
+from repro.tracing.trace import Trace
+from repro.workloads import SparseConfig, sparse_worker
+
+
+def simulated_trace():
+    preset = xeon_cluster()
+    world = MpiWorld(
+        preset, inter_node(preset.machine, 4), timer="global", seed=3, duration_hint=30.0
+    )
+    return world.run(
+        sparse_worker(SparseConfig(rounds=10, collective_every=0), seed=3),
+        measure_offsets=False,
+    ).trace
+
+
+class TestSlice:
+    def test_window_filtering(self):
+        trace = simulated_trace()
+        all_ts = np.concatenate([trace.logs[r].timestamps for r in trace.ranks])
+        t0, t1 = np.percentile(all_ts, [25, 75])
+        window = trace.slice(float(t0), float(t1))
+        for rank in window.ranks:
+            ts = window.logs[rank].timestamps
+            if ts.size:
+                assert ts.min() >= t0
+                assert ts.max() < t1
+        assert window.total_events() < trace.total_events()
+        assert window.meta["slice"] == (t0, t1)
+
+    def test_half_matched_messages_tolerated(self):
+        trace = simulated_trace()
+        all_ts = np.concatenate([trace.logs[r].timestamps for r in trace.ranks])
+        mid = float(np.median(all_ts))
+        window = trace.slice(mid, float(all_ts.max()) + 1.0)
+        msgs = window.messages(strict=False)
+        assert len(msgs) <= len(trace.messages())
+
+    def test_attributes_preserved(self):
+        log = EventLog()
+        log.append(1.0, EventType.SEND, 7, 8, 9, 10)
+        log.append(5.0, EventType.ENTER, a=3)
+        trace = Trace({0: log})
+        window = trace.slice(0.0, 2.0)
+        ev = window.logs[0][0]
+        assert (ev.a, ev.b, ev.c, ev.d) == (7, 8, 9, 10)
+        assert len(window.logs[0]) == 1
+
+    def test_empty_window_rejected(self):
+        trace = simulated_trace()
+        with pytest.raises(TraceError):
+            trace.slice(5.0, 5.0)
+
+    def test_full_window_is_identity(self):
+        trace = simulated_trace()
+        window = trace.slice(-1e9, 1e9)
+        assert window.total_events() == trace.total_events()
+
+    def test_slice_then_scan(self):
+        """A sliced trace flows through the violation scanner."""
+        from repro.sync.violations import scan_messages
+
+        trace = simulated_trace()
+        all_ts = np.concatenate([trace.logs[r].timestamps for r in trace.ranks])
+        window = trace.slice(float(all_ts.min()), float(np.median(all_ts)))
+        report = scan_messages(window.messages(strict=False), 0.0)
+        assert report.violated == 0  # perfect clock, no violations ever

@@ -1,0 +1,60 @@
+"""Tests for time-unit helpers."""
+
+from __future__ import annotations
+
+import math
+
+from repro import units
+
+
+class TestConstants:
+    def test_relative_magnitudes(self):
+        assert units.SEC == 1.0
+        assert units.MSEC == 1e-3
+        assert units.USEC == 1e-6
+        assert units.NSEC == 1e-9
+        assert units.MINUTE == 60.0
+        assert units.HOUR == 3600.0
+        assert units.PPM == 1e-6
+        assert units.PPB == 1e-9
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert units.format_seconds(4.29e-6) == "4.290 us"
+
+    def test_negative_milliseconds(self):
+        assert units.format_seconds(-0.25) == "-250.000 ms"
+
+    def test_zero(self):
+        assert units.format_seconds(0.0) == "0.000 s"
+
+    def test_seconds(self):
+        assert units.format_seconds(2.5) == "2.500 s"
+
+    def test_nanoseconds(self):
+        assert units.format_seconds(3.2e-9) == "3.200 ns"
+
+    def test_sub_nanosecond_stays_in_ns(self):
+        assert units.format_seconds(5e-10) == "0.500 ns"
+
+    def test_digits_parameter(self):
+        assert units.format_seconds(1.23456e-6, digits=1) == "1.2 us"
+
+    def test_non_finite(self):
+        assert "nan" in units.format_seconds(math.nan)
+        assert "inf" in units.format_seconds(math.inf)
+
+
+class TestFormatRate:
+    def test_ppm(self):
+        assert units.format_rate(2.5e-6) == "2.50 ppm"
+
+    def test_ppb(self):
+        assert units.format_rate(3e-9) == "3.00 ppb"
+
+    def test_zero_is_ppm(self):
+        assert units.format_rate(0.0) == "0.00 ppm"
+
+    def test_negative(self):
+        assert units.format_rate(-1.5e-6) == "-1.50 ppm"

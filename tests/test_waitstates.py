@@ -1,0 +1,121 @@
+"""Tests for wait-state analysis (repro.analysis.waitstates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.waitstates import WaitStateReport, late_sender
+from repro.cluster import inter_node, xeon_cluster
+from repro.errors import TraceError
+from repro.mpi import MpiWorld
+
+
+def run_late_sender_job(timer="global", seed=0, delay=1e-3, mpi_regions=True):
+    """Rank 0 computes for ``delay`` then sends; rank 1 posts its receive
+    immediately — a textbook Late Sender of ~``delay`` seconds."""
+    preset = xeon_cluster()
+    world = MpiWorld(
+        preset,
+        inter_node(preset.machine, 2),
+        timer=timer,
+        seed=seed,
+        duration_hint=30.0,
+        mpi_regions=mpi_regions,
+    )
+
+    def worker(ctx):
+        if ctx.rank == 0:
+            yield from ctx.compute(delay)
+            yield from ctx.send(1, tag=1)
+        else:
+            yield from ctx.recv(src=0, tag=1)
+        return None
+
+    return world.run(worker, measure_offsets=False)
+
+
+class TestLateSender:
+    def test_measures_known_wait(self):
+        run = run_late_sender_job(delay=2e-3)
+        report = late_sender(run.trace)
+        assert len(report) == 1
+        # Receiver posted ~immediately; sender started after 2 ms.
+        assert report.waits[0] == pytest.approx(2e-3, rel=0.05)
+        assert report.total == pytest.approx(2e-3, rel=0.05)
+        assert report.negative_count == 0
+
+    def test_attribution_by_rank(self):
+        run = run_late_sender_job(delay=1e-3)
+        report = late_sender(run.trace)
+        by_rank = report.by_rank()
+        assert set(by_rank) == {1}
+        assert by_rank[1] > 0
+
+    def test_requires_mpi_regions(self):
+        run = run_late_sender_job(mpi_regions=False)
+        with pytest.raises(TraceError):
+            late_sender(run.trace)
+
+    def test_no_wait_when_sender_early(self):
+        preset = xeon_cluster()
+        world = MpiWorld(
+            preset, inter_node(preset.machine, 2), timer="global",
+            duration_hint=30.0, mpi_regions=True,
+        )
+
+        def worker(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=1)
+            else:
+                yield from ctx.compute(1e-3)  # receiver arrives late
+                yield from ctx.recv(src=0, tag=1)
+            return None
+
+        run = world.run(worker, measure_offsets=False)
+        report = late_sender(run.trace)
+        # Send happened before the receive was posted: negative wait,
+        # zero reported total (a Late Receiver, not a Late Sender).
+        assert report.total == 0.0
+        assert report.waits[0] < 0
+
+    def test_clock_errors_corrupt_waits(self):
+        """The paper's 'false conclusions': with drifting MPI_Wtime
+        clocks the measured wait differs from the true one by the clock
+        error between the nodes."""
+        truth = late_sender(run_late_sender_job(timer="global", delay=5e-4).trace)
+        skewed = late_sender(
+            run_late_sender_job(timer="mpi_wtime", seed=7, delay=5e-4).trace
+        )
+        # Identical schedule, different clocks: totals diverge by the
+        # inter-node offset (tens of us at this preset).
+        assert abs(skewed.total - truth.total) > 1e-6
+
+
+class TestReportMechanics:
+    def test_empty_report(self):
+        report = WaitStateReport(
+            waits=np.empty(0), dst=np.empty(0, dtype=np.int64)
+        )
+        assert report.total == 0.0
+        assert report.negative_count == 0
+        assert report.late_sender_count == 0
+        assert report.by_rank() == {}
+
+    def test_sign_flips(self):
+        truth = WaitStateReport(
+            waits=np.array([1.0, -1.0, 2.0]), dst=np.zeros(3, dtype=np.int64)
+        )
+        skew = WaitStateReport(
+            waits=np.array([1.0, 1.0, -2.0]), dst=np.zeros(3, dtype=np.int64)
+        )
+        assert skew.sign_flips(truth) == 2
+        assert truth.sign_flips(truth) == 0
+
+    def test_sign_flips_shape_check(self):
+        from repro.errors import TraceError
+
+        a = WaitStateReport(waits=np.array([1.0]), dst=np.zeros(1, dtype=np.int64))
+        b = WaitStateReport(waits=np.array([1.0, 2.0]), dst=np.zeros(2, dtype=np.int64))
+        with pytest.raises(TraceError):
+            a.sign_flips(b)

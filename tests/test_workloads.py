@@ -1,0 +1,179 @@
+"""Tests for the synthetic workloads (repro.workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import inter_node, scheduler_default, xeon_cluster
+from repro.errors import ConfigurationError
+from repro.mpi import MpiWorld
+from repro.tracing.events import EventType
+from repro.workloads import (
+    PopConfig,
+    Smg2000Config,
+    SparseConfig,
+    pop_worker,
+    smg2000_worker,
+    sparse_worker,
+)
+
+
+def run_workload(worker, nprocs, seed=0, duration_hint=200.0, packed=False):
+    preset = xeon_cluster()
+    pin = (
+        scheduler_default(preset.machine, nprocs)
+        if packed
+        else inter_node(preset.machine, nprocs)
+    )
+    world = MpiWorld(preset, pin, timer="tsc", seed=seed, duration_hint=duration_hint)
+    return world.run(worker)
+
+
+class TestPop:
+    def small(self, **kw):
+        defaults = dict(
+            steps=20, step_time=1e-3, trace_window=(5, 15), grid=(2, 2), fast_forward=True
+        )
+        defaults.update(kw)
+        return PopConfig(**defaults)
+
+    def test_grid_must_match_size(self):
+        cfg = self.small()
+        with pytest.raises(ConfigurationError):
+            run_workload(pop_worker(cfg), nprocs=5)
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            PopConfig(steps=10, trace_window=(5, 20))
+        with pytest.raises(ConfigurationError):
+            PopConfig(steps=0, trace_window=None)
+
+    def test_only_window_traced(self):
+        res = run_workload(pop_worker(self.small()), nprocs=4)
+        # 10 traced steps x 4 instrumented regions (step, baroclinic,
+        # halo, barotropic) per rank.
+        for rank in range(4):
+            log = res.trace.logs[rank]
+            assert len(log.select(EventType.ENTER)) == 40
+            assert len(log.select(EventType.EXIT)) == 40
+
+    def test_halo_pattern(self):
+        """Each rank on a periodic-x 2x2 grid sends east+west (+north or
+        south) per step."""
+        res = run_workload(pop_worker(self.small()), nprocs=4)
+        msgs = res.trace.messages(strict=False)
+        assert len(msgs) > 0
+        # Communication is with grid neighbours only.
+        for m in msgs:
+            assert m.src != m.dst
+
+    def test_reductions_recorded(self):
+        res = run_workload(pop_worker(self.small()), nprocs=4)
+        colls = res.trace.collectives()
+        assert len(colls) == 10 * 2  # reductions_per_step=2 in window
+
+    def test_full_tracing_without_window(self):
+        cfg = self.small(trace_window=None)
+        res = run_workload(pop_worker(cfg), nprocs=4)
+        assert len(res.trace.logs[0].select(EventType.ENTER)) == 80
+
+    def test_fast_forward_false_still_runs(self):
+        cfg = self.small(fast_forward=False, steps=8, trace_window=(2, 6))
+        res = run_workload(pop_worker(cfg), nprocs=4)
+        # Untraced steps still communicated; traced window unchanged.
+        assert len(res.trace.logs[0].select(EventType.ENTER)) == 16
+
+    def test_matched_messages_within_window(self):
+        res = run_workload(pop_worker(self.small()), nprocs=4)
+        msgs = res.trace.messages(strict=False)
+        # Halo messages: 4 ranks x 10 steps x >=3 faces... all matched
+        # pairs must have both endpoints recorded.
+        assert (msgs.send_idx >= 0).all()
+        assert len(msgs) >= 4 * 10 * 3 - 8  # some edge sends may straddle window
+
+
+class TestSmg2000:
+    def test_structure(self):
+        cfg = Smg2000Config(cycles=2, smooth_time=1e-4, pre_sleep=0.5, post_sleep=0.5)
+        res = run_workload(smg2000_worker(cfg), nprocs=8, duration_hint=30.0)
+        log = res.trace.logs[0]
+        # 2 cycles x (1 cycle region + 2 * levels level regions), and one
+        # allreduce per cycle; levels = log2(8) = 3.
+        assert len(log.select(EventType.ENTER)) == 2 * (1 + 2 * 3)
+        assert len(log.select(EventType.COLL_ENTER)) == 2
+
+    def test_non_nearest_neighbour_traffic(self):
+        """Coarse levels must exchange with partners at stride > 1."""
+        cfg = Smg2000Config(cycles=1, smooth_time=1e-4, pre_sleep=0.0, post_sleep=0.0)
+        res = run_workload(smg2000_worker(cfg), nprocs=8, duration_hint=30.0)
+        msgs = res.trace.messages(strict=False)
+        strides = {abs(int(m.src) - int(m.dst)) % 8 for m in msgs}
+        assert any(s not in (1, 7) for s in strides)  # beyond nearest neighbours
+
+    def test_sleeps_stretch_the_run(self):
+        cfg = Smg2000Config(cycles=1, smooth_time=1e-4, pre_sleep=3.0, post_sleep=2.0)
+        res = run_workload(smg2000_worker(cfg), nprocs=4, duration_hint=30.0)
+        assert res.duration >= 5.0
+
+    def test_sleep_outside_trace(self):
+        cfg = Smg2000Config(cycles=1, smooth_time=1e-4, pre_sleep=1.0, post_sleep=1.0)
+        res = run_workload(smg2000_worker(cfg), nprocs=4, duration_hint=30.0)
+        ts = res.trace.logs[0].timestamps
+        # All events recorded between the sleeps.
+        assert ts.min() >= 0.9  # after pre_sleep (clock offsets are small for tsc)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Smg2000Config(cycles=0)
+        with pytest.raises(ConfigurationError):
+            Smg2000Config(pre_sleep=-1.0)
+
+
+class TestSparse:
+    def test_all_messages_matched(self):
+        res = run_workload(sparse_worker(SparseConfig(rounds=8, density=0.4)), nprocs=4)
+        msgs = res.trace.messages()  # strict: raises if any unmatched
+        assert len(msgs) > 0
+
+    def test_plan_identical_across_ranks(self):
+        """If ranks derived different plans the run would deadlock; a
+        completed run with matched messages is the proof."""
+        res = run_workload(sparse_worker(SparseConfig(rounds=10, density=0.3)), nprocs=6)
+        assert res.results == {r: 10 for r in range(6)}
+
+    def test_collective_cadence(self):
+        res = run_workload(
+            sparse_worker(SparseConfig(rounds=10, collective_every=5)), nprocs=4
+        )
+        assert len(res.trace.collectives()) == 2
+
+    def test_density_zero_no_messages(self):
+        res = run_workload(
+            sparse_worker(SparseConfig(rounds=3, density=0.0, collective_every=0)),
+            nprocs=3,
+        )
+        assert len(res.trace.messages()) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SparseConfig(rounds=0)
+        with pytest.raises(ConfigurationError):
+            SparseConfig(density=1.5)
+
+
+class TestPopRowReductions:
+    def test_row_communicator_reductions(self):
+        """With row_reductions on, one reduction per step runs on a
+        4-rank row communicator instead of the world."""
+        cfg = PopConfig(
+            steps=6, step_time=1e-3, trace_window=None, grid=(4, 2),
+            row_reductions=True,
+        )
+        res = run_workload(pop_worker(cfg), nprocs=8)
+        sizes = sorted({rec.ranks.size for rec in res.trace.collectives()})
+        assert sizes == [4, 8]
+        # Correctness: rows are {0..3} and {4..7}.
+        for rec in res.trace.collectives():
+            if rec.ranks.size == 4:
+                assert set(rec.ranks) in ({0, 1, 2, 3}, {4, 5, 6, 7})
