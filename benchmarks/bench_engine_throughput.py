@@ -6,7 +6,7 @@ postmortem message matching, violation scan, and CLC throughput.
 """
 
 import numpy as np
-from conftest import emit
+from conftest import emit, record_metric
 
 from repro.cluster import inter_node, xeon_cluster
 from repro.mpi import MpiWorld
@@ -34,6 +34,11 @@ def test_engine_event_rate(benchmark):
     emit(
         f"engine throughput: {result.events_processed} engine events per run, "
         f"~{rate / 1e3:.0f}k events/s"
+    )
+    record_metric(
+        "test_engine_event_rate",
+        events_per_run=int(result.events_processed),
+        events_per_second=rate,
     )
     assert result.events_processed > 1000
 
@@ -66,6 +71,11 @@ def test_violation_scan_rate(benchmark):
     emit(
         f"violation scan: {n} messages in {benchmark.stats['mean'] * 1e3:.2f} ms "
         f"({report.violated} violations found)"
+    )
+    record_metric(
+        "test_violation_scan_rate",
+        messages=n,
+        messages_per_second=n / benchmark.stats["mean"],
     )
     assert report.checked == n
 

@@ -7,16 +7,28 @@ prints the same rows/series the paper reports.  Output goes through
 would still swallow the stdout copy for passing tests, so regenerate
 with ``pytest benchmarks/ --benchmark-only -s`` when you want the
 tables on the terminal/teed file; the results file gets them always.
+
+Alongside the text, every session writes a machine-readable
+``benchmarks/results/latest.json``: per-benchmark mean/stddev/rounds
+from pytest-benchmark, merged with any derived metrics a bench recorded
+via :func:`record_metric` (e.g. events-per-second, speedup factors).
+Future PRs diff that file to track the perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
+import platform
 import sys
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: benchmark-name (or standalone metric name) -> derived metrics dict,
+#: merged into latest.json at session end.
+_METRICS: dict[str, dict] = {}
 
 
 def emit(text: str) -> None:
@@ -28,8 +40,57 @@ def emit(text: str) -> None:
         fh.write(text + "\n")
 
 
+def record_metric(bench_name: str, **metrics) -> None:
+    """Attach derived metrics (events/s, speedups, ...) to ``latest.json``.
+
+    ``bench_name`` should match the benchmark's test name to merge with
+    its timing entry; unknown names become standalone entries.
+    """
+    _METRICS.setdefault(bench_name, {}).update(metrics)
+
+
+def _stat(stats, field):
+    value = getattr(stats, field, None)
+    return float(value) if value is not None else None
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results_file():
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "latest.txt").write_text("", encoding="utf-8")
+    _METRICS.clear()
     yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write benchmarks/results/latest.json (per-bench mean/stddev + extras)."""
+    entries: dict[str, dict] = {}
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is not None:
+        for bench in getattr(bench_session, "benchmarks", []):
+            stats = getattr(bench, "stats", None)
+            if stats is None:  # bench errored or was skipped
+                continue
+            entries[bench.name] = {
+                "group": getattr(bench, "group", None),
+                "mean_s": _stat(stats, "mean"),
+                "stddev_s": _stat(stats, "stddev"),
+                "min_s": _stat(stats, "min"),
+                "max_s": _stat(stats, "max"),
+                "rounds": getattr(stats, "rounds", None),
+            }
+    for name, metrics in _METRICS.items():
+        entries.setdefault(name, {}).update(metrics)
+    if not entries:
+        return
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exit_status": int(exitstatus),
+        "benchmarks": entries,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "latest.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

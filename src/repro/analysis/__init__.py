@@ -6,12 +6,15 @@
   series under a correction scheme (Figs. 4-6 and the intra-node study);
 * :mod:`repro.analysis.experiments` — one driver per paper table/figure,
   returning structured results;
+* :mod:`repro.analysis.runner` — parallel grid execution with
+  deterministic fan-out and result caching;
 * :mod:`repro.analysis.reports` — ASCII rendering shared by benches,
   examples, and EXPERIMENTS.md.
 """
 
 from repro.analysis.latency import LatencyStats, measure_collective_latency, measure_latency
 from repro.analysis.deviation import DeviationSeries, measure_deviation
+from repro.analysis.runner import derive_seed, run_grid, seed_grid
 from repro.analysis.profile import RegionProfile, region_profile
 from repro.analysis.reports import ascii_table, format_series
 from repro.analysis.timeline import render_message_arrows, render_timeline
@@ -32,4 +35,7 @@ __all__ = [
     "WaitStateReport",
     "late_sender",
     "barrier_waits",
+    "run_grid",
+    "derive_seed",
+    "seed_grid",
 ]

@@ -23,6 +23,8 @@ from repro.analysis.latency import (
     measure_collective_latency,
     measure_latency,
 )
+from repro.analysis.runner import run_grid
+from repro.cache import ResultCache
 from repro.cluster.jitter import OsJitterModel
 from repro.cluster.machines import (
     ClusterPreset,
@@ -60,6 +62,7 @@ __all__ = [
     "table2_latencies",
     "fig3_barrier_violation",
     "fig4_timer_deviation",
+    "fig4_all_panels",
     "fig5_interpolated_deviation",
     "fig6_short_run",
     "fig7_app_violations",
@@ -104,29 +107,52 @@ class Table2Result:
         return {r.label: r for r in self.rows}
 
 
-def table2_latencies(seed: int = 0, repeats: int = 1000, coll_repeats: int = 200) -> Table2Result:
-    """Measured message and collective latencies per placement (Table II)."""
+def _table2_row(kind: str, seed: int, repeats: int) -> LatencyStats:
+    """One Table II measurement — a standalone job for :func:`run_grid`."""
     preset = xeon_cluster()
     machine = preset.machine
-    rows = [
-        measure_latency(
+    if kind == "inter_node":
+        return measure_latency(
             preset, inter_node(machine, 4), repeats=repeats, seed=seed,
             label="Inter node message latency",
-        ),
-        measure_latency(
+        )
+    if kind == "inter_chip":
+        return measure_latency(
             preset, inter_chip(machine), repeats=repeats, seed=seed,
             label="Inter chip message latency",
-        ),
-        measure_latency(
+        )
+    if kind == "inter_core":
+        return measure_latency(
             preset, inter_core(machine), repeats=repeats, seed=seed,
             label="Inter core message latency",
-        ),
-        measure_collective_latency(
-            preset, inter_node(machine, 4), repeats=coll_repeats, seed=seed,
+        )
+    if kind == "collective":
+        return measure_collective_latency(
+            preset, inter_node(machine, 4), repeats=repeats, seed=seed,
             label="Inter node collective latency",
-        ),
+        )
+    raise ConfigurationError(f"unknown Table II row kind {kind!r}")
+
+
+def table2_latencies(
+    seed: int = 0,
+    repeats: int = 1000,
+    coll_repeats: int = 200,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Table2Result:
+    """Measured message and collective latencies per placement (Table II).
+
+    The four placements are independent simulations; ``jobs``/``cache``
+    fan them out / memoize them via :func:`repro.analysis.runner.run_grid`.
+    """
+    grid = [
+        dict(kind="inter_node", seed=seed, repeats=repeats),
+        dict(kind="inter_chip", seed=seed, repeats=repeats),
+        dict(kind="inter_core", seed=seed, repeats=repeats),
+        dict(kind="collective", seed=seed, repeats=coll_repeats),
     ]
-    return Table2Result(rows=rows)
+    return Table2Result(rows=run_grid(_table2_row, grid, jobs=jobs, cache=cache))
 
 
 # ----------------------------------------------------------------------
@@ -258,6 +284,29 @@ def fig4_timer_deviation(
     )
 
 
+def fig4_all_panels(
+    panels: tuple[str, ...] = ("a", "b", "c"),
+    seed: int = 0,
+    nprocs: int = 4,
+    probe_interval: float = 5.0,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> dict[str, DeviationResult]:
+    """All Fig. 4 panels through the parallel runner.
+
+    Panel "c" simulates an hour of drift; regenerating the whole figure
+    serially is dominated by it, so the three panels run as independent
+    :func:`repro.analysis.runner.run_grid` jobs (and cache hits make an
+    unchanged figure near-instant).
+    """
+    grid = [
+        dict(panel=p, seed=seed, nprocs=nprocs, probe_interval=probe_interval)
+        for p in panels
+    ]
+    results = run_grid(fig4_timer_deviation, grid, jobs=jobs, cache=cache)
+    return dict(zip(panels, results))
+
+
 def fig5_interpolated_deviation(
     panel: str = "a",
     seed: int = 0,
@@ -367,6 +416,52 @@ def _smg_config(scale: float) -> Smg2000Config:
     return Smg2000Config(cycles=cycles, pre_sleep=600.0, post_sleep=600.0)
 
 
+def _fig7_one_run(
+    app: str, rep_seed: int, nprocs: int, scale: float, timer: str
+) -> Fig7RunStats:
+    """One traced application run of Fig. 7 — a :func:`run_grid` job."""
+    preset = xeon_cluster()
+    fabric = RngFabric(rep_seed)
+    pin = scheduler_default(preset.machine, nprocs, fabric.generator("placement"))
+    if app == "pop":
+        cfg = _pop_config(scale, nprocs)
+        worker = pop_worker(cfg, seed=rep_seed)
+        duration_hint = cfg.steps * cfg.step_time * 1.2 + 60.0
+    else:
+        cfg = _smg_config(scale)
+        worker = smg2000_worker(cfg, seed=rep_seed)
+        duration_hint = cfg.pre_sleep + cfg.post_sleep + 240.0
+    world = MpiWorld(
+        preset,
+        pin,
+        timer=timer,
+        seed=rep_seed,
+        duration_hint=duration_hint,
+        jitter=OsJitterModel(rate=10.0, mean_delay=5e-6),
+    )
+    run = world.run(worker, tracing=True, tracing_initially=False)
+    corr = linear_interpolation(run.init_offsets, run.final_offsets)
+    trace = corr.apply(run.trace)
+    p2p = scan_messages(trace.messages(strict=False), lmin=0.0)
+    coll, logical = scan_collectives(trace, lmin=0.0)
+    checked = p2p.checked + coll.checked
+    violated = p2p.violated + coll.violated
+    total_events = trace.total_events()
+    msg_events = trace.event_counts()
+    transfer = (
+        msg_events.get(EventType.SEND, 0)
+        + msg_events.get(EventType.RECV, 0)
+        + msg_events.get(EventType.COLL_ENTER, 0)
+        + msg_events.get(EventType.COLL_EXIT, 0)
+    )
+    return Fig7RunStats(
+        reversed_pct=100.0 * violated / checked if checked else 0.0,
+        message_event_pct=100.0 * transfer / total_events if total_events else 0.0,
+        messages=checked,
+        events=total_events,
+    )
+
+
 def fig7_app_violations(
     app: str = "pop",
     seed: int = 0,
@@ -374,6 +469,8 @@ def fig7_app_violations(
     nprocs: int = 32,
     scale: float = 0.1,
     timer: str = "tsc",
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> Fig7Result:
     """Fig. 7: percentage of reversed messages in Scalasca-style traces.
 
@@ -382,55 +479,19 @@ def fig7_app_violations(
     interpolation from measurements at init and finalize, violations
     counted over real plus logical (collective) messages, averaged over
     ``runs`` repetitions.
+
+    The repetitions are independent simulations with explicit per-rep
+    seeds, so they fan out over ``jobs`` worker processes with results
+    identical to a serial run; ``cache`` memoizes finished repetitions.
     """
     if app not in ("pop", "smg2000"):
         raise ConfigurationError(f"unknown app {app!r} (use 'pop' or 'smg2000')")
-    preset = xeon_cluster()
-    result = Fig7Result(app=app)
-    for rep in range(runs):
-        rep_seed = seed * 1000 + rep
-        fabric = RngFabric(rep_seed)
-        pin = scheduler_default(preset.machine, nprocs, fabric.generator("placement"))
-        if app == "pop":
-            cfg = _pop_config(scale, nprocs)
-            worker = pop_worker(cfg, seed=rep_seed)
-            duration_hint = cfg.steps * cfg.step_time * 1.2 + 60.0
-        else:
-            cfg = _smg_config(scale)
-            worker = smg2000_worker(cfg, seed=rep_seed)
-            duration_hint = cfg.pre_sleep + cfg.post_sleep + 240.0
-        world = MpiWorld(
-            preset,
-            pin,
-            timer=timer,
-            seed=rep_seed,
-            duration_hint=duration_hint,
-            jitter=OsJitterModel(rate=10.0, mean_delay=5e-6),
-        )
-        run = world.run(worker, tracing=True, tracing_initially=False)
-        corr = linear_interpolation(run.init_offsets, run.final_offsets)
-        trace = corr.apply(run.trace)
-        p2p = scan_messages(trace.messages(strict=False), lmin=0.0)
-        coll, logical = scan_collectives(trace, lmin=0.0)
-        checked = p2p.checked + coll.checked
-        violated = p2p.violated + coll.violated
-        total_events = trace.total_events()
-        msg_events = trace.event_counts()
-        transfer = (
-            msg_events.get(EventType.SEND, 0)
-            + msg_events.get(EventType.RECV, 0)
-            + msg_events.get(EventType.COLL_ENTER, 0)
-            + msg_events.get(EventType.COLL_EXIT, 0)
-        )
-        result.runs.append(
-            Fig7RunStats(
-                reversed_pct=100.0 * violated / checked if checked else 0.0,
-                message_event_pct=100.0 * transfer / total_events if total_events else 0.0,
-                messages=checked,
-                events=total_events,
-            )
-        )
-    return result
+    grid = [
+        dict(app=app, rep_seed=seed * 1000 + rep, nprocs=nprocs, scale=scale, timer=timer)
+        for rep in range(runs)
+    ]
+    stats = run_grid(_fig7_one_run, grid, jobs=jobs, cache=cache)
+    return Fig7Result(app=app, runs=list(stats))
 
 
 # ----------------------------------------------------------------------
@@ -457,28 +518,39 @@ class Fig8Result:
         ]
 
 
+def _fig8_one_run(nthreads: int, run_seed: int, regions: int) -> PompRegionReport:
+    """One OpenMP benchmark run + POMP scan — a :func:`run_grid` job."""
+    return scan_pomp(
+        run_parallel_for_benchmark(
+            OmpTeamConfig(threads=nthreads, regions=regions), seed=run_seed
+        )
+    )
+
+
 def fig8_openmp_violations(
     threads: tuple[int, ...] = (4, 8, 12, 16),
     seed: int = 1,
     runs: int = 3,
     regions: int = 200,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> Fig8Result:
     """Fig. 8: % of parallel regions with POMP violations vs threads.
 
     No offset alignment or interpolation is applied (paper's setup);
     numbers are averaged over ``runs`` seeds like the paper's three
-    measurements.
+    measurements.  The (thread count x repetition) grid fans out over
+    ``jobs`` workers deterministically.
     """
-    reports: dict[int, list[PompRegionReport]] = {}
-    for n in threads:
-        reports[n] = [
-            scan_pomp(
-                run_parallel_for_benchmark(
-                    OmpTeamConfig(threads=n, regions=regions), seed=seed + rep
-                )
-            )
-            for rep in range(runs)
-        ]
+    grid = [
+        dict(nthreads=n, run_seed=seed + rep, regions=regions)
+        for n in threads
+        for rep in range(runs)
+    ]
+    flat = run_grid(_fig8_one_run, grid, jobs=jobs, cache=cache)
+    reports: dict[int, list[PompRegionReport]] = {
+        n: flat[k * runs : (k + 1) * runs] for k, n in enumerate(threads)
+    }
     return Fig8Result(threads=list(threads), reports=reports)
 
 
@@ -584,60 +656,80 @@ class WaitstateAccuracyResult:
         return 100.0 * abs(self.totals[scheme] - self.truth_total) / self.truth_total
 
 
-def ext_waitstate_accuracy(
-    seed: int = 11, nprocs: int = 6, steps: int = 60, timer: str = "mpi_wtime"
-) -> WaitstateAccuracyResult:
-    """Quantify the paper's "false conclusions": Late Sender analysis on
-    ground truth vs. raw / interpolated / CLC-corrected timestamps."""
+def _waitstate_worker(ws_seed: int, steps: int):
+    """Deliberately imbalanced ring worker for the wait-state study."""
+
+    def worker(ctx):
+        rng = np.random.default_rng((ws_seed << 8) ^ ctx.rank)
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        for _ in range(steps):
+            work = 2e-4 * (1.0 + 0.5 * float(rng.random()) + 0.5 * (ctx.rank % 2))
+            yield from ctx.compute(work)
+            yield from ctx.send(right, tag=1, nbytes=64)
+            yield from ctx.recv(src=left, tag=1)
+        return None
+
+    return worker
+
+
+def _waitstate_job(
+    mode: str, timer: str, seed: int, nprocs: int, steps: int
+):
+    """One wait-state simulation — a :func:`run_grid` job.
+
+    ``mode="truth"`` runs with perfect clocks and returns the ground-
+    truth :class:`~repro.analysis.waitstates.WaitStateReport`;
+    ``mode="measured"`` runs with ``timer`` and returns the reports of
+    the raw / linearly interpolated / CLC-corrected analyses.
+    """
     from repro.analysis.waitstates import late_sender
     from repro.sync.violations import lmin_matrix_from_trace
 
-    def imbalanced_worker(ws_seed):
-        def worker(ctx):
-            rng = np.random.default_rng((ws_seed << 8) ^ ctx.rank)
-            right = (ctx.rank + 1) % ctx.size
-            left = (ctx.rank - 1) % ctx.size
-            for _ in range(steps):
-                work = 2e-4 * (1.0 + 0.5 * float(rng.random()) + 0.5 * (ctx.rank % 2))
-                yield from ctx.compute(work)
-                yield from ctx.send(right, tag=1, nbytes=64)
-                yield from ctx.recv(src=left, tag=1)
-            return None
-
-        return worker
-
     preset = xeon_cluster()
-
-    def run_with(run_timer):
-        world = MpiWorld(
-            preset,
-            inter_node(preset.machine, nprocs),
-            timer=run_timer,
-            seed=seed,
-            duration_hint=60.0,
-            mpi_regions=True,
-        )
-        return world, world.run(imbalanced_worker(seed))
-
-    _, truth_run = run_with("global")
-    truth = late_sender(truth_run.trace)
-
-    world, run = run_with(timer)
-    from repro.sync.interpolation import linear_interpolation as _linterp
+    world = MpiWorld(
+        preset,
+        inter_node(preset.machine, nprocs),
+        timer="global" if mode == "truth" else timer,
+        seed=seed,
+        duration_hint=60.0,
+        mpi_regions=True,
+    )
+    run = world.run(_waitstate_worker(seed, steps))
+    if mode == "truth":
+        return late_sender(run.trace)
 
     raw = late_sender(run.trace)
-    interp_trace = _linterp(run.init_offsets, run.final_offsets).apply(run.trace)
+    interp_trace = linear_interpolation(run.init_offsets, run.final_offsets).apply(run.trace)
     interp = late_sender(interp_trace)
     lmin = lmin_matrix_from_trace(run.trace, preset.latency)
     clc_trace = ControlledLogicalClock().correct(interp_trace, lmin=lmin).trace
     clc = late_sender(clc_trace)
+    return {"raw": raw, "linear": interp, "clc": clc}
+
+
+def ext_waitstate_accuracy(
+    seed: int = 11,
+    nprocs: int = 6,
+    steps: int = 60,
+    timer: str = "mpi_wtime",
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> WaitstateAccuracyResult:
+    """Quantify the paper's "false conclusions": Late Sender analysis on
+    ground truth vs. raw / interpolated / CLC-corrected timestamps.
+
+    The ground-truth and measured simulations are independent worlds
+    with the same seed, so they run as two :func:`run_grid` jobs.
+    """
+    grid = [
+        dict(mode="truth", timer=timer, seed=seed, nprocs=nprocs, steps=steps),
+        dict(mode="measured", timer=timer, seed=seed, nprocs=nprocs, steps=steps),
+    ]
+    truth, schemes = run_grid(_waitstate_job, grid, jobs=jobs, cache=cache)
 
     return WaitstateAccuracyResult(
         truth_total=truth.total,
-        totals={"raw": raw.total, "linear": interp.total, "clc": clc.total},
-        sign_flips={
-            "raw": raw.sign_flips(truth),
-            "linear": interp.sign_flips(truth),
-            "clc": clc.sign_flips(truth),
-        },
+        totals={name: rep.total for name, rep in schemes.items()},
+        sign_flips={name: rep.sign_flips(truth) for name, rep in schemes.items()},
     )

@@ -1,0 +1,159 @@
+"""Parallel experiment execution with deterministic fan-out.
+
+Every paper figure is an embarrassingly parallel grid: independent
+``(config, seed)`` simulation jobs whose outputs are aggregated
+afterwards.  :func:`run_grid` executes such a grid either serially or
+over a :class:`concurrent.futures.ProcessPoolExecutor`, with two
+guarantees the figures depend on:
+
+* **bit-for-bit determinism** — each job carries its complete
+  configuration (including its seed) in its kwargs, every job seeds its
+  own :class:`repro.rng.RngFabric` from those kwargs, and results are
+  returned in grid order regardless of completion order.  Running with
+  ``jobs=8`` therefore produces *exactly* the bytes of ``jobs=None``;
+  there is no shared RNG state to race on.  :func:`derive_seed` is the
+  blessed way to mint per-job seeds from a base seed and job names
+  (stable across processes and Python versions, unlike ``hash``).
+
+* **transparent caching** — pass a :class:`repro.cache.ResultCache` and
+  completed jobs are stored under a content-addressed key; a re-run of
+  an unchanged grid never spawns a worker.  Workers write through to the
+  same on-disk cache, so a partially-complete interrupted grid resumes
+  where it stopped.
+
+Job functions must be module-level (picklable by reference) and accept
+keyword arguments only from their grid entry.  Keep jobs coarse — one
+simulation, not one event — so process startup cost stays negligible.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.cache import ResultCache
+from repro.errors import ConfigurationError
+from repro.rng import stable_hash32
+
+__all__ = ["run_grid", "derive_seed", "resolve_jobs", "seed_grid"]
+
+
+def derive_seed(base_seed: int, *names) -> int:
+    """Deterministic per-job seed from a base seed and job coordinates.
+
+    >>> derive_seed(7, "fig7", 2) == derive_seed(7, "fig7", 2)
+    True
+    >>> derive_seed(7, "fig7", 2) != derive_seed(7, "fig7", 3)
+    True
+    """
+    return stable_hash32(("seed", int(base_seed)), *names)
+
+
+def seed_grid(base_config: dict[str, Any], seeds: Iterable[int],
+              seed_key: str = "seed") -> list[dict[str, Any]]:
+    """Expand one config into a grid varying only its seed."""
+    return [{**base_config, seed_key: int(s)} for s in seeds]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/1 -> serial, 0 -> all cores."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _call(func: Callable[..., Any], kwargs: dict[str, Any],
+          cache_root, cache_version) -> Any:
+    """Worker-side job body: compute and (best-effort) write through."""
+    value = func(**kwargs)
+    if cache_root is not None:
+        cache = ResultCache(cache_root, version=cache_version)
+        cache.store(cache.key(func, kwargs), value)
+    return value
+
+
+def run_grid(
+    func: Callable[..., Any],
+    grid: Sequence[dict[str, Any]],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> list[Any]:
+    """Run ``func(**cfg)`` for every ``cfg`` in ``grid``.
+
+    Parameters
+    ----------
+    func:
+        Module-level callable (workers import it by reference).
+    grid:
+        Sequence of keyword-argument dicts, one per job.  Results come
+        back as a list aligned with this sequence.
+    jobs:
+        ``None``/``1`` runs in-process (serial); ``N > 1`` fans out over
+        a process pool of ``N`` workers; ``0`` uses every core.
+    cache:
+        Optional :class:`ResultCache`.  Hits skip execution entirely;
+        misses are stored after computing (both in the parent and, for
+        crash resilience, by the worker that produced them).
+    on_result:
+        Optional callback ``(index, result)`` invoked as each job
+        finishes (completion order, not grid order) — for progress
+        reporting.
+
+    Returns
+    -------
+    list
+        ``[func(**grid[0]), func(**grid[1]), ...]`` — identical for any
+        ``jobs`` value.
+    """
+    configs = [dict(cfg) for cfg in grid]
+    results: list[Any] = [None] * len(configs)
+    pending = list(range(len(configs)))
+
+    if cache is not None:
+        still_pending = []
+        for i in pending:
+            hit, value = cache.load(cache.key(func, configs[i]))
+            if hit:
+                results[i] = value
+                if on_result is not None:
+                    on_result(i, value)
+            else:
+                still_pending.append(i)
+        pending = still_pending
+
+    nworkers = min(resolve_jobs(jobs), max(len(pending), 1))
+    if nworkers <= 1 or len(pending) <= 1:
+        for i in pending:
+            value = func(**configs[i])
+            if cache is not None:
+                cache.store(cache.key(func, configs[i]), value)
+            results[i] = value
+            if on_result is not None:
+                on_result(i, value)
+        return results
+
+    cache_root = str(cache.root) if cache is not None else None
+    cache_version = cache.version if cache is not None else None
+    with ProcessPoolExecutor(max_workers=nworkers) as pool:
+        futures = {
+            pool.submit(_call, func, configs[i], cache_root, cache_version): i
+            for i in pending
+        }
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i = futures[fut]
+                value = fut.result()  # re-raises worker exceptions here
+                results[i] = value
+                if on_result is not None:
+                    on_result(i, value)
+    return results

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Four subcommands cover the tool loop without writing Python:
+Five subcommands cover the tool loop without writing Python:
 
 * ``simulate`` — run a workload on a simulated platform, write the
   trace (and its offset measurements) to a ``.npz``/``.jsonl`` file;
@@ -8,7 +8,10 @@ Four subcommands cover the tool loop without writing Python:
 * ``sync``     — correct a trace file (interpolation and/or CLC) and
   write the result;
 * ``report``   — summarize a trace: events, messages, collectives,
-  violation rates, optional ASCII timeline.
+  violation rates, optional ASCII timeline;
+* ``figures``  — regenerate paper figures/tables through the parallel
+  runner (``--jobs N``) with on-disk result caching (``--no-cache`` to
+  disable, ``--cache-dir`` to relocate).
 
 Examples
 --------
@@ -19,6 +22,7 @@ Examples
     python -m repro.cli scan pop.npz
     python -m repro.cli sync pop.npz --clc -o pop_fixed.npz
     python -m repro.cli report pop_fixed.npz --timeline
+    python -m repro.cli figures fig7 fig8 --jobs 4
 """
 
 from __future__ import annotations
@@ -44,7 +48,10 @@ from repro.sync.violations import scan_collectives, scan_messages
 from repro.tracing.reader import read_trace
 from repro.tracing.writer import write_trace
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "FIGURE_TARGETS"]
+
+#: ``figures`` subcommand targets -> renderer (defined below).
+FIGURE_TARGETS = ("table2", "fig4", "fig7", "fig8", "waitstates")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +94,36 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("trace", help="trace file")
     rep.add_argument("--timeline", action="store_true", help="render an ASCII timeline")
     rep.add_argument("--arrows", type=int, default=0, help="list up to N messages")
+
+    figs = sub.add_parser(
+        "figures",
+        help="regenerate paper figures/tables (parallel runner + result cache)",
+    )
+    figs.add_argument(
+        "targets",
+        nargs="+",
+        choices=sorted(FIGURE_TARGETS) + ["all"],
+        help="figures/tables to regenerate",
+    )
+    figs.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes per grid (default serial; 0 = all cores)",
+    )
+    figs.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything, ignore and do not write the result cache",
+    )
+    figs.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    figs.add_argument("--seed", type=int, default=None, help="override the base seed")
+    figs.add_argument(
+        "--scale", type=float, default=0.1, help="workload scale for fig7 (default 0.1)"
+    )
+    figs.add_argument(
+        "--runs", type=int, default=3, help="repetitions for fig7/fig8 (default 3)"
+    )
 
     return parser
 
@@ -239,6 +276,102 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _fig_table2(args, jobs, cache) -> None:
+    from repro.analysis.experiments import table2_latencies
+
+    seed = 0 if args.seed is None else args.seed
+    result = table2_latencies(seed=seed, jobs=jobs, cache=cache)
+    print("Table II — measured latencies per placement")
+    for row in result.rows:
+        print(f"  {row}")
+
+
+def _fig_fig4(args, jobs, cache) -> None:
+    from repro.analysis.experiments import fig4_all_panels
+
+    seed = 0 if args.seed is None else args.seed
+    results = fig4_all_panels(seed=seed, jobs=jobs, cache=cache)
+    print("Fig. 4 — deviation after initial offset alignment")
+    for panel, res in results.items():
+        print(
+            f"  panel {panel}: {res.timer:>12s} {res.duration:6.0f} s  "
+            f"max residual {res.max_residual('aligned') * 1e6:10.2f} us  "
+            f"(l_min {res.lmin * 1e6:.2f} us)"
+        )
+
+
+def _fig_fig7(args, jobs, cache) -> None:
+    from repro.analysis.experiments import fig7_app_violations
+
+    seed = 0 if args.seed is None else args.seed
+    for app in ("pop", "smg2000"):
+        result = fig7_app_violations(
+            app=app, seed=seed, runs=args.runs, scale=args.scale, jobs=jobs, cache=cache
+        )
+        print(f"Fig. 7 — {app}: {args.runs} runs")
+        for i, run in enumerate(result.runs):
+            print(
+                f"  run {i}: reversed {run.reversed_pct:6.3f} %  "
+                f"message events {run.message_event_pct:5.1f} %"
+            )
+        print(
+            f"  mean:  reversed {result.mean_reversed_pct:6.3f} %  "
+            f"message events {result.mean_message_event_pct:5.1f} %"
+        )
+
+
+def _fig_fig8(args, jobs, cache) -> None:
+    from repro.analysis.experiments import fig8_openmp_violations
+
+    seed = 1 if args.seed is None else args.seed
+    result = fig8_openmp_violations(seed=seed, runs=args.runs, jobs=jobs, cache=cache)
+    print("Fig. 8 — POMP violations vs thread count (mean % of regions)")
+    print("  threads     any   entry    exit barrier")
+    for n, any_, entry, exit_, barr in result.rows():
+        print(f"  {n:7d} {any_:7.2f} {entry:7.2f} {exit_:7.2f} {barr:7.2f}")
+
+
+def _fig_waitstates(args, jobs, cache) -> None:
+    from repro.analysis.experiments import ext_waitstate_accuracy
+
+    seed = 11 if args.seed is None else args.seed
+    result = ext_waitstate_accuracy(seed=seed, jobs=jobs, cache=cache)
+    print("Wait-state accuracy — Late Sender totals vs ground truth")
+    print(f"  truth: {result.truth_total * 1e3:.3f} ms")
+    for scheme in ("raw", "linear", "clc"):
+        print(
+            f"  {scheme:>6s}: {result.totals[scheme] * 1e3:.3f} ms  "
+            f"(error {result.error_pct(scheme):6.2f} %, "
+            f"{result.sign_flips[scheme]} sign flips)"
+        )
+
+
+_FIGURE_RENDERERS = {
+    "table2": _fig_table2,
+    "fig4": _fig_fig4,
+    "fig7": _fig_fig7,
+    "fig8": _fig_fig8,
+    "waitstates": _fig_waitstates,
+}
+
+
+def _cmd_figures(args) -> int:
+    from repro.cache import ResultCache
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    targets = list(FIGURE_TARGETS) if "all" in args.targets else args.targets
+    for target in dict.fromkeys(targets):  # dedupe, keep order
+        _FIGURE_RENDERERS[target](args, args.jobs, cache)
+    if cache is not None:
+        print(
+            f"cache: {cache.hits} hits, {cache.misses} misses "
+            f"({cache.root})"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -250,6 +383,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sync(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "figures":
+            return _cmd_figures(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -21,6 +21,7 @@ true times at once (e.g. to paint deviation curves).
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -77,7 +78,7 @@ class Clock:
         self.read_jitter = float(read_jitter)
         self.rng = rng
         self.name = name
-        self._last = -np.inf
+        self._last = -math.inf
 
     # ------------------------------------------------------------------
     # In-simulation scalar path
@@ -91,8 +92,13 @@ class Clock:
         sample_t = t_true
         if self.read_jitter > 0.0:
             sample_t = t_true + float(self.rng.exponential(self.read_jitter))
-        value = sample_t + float(self.drift.offset_at(sample_t))
-        value = self._quantize(value)
+        # Scalar fast path: most drift models return a plain float for a
+        # float input, so skip the float(np scalar) round-trip that the
+        # engine's hot loop would otherwise pay on every read.
+        offset = self.drift.offset_at(sample_t)
+        if type(offset) is not float:
+            offset = float(offset)
+        value = self._quantize(sample_t + offset)
         if value < self._last:
             # A real timer API never returns a smaller value than a
             # previous call on the same clock; clamp like the kernel does.
@@ -144,7 +150,7 @@ class Clock:
     # ------------------------------------------------------------------
     def _quantize(self, value: float) -> float:
         if self.resolution > 0.0:
-            return float(np.floor(value / self.resolution) * self.resolution)
+            return math.floor(value / self.resolution) * self.resolution
         return value
 
     def __repr__(self) -> str:

@@ -20,9 +20,8 @@ per-process clocks, and guarantees:
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, Generator, Iterable, Optional
-
-import numpy as np
 
 from repro.clocks.base import Clock
 from repro.cluster.topology import Location
@@ -251,9 +250,11 @@ class Engine:
         arrival = self.now + delay
         # MPI non-overtaking: same (src, dst) pairs deliver in send order.
         key = (proc.rank, req.dst)
-        floor = self._last_delivery.get(key, -np.inf)
+        # math scalars, not numpy: np.nextafter/np.inf allocate an array
+        # scalar per send, which dominates the event loop at scale.
+        floor = self._last_delivery.get(key, -math.inf)
         if arrival <= floor:
-            arrival = np.nextafter(floor, np.inf)
+            arrival = math.nextafter(floor, math.inf)
         self._last_delivery[key] = arrival
         msg = Message(
             src=proc.rank,

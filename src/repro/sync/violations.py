@@ -44,10 +44,35 @@ __all__ = [
 LminSpec = Union[float, np.ndarray, Callable[[int, int], float]]
 
 
+def _encode_pairs(src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, int]:
+    """Pack (src, dst) rank pairs into single int64 keys.
+
+    Returns the key array and the encoding width (``dst`` values span
+    ``[0, width)``), so ``key = src * width + dst`` decodes uniquely.
+    """
+    width = int(dst.max()) + 1
+    return src.astype(np.int64) * width + dst.astype(np.int64), width
+
+
 def resolve_lmin(lmin: LminSpec, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
-    """Per-message minimum-latency floor from any accepted spec form."""
+    """Per-message minimum-latency floor from any accepted spec form.
+
+    Callables (which the docstring contract requires to be pure) are
+    evaluated once per *unique* (src, dst) pair and broadcast back over
+    the messages — on an N-message table with P distinct pairs that is P
+    Python calls instead of N.
+    """
     if callable(lmin):
-        return np.array([lmin(int(s), int(d)) for s, d in zip(src, dst)], dtype=np.float64)
+        src = np.asarray(src)
+        dst = np.asarray(dst)
+        if src.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        keys, width = _encode_pairs(src, dst)
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        per_pair = np.array(
+            [lmin(int(k // width), int(k % width)) for k in uniq], dtype=np.float64
+        )
+        return per_pair[inverse]
     if isinstance(lmin, np.ndarray):
         if lmin.ndim != 2:
             raise ConfigurationError("l_min matrix must be 2-D (nranks x nranks)")
@@ -158,18 +183,21 @@ def violations_by_pair(
     multi-node job, violations concentrate on the rank pairs whose
     nodes' clocks disagree the most at the traced window.
     """
-    out: dict[tuple[int, int], tuple[int, int]] = {}
     if len(messages) == 0:
-        return out
+        return {}
     floors = resolve_lmin(lmin, messages.src, messages.dst)
     bad = messages.recv_ts - (messages.send_ts + floors) < 0
-    pairs = messages.src * (int(messages.dst.max()) + 1) + messages.dst
-    for key in np.unique(pairs):
-        mask = pairs == key
-        src = int(messages.src[mask][0])
-        dst = int(messages.dst[mask][0])
-        out[(src, dst)] = (int(bad[mask].sum()), int(mask.sum()))
-    return out
+    # One grouping pass instead of a boolean mask per unique pair:
+    # np.unique labels every message with its pair id, bincount
+    # aggregates totals and violation counts in O(n).
+    keys, width = _encode_pairs(messages.src, messages.dst)
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    checked = np.bincount(inverse, minlength=uniq.size)
+    violated = np.bincount(inverse[bad], minlength=uniq.size)
+    return {
+        (int(k // width), int(k % width)): (int(v), int(c))
+        for k, v, c in zip(uniq, violated, checked)
+    }
 
 
 # ----------------------------------------------------------------------
@@ -221,30 +249,46 @@ def scan_pomp(trace: Trace, sync_lmin: float = 0.0) -> PompRegionReport:
       ``OMP_BARRIER_ENTER`` (+ ``sync_lmin``), else one thread left the
       barrier before another entered it (Fig. 2d).
     """
-    forks: dict[int, float] = {}
-    joins: dict[int, float] = {}
-    par_enter: dict[int, list[float]] = {}
-    par_exit: dict[int, list[float]] = {}
-    bar_enter: dict[int, list[float]] = {}
-    bar_exit: dict[int, list[float]] = {}
+    # Gather all ranks' events into flat columns once, then group each
+    # POMP event type by region instance (the ``d`` attribute) with a
+    # stable sort — one vectorized pass per type instead of a Python
+    # loop over every event of every rank.  Stable sorting preserves
+    # (rank, log-position) order within an instance, matching the order
+    # the old per-rank append loop produced.
+    logs = [trace.logs[rank] for rank in trace.ranks]
+    if logs:
+        ts = np.concatenate([log.timestamps for log in logs])
+        et = np.concatenate([log.etypes for log in logs])
+        dd = np.concatenate([log.d for log in logs])
+    else:  # pragma: no cover - degenerate empty trace
+        ts = np.empty(0, dtype=np.float64)
+        et = dd = np.empty(0, dtype=np.int64)
 
-    for rank in trace.ranks:
-        log = trace.logs[rank]
-        ts, et, d = log.timestamps, log.etypes, log.d
-        for kind, store in (
-            (EventType.OMP_FORK, forks),
-            (EventType.OMP_JOIN, joins),
-        ):
-            for i in np.nonzero(et == int(kind))[0]:
-                store[int(d[i])] = float(ts[i])
-        for kind, store in (
-            (EventType.OMP_PAR_ENTER, par_enter),
-            (EventType.OMP_PAR_EXIT, par_exit),
-            (EventType.OMP_BARRIER_ENTER, bar_enter),
-            (EventType.OMP_BARRIER_EXIT, bar_exit),
-        ):
-            for i in np.nonzero(et == int(kind))[0]:
-                store.setdefault(int(d[i]), []).append(float(ts[i]))
+    def _last_per_instance(kind: EventType) -> dict[int, float]:
+        idx = np.nonzero(et == int(kind))[0]
+        # dict comprehension: a later duplicate overwrites, like the
+        # old sequential store did.
+        return {int(i): float(t) for i, t in zip(dd[idx], ts[idx])}
+
+    _EMPTY = np.empty(0, dtype=np.float64)
+
+    def _grouped_per_instance(kind: EventType) -> dict[int, np.ndarray]:
+        idx = np.nonzero(et == int(kind))[0]
+        dv = dd[idx]
+        tv = ts[idx].astype(np.float64, copy=False)
+        order = np.argsort(dv, kind="stable")
+        dv = dv[order]
+        tv = tv[order]
+        insts, starts = np.unique(dv, return_index=True)
+        bounds = np.append(starts[1:], dv.size)
+        return {int(i): tv[s:e] for i, s, e in zip(insts, starts, bounds)}
+
+    forks = _last_per_instance(EventType.OMP_FORK)
+    joins = _last_per_instance(EventType.OMP_JOIN)
+    par_enter = _grouped_per_instance(EventType.OMP_PAR_ENTER)
+    par_exit = _grouped_per_instance(EventType.OMP_PAR_EXIT)
+    bar_enter = _grouped_per_instance(EventType.OMP_BARRIER_ENTER)
+    bar_exit = _grouped_per_instance(EventType.OMP_BARRIER_EXIT)
 
     instances: dict[int, dict[str, bool]] = {}
     entry = exit_ = barrier = any_ = 0
@@ -256,14 +300,14 @@ def scan_pomp(trace: Trace, sync_lmin: float = 0.0) -> PompRegionReport:
         flags = {"entry": False, "exit": False, "barrier": False}
         fork_ts = forks.get(inst)
         join_ts = joins.get(inst)
-        enters = par_enter.get(inst, [])
-        exits = par_exit.get(inst, [])
-        b_in = np.asarray(bar_enter.get(inst, []), dtype=np.float64)
-        b_out = np.asarray(bar_exit.get(inst, []), dtype=np.float64)
-        region_events = enters + exits + b_in.tolist() + b_out.tolist()
-        if fork_ts is not None and region_events and fork_ts > min(region_events):
+        b_in = bar_enter.get(inst, _EMPTY)
+        b_out = bar_exit.get(inst, _EMPTY)
+        region_events = np.concatenate(
+            (par_enter.get(inst, _EMPTY), par_exit.get(inst, _EMPTY), b_in, b_out)
+        )
+        if fork_ts is not None and region_events.size and fork_ts > region_events.min():
             flags["entry"] = True
-        if join_ts is not None and region_events and join_ts < max(region_events):
+        if join_ts is not None and region_events.size and join_ts < region_events.max():
             flags["exit"] = True
         if b_in.size >= 2 and b_out.size >= 2:
             # Violation iff some thread's exit precedes another's enter:

@@ -1,0 +1,137 @@
+"""Tests for the content-addressed result cache (repro.cache)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import ResultCache, canonical_config, config_digest, default_cache_dir
+from repro.errors import ConfigurationError
+
+
+def fn_a(x=1):
+    return x + 1
+
+
+def fn_b(x=1):
+    return x + 2
+
+
+class TestCanonicalConfig:
+    def test_primitives_distinct(self):
+        # Types are part of the encoding: 1, 1.0, True and "1" all differ.
+        values = [1, 1.0, True, "1", None]
+        encoded = {canonical_config(v) for v in values}
+        assert len(encoded) == len(values)
+
+    def test_dict_order_independent(self):
+        assert canonical_config({"a": 1, "b": 2}) == canonical_config({"b": 2, "a": 1})
+
+    def test_float_bit_exact(self):
+        assert canonical_config(0.1 + 0.2) != canonical_config(0.3)
+        assert canonical_config(0.5) == canonical_config(0.5)
+
+    def test_numpy_scalars_match_python(self):
+        assert canonical_config(np.int64(3)) == canonical_config(3)
+        assert canonical_config(np.float64(2.5)) == canonical_config(2.5)
+
+    def test_ndarray_content_addressed(self):
+        a = np.arange(4, dtype=np.float64)
+        assert canonical_config(a) == canonical_config(a.copy())
+        assert canonical_config(a) != canonical_config(a.astype(np.float32))
+
+    def test_nested_and_tuple_vs_list(self):
+        assert canonical_config([1, 2]) != canonical_config((1, 2))
+        assert canonical_config({"k": [1, {"x": 2}]}) == canonical_config({"k": [1, {"x": 2}]})
+
+    def test_unstable_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_config(object())
+
+
+class TestConfigDigest:
+    def test_function_identity_in_key(self):
+        assert config_digest(fn_a, {"x": 1}) != config_digest(fn_b, {"x": 1})
+
+    def test_config_in_key(self):
+        assert config_digest(fn_a, {"x": 1}) != config_digest(fn_a, {"x": 2})
+
+    def test_version_invalidates(self):
+        assert config_digest(fn_a, {"x": 1}, version="1.0.0") != config_digest(
+            fn_a, {"x": 1}, version="1.0.1"
+        )
+
+    def test_string_name_accepted(self):
+        assert config_digest("mod.f", {}, version="1") == config_digest(
+            "mod.f", {}, version="1"
+        )
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = cache.key(fn_a, {"x": 1})
+        hit, _ = cache.load(digest)
+        assert not hit
+        assert cache.store(digest, {"answer": 42})
+        hit, value = cache.load(digest)
+        assert hit
+        assert value == {"answer": 42}
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_call_memoizes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+
+        def probe(x):
+            calls.append(x)
+            return x * 10
+
+        assert cache.call(probe, x=3) == 30
+        assert cache.call(probe, x=3) == 30
+        assert calls == [3]
+
+    def test_version_bump_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, version="1.0.0")
+        old.store(old.key(fn_a, {"x": 1}), "stale")
+        new = ResultCache(tmp_path, version="1.0.1")
+        hit, _ = new.load(new.key(fn_a, {"x": 1}))
+        assert not hit
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = cache.key(fn_a, {"x": 1})
+        cache.store(digest, "fine")
+        cache.path_for(digest).write_bytes(b"not a pickle")
+        hit, _ = cache.load(digest)
+        assert not hit
+        assert not cache.path_for(digest).exists()
+
+    def test_numpy_payload_roundtrips_bitwise(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = cache.key(fn_a, {"x": 2})
+        arr = np.random.default_rng(0).normal(size=100)
+        cache.store(digest, arr)
+        _, out = cache.load(digest)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_len_clear_contains(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        d1 = cache.key(fn_a, {"x": 1})
+        d2 = cache.key(fn_a, {"x": 2})
+        cache.store(d1, 1)
+        cache.store(d2, 2)
+        assert len(cache) == 2
+        assert d1 in cache
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert d1 not in cache
+
+    def test_unpicklable_store_degrades(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.store(cache.key(fn_a, {}), lambda: None)
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        assert ResultCache().root == tmp_path / "envcache"

@@ -91,6 +91,35 @@ class TestReport:
         assert "->" in out
 
 
+class TestFigures:
+    def test_table2_with_cache_and_jobs(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "figures", "table2", "--jobs", "2", "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Inter node message latency" in out
+        assert "0 hits, 4 misses" in out
+        # Second invocation is served from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 hits, 0 misses" in out
+
+    def test_no_cache_skips_cache_entirely(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unused"))
+        assert main(["figures", "waitstates", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Late Sender" in out
+        assert "cache:" not in out
+        assert not (tmp_path / "unused").exists()
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "fig99"])
+
+
 class TestErrors:
     def test_missing_file(self, capsys, tmp_path):
         rc = main(["scan", str(tmp_path / "nope.npz")])

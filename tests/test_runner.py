@@ -1,0 +1,118 @@
+"""Tests for the parallel experiment runner (repro.analysis.runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.runner import derive_seed, resolve_jobs, run_grid, seed_grid
+from repro.cache import ResultCache
+from repro.errors import ConfigurationError
+
+
+def square(x, offset=0):
+    """Module-level so ProcessPoolExecutor workers can import it."""
+    return x * x + offset
+
+
+def failing(x):
+    raise ValueError(f"boom {x}")
+
+
+GRID = [dict(x=i) for i in range(7)]
+
+
+class TestRunGrid:
+    def test_serial(self):
+        assert run_grid(square, GRID) == [i * i for i in range(7)]
+
+    def test_results_in_grid_order_parallel(self):
+        assert run_grid(square, GRID, jobs=3) == [i * i for i in range(7)]
+
+    def test_empty_grid(self):
+        assert run_grid(square, []) == []
+        assert run_grid(square, [], jobs=4) == []
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_grid(failing, [dict(x=1), dict(x=2)], jobs=2)
+        with pytest.raises(ValueError, match="boom"):
+            run_grid(failing, [dict(x=1), dict(x=2)])
+
+    def test_on_result_callback_sees_every_job(self):
+        seen = {}
+        run_grid(square, GRID, jobs=2, on_result=lambda i, v: seen.__setitem__(i, v))
+        assert seen == {i: i * i for i in range(7)}
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(5) == 5
+        assert resolve_jobs(0) >= 1  # all cores
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-1)
+
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(7, "fig7", 2) == derive_seed(7, "fig7", 2)
+        assert derive_seed(7, "fig7", 2) != derive_seed(7, "fig7", 3)
+        assert derive_seed(8, "fig7", 2) != derive_seed(7, "fig7", 2)
+
+    def test_seed_grid(self):
+        grid = seed_grid(dict(a=1), [3, 4])
+        assert grid == [dict(a=1, seed=3), dict(a=1, seed=4)]
+
+
+class TestDeterminism:
+    """run_grid(jobs=4) must be bit-for-bit identical to serial."""
+
+    def test_fig7_grid_parallel_equals_serial(self):
+        kwargs = dict(app="smg2000", seed=2, runs=2, nprocs=4, scale=0.2)
+        serial = E.fig7_app_violations(**kwargs, jobs=None)
+        parallel = E.fig7_app_violations(**kwargs, jobs=4)
+        # Fig7RunStats is a dataclass of floats/ints: == is bit-for-bit.
+        assert serial.runs == parallel.runs
+        assert serial.app == parallel.app
+
+    def test_fig8_grid_parallel_equals_serial(self):
+        kwargs = dict(threads=(2, 4), seed=1, runs=2, regions=20)
+        serial = E.fig8_openmp_violations(**kwargs)
+        parallel = E.fig8_openmp_violations(**kwargs, jobs=4)
+        assert serial.threads == parallel.threads
+        for n in serial.threads:
+            for a, b in zip(serial.reports[n], parallel.reports[n]):
+                assert a.instances == b.instances
+                assert (a.regions, a.any_violations) == (b.regions, b.any_violations)
+
+    def test_table2_parallel_equals_serial(self):
+        kwargs = dict(seed=0, repeats=100, coll_repeats=30)
+        serial = E.table2_latencies(**kwargs)
+        parallel = E.table2_latencies(**kwargs, jobs=4)
+        assert serial.rows == parallel.rows  # frozen dataclass equality
+
+
+class TestRunGridCaching:
+    def test_cache_populated_and_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_grid(square, GRID, cache=cache)
+        assert cache.misses == len(GRID)
+        assert cache.stores == len(GRID)
+        second = run_grid(square, GRID, cache=cache)
+        assert second == first
+        assert cache.hits == len(GRID)
+
+    def test_parallel_workers_write_through(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid(square, GRID, jobs=3, cache=cache)
+        reread = ResultCache(tmp_path)
+        assert run_grid(square, GRID, cache=reread) == [i * i for i in range(7)]
+        assert reread.hits == len(GRID)
+        assert reread.misses == 0
+
+    def test_partial_hits_only_compute_missing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid(square, GRID[:3], cache=cache)
+        cache2 = ResultCache(tmp_path)
+        out = run_grid(square, GRID, cache=cache2)
+        assert out == [i * i for i in range(7)]
+        assert cache2.hits == 3
+        assert cache2.misses == 4

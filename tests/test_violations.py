@@ -46,6 +46,37 @@ class TestResolveLmin:
         out = resolve_lmin(lambda s, d: s * 10 + d, np.array([1]), np.array([2]))
         np.testing.assert_array_equal(out, [12.0])
 
+    def test_callable_matches_matrix_form(self):
+        # Regression for the vectorized callable path: an lmin callable
+        # backed by a matrix must produce exactly the matrix-form floors.
+        rng = np.random.default_rng(11)
+        mat = rng.uniform(1e-7, 1e-5, size=(6, 6))
+        np.fill_diagonal(mat, 0.0)
+        src = rng.integers(0, 6, 5000)
+        dst = (src + 1 + rng.integers(0, 5, 5000)) % 6
+        from_callable = resolve_lmin(lambda s, d: mat[s, d], src, dst)
+        from_matrix = resolve_lmin(mat, src, dst)
+        np.testing.assert_array_equal(from_callable, from_matrix)
+
+    def test_callable_called_once_per_unique_pair(self):
+        calls = []
+
+        def lmin(s, d):
+            calls.append((s, d))
+            return 1e-6
+
+        src = np.array([0, 0, 0, 2, 2, 2, 2])
+        dst = np.array([1, 1, 1, 3, 3, 3, 3])
+        out = resolve_lmin(lmin, src, dst)
+        assert out.shape == (7,)
+        assert sorted(set(calls)) == [(0, 1), (2, 3)]
+        assert len(calls) == 2
+
+    def test_callable_empty(self):
+        out = resolve_lmin(lambda s, d: 1.0, np.array([], dtype=np.int64),
+                           np.array([], dtype=np.int64))
+        assert out.shape == (0,)
+
 
 class TestScanMessages:
     def test_no_violations(self):
@@ -286,3 +317,31 @@ class TestViolationsByPair:
         report = scan_messages(t, lmin=0.0)
         assert total_v == report.violated
         assert total_c == report.checked
+
+    def test_matches_per_pair_masking_reference(self):
+        # Regression for the np.unique/np.bincount rewrite: compare
+        # against the original one-mask-per-pair formulation.
+        from repro.sync.violations import resolve_lmin, violations_by_pair
+
+        rng = np.random.default_rng(7)
+        n = 3000
+        src = rng.integers(0, 12, n)
+        dst = (src + 1 + rng.integers(0, 11, n)) % 12
+        send = np.sort(rng.uniform(0, 50, n))
+        recv = send + rng.normal(4e-6, 3e-6, n)
+        z = np.zeros(n, dtype=np.int64)
+        t = MessageTable(src, dst, z, z, send, recv, z, z)
+        lmin = 1e-6
+
+        floors = resolve_lmin(lmin, t.src, t.dst)
+        bad = t.recv_ts - (t.send_ts + floors) < 0
+        pairs = t.src * (int(t.dst.max()) + 1) + t.dst
+        reference = {}
+        for key in np.unique(pairs):
+            mask = pairs == key
+            reference[(int(t.src[mask][0]), int(t.dst[mask][0]))] = (
+                int(bad[mask].sum()),
+                int(mask.sum()),
+            )
+
+        assert violations_by_pair(t, lmin=lmin) == reference
