@@ -18,7 +18,7 @@ round count.
 """
 
 import pytest
-from conftest import emit
+from conftest import emit, record_metric
 
 from repro.analysis.reports import ascii_table
 from repro.cluster import scheduler_default, xeon_cluster
@@ -81,6 +81,14 @@ def test_clc_ablation(benchmark):
         return out
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # 5 corrections per run_all (naive + 4 CLC variants), each over the
+    # full trace — the throughput number later PRs regression-check.
+    corrected_events = trace.total_events() * (1 + len(variants))
+    record_metric(
+        "test_clc_ablation",
+        events_corrected_per_run=corrected_events,
+        events_per_second=corrected_events / benchmark.stats["mean"],
+    )
 
     rows = [
         (

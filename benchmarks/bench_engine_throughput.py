@@ -93,4 +93,9 @@ def test_clc_rate(benchmark):
         f"CLC: {result.total_events} events corrected in "
         f"{benchmark.stats['mean'] * 1e3:.1f} ms/pass ({result.jumps} jumps)"
     )
+    record_metric(
+        "test_clc_rate",
+        events_per_run=int(result.total_events),
+        events_per_second=result.total_events / benchmark.stats["mean"],
+    )
     assert result.total_events == trace.total_events()

@@ -1,0 +1,111 @@
+"""Compare benchmarks/results/latest.json against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py                  # warn on drops
+    python benchmarks/check_regression.py --strict         # exit 1 on drops
+    python benchmarks/check_regression.py --threshold 0.2  # tighter bar
+
+A benchmark regresses when its throughput drops by more than
+``--threshold`` (default 30 %) relative to the baseline.  Two metric
+conventions are understood, matching what the benches record:
+
+* ``mean_s`` (and the other ``*_s`` timing fields): lower is better;
+* ``*_per_second`` derived metrics: higher is better.
+
+Benchmarks present in only one file are reported but never fail the
+check (machines differ, benches come and go); refresh the baseline by
+copying ``latest.json`` over ``baseline.json`` after an intentional
+change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def load(path: Path) -> dict[str, dict]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return payload.get("benchmarks", payload)
+
+
+def compare(baseline: dict[str, dict], latest: dict[str, dict], threshold: float):
+    """Yield (bench, metric, base, new, drop_fraction) for every comparable metric."""
+    for name in sorted(set(baseline) & set(latest)):
+        base, new = baseline[name], latest[name]
+        for metric in sorted(set(base) & set(new)):
+            b, n = base[metric], new[metric]
+            if not isinstance(b, (int, float)) or not isinstance(n, (int, float)):
+                continue
+            if metric == "mean_s":
+                lower_is_better = True
+            elif metric.endswith("_per_second"):
+                lower_is_better = False
+            else:
+                continue  # stddev/min/max/rounds/counters: informational only
+            if not b or b <= 0:
+                continue
+            drop = (n - b) / b if lower_is_better else (b - n) / b
+            yield name, metric, float(b), float(n), drop
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=RESULTS_DIR / "baseline.json",
+        help="committed reference results (default: benchmarks/results/baseline.json)",
+    )
+    parser.add_argument(
+        "--latest", type=Path, default=RESULTS_DIR / "latest.json",
+        help="freshly generated results (default: benchmarks/results/latest.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="relative throughput drop that counts as a regression (default 0.30)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when a regression is found (for CI)",
+    )
+    args = parser.parse_args(argv)
+
+    for path, label in ((args.baseline, "baseline"), (args.latest, "latest")):
+        if not path.is_file():
+            print(f"check_regression: no {label} file at {path}; nothing to compare")
+            return 0
+    baseline = load(args.baseline)
+    latest = load(args.latest)
+
+    regressions = []
+    compared = 0
+    for name, metric, b, n, drop in compare(baseline, latest, args.threshold):
+        compared += 1
+        if drop > args.threshold:
+            regressions.append((name, metric, b, n, drop))
+
+    only_base = sorted(set(baseline) - set(latest))
+    only_latest = sorted(set(latest) - set(baseline))
+    if only_base:
+        print(f"note: not in latest run: {', '.join(only_base)}")
+    if only_latest:
+        print(f"note: new since baseline: {', '.join(only_latest)}")
+
+    if regressions:
+        print(
+            f"WARNING: {len(regressions)} metric(s) dropped more than "
+            f"{args.threshold:.0%} vs {args.baseline.name}:"
+        )
+        for name, metric, b, n, drop in regressions:
+            print(f"  {name}.{metric}: {b:.6g} -> {n:.6g}  ({drop:+.0%} worse)")
+        return 1 if args.strict else 0
+    print(f"OK: {compared} metric(s) within {args.threshold:.0%} of {args.baseline.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,13 +144,27 @@ class Clock:
             sample_t = t + self.rng.exponential(self.read_jitter, size=t.shape)
         values = sample_t + np.asarray(self.drift.offset_at(sample_t), dtype=np.float64)
         if self.resolution > 0.0:
-            values = np.floor(values / self.resolution) * self.resolution
+            # Same one-ulp guard as _quantize, kept op-for-op identical
+            # so read() and read_array() agree bitwise.
+            k = np.floor(values / self.resolution)
+            quantized = k * self.resolution
+            over = quantized > values
+            if over.any():
+                quantized[over] = (k[over] - 1.0) * self.resolution
+            values = quantized
         return np.maximum.accumulate(values)
 
     # ------------------------------------------------------------------
     def _quantize(self, value: float) -> float:
         if self.resolution > 0.0:
-            return math.floor(value / self.resolution) * self.resolution
+            # floor(value/res) can land one grid step high when the
+            # division rounds up across an integer boundary (e.g.
+            # 15.0/1e-9); a floored reading must never exceed the input.
+            k = math.floor(value / self.resolution)
+            q = k * self.resolution
+            if q > value:
+                q = (k - 1) * self.resolution
+            return q
         return value
 
     def __repr__(self) -> str:

@@ -23,6 +23,8 @@ import heapq
 import math
 from typing import Any, Callable, Generator, Iterable, Optional
 
+import numpy as np
+
 from repro.clocks.base import Clock
 from repro.cluster.topology import Location
 from repro.errors import DeadlockError, SimulationError

@@ -14,7 +14,9 @@ This package implements the paper's Section III/V toolchain:
 * :mod:`repro.sync.collectives_map` — collective -> logical p2p mapping;
 * :mod:`repro.sync.error_estimation` — Duda/Hofmann/Jezequel offset-line
   estimation from message timestamps;
-* :mod:`repro.sync.replay` — replay-ordered (parallelizable) CLC.
+* :mod:`repro.sync.replay` — replay-ordered (parallelizable) CLC;
+* :mod:`repro.sync.schedule` — compiled happened-before schedules and
+  the array kernels behind CLC, Lamport, vector, and replay.
 """
 
 from repro.sync.offset import OffsetMeasurement, cristian_offset, measurement_protocol
@@ -31,9 +33,15 @@ from repro.sync.violations import (
     scan_pomp,
     scan_trace,
 )
-from repro.sync.clc import ClcResult, ControlledLogicalClock, naive_shift_correct
-from repro.sync.lamport import lamport_clocks
-from repro.sync.vector import happened_before_graph, vector_clocks
+from repro.sync.clc import (
+    ClcResult,
+    ControlledLogicalClock,
+    naive_shift_correct,
+    naive_shift_correct_reference,
+)
+from repro.sync.lamport import lamport_clocks, lamport_clocks_reference
+from repro.sync.schedule import CompiledSchedule
+from repro.sync.vector import happened_before_graph, vector_clocks, vector_clocks_reference
 from repro.sync.collectives_map import logical_messages
 from repro.sync.error_estimation import (
     estimate_pairwise_offsets,
@@ -57,13 +65,17 @@ __all__ = [
     "scan_trace",
     "ControlledLogicalClock",
     "ClcResult",
+    "CompiledSchedule",
     "naive_shift_correct",
+    "naive_shift_correct_reference",
     "replay_correct",
     "ReplayResult",
     "exchange_correction",
     "offsets_from_exchanges",
     "lamport_clocks",
+    "lamport_clocks_reference",
     "vector_clocks",
+    "vector_clocks_reference",
     "happened_before_graph",
     "logical_messages",
     "estimate_pairwise_offsets",

@@ -44,6 +44,13 @@ backward pass only ever moves events *up* while respecting the send
 caps.  The accuracy of the result still depends on the input timestamps
 (Section V), which is why it should run after linear interpolation —
 the pipeline of :mod:`repro.core.pipeline`.
+
+**Implementation note.**  The default entry points run on the trace's
+:class:`repro.sync.schedule.CompiledSchedule` (array-native kernels,
+cached per trace); :meth:`ControlledLogicalClock.correct_reference` and
+:func:`naive_shift_correct_reference` keep the original event-by-event
+scalar formulation and serve as the bit-for-bit equivalence oracle in
+the test suite.
 """
 
 from __future__ import annotations
@@ -55,10 +62,17 @@ import numpy as np
 
 from repro.errors import SynchronizationError
 from repro.sync.order import build_dependencies, replay_schedule
+from repro.sync.schedule import CompiledSchedule, clc_forward, send_caps_kernel
 from repro.sync.violations import LminSpec
 from repro.tracing.trace import Trace
 
-__all__ = ["ControlledLogicalClock", "ClcResult", "naive_shift_correct", "compute_clc_stats"]
+__all__ = [
+    "ControlledLogicalClock",
+    "ClcResult",
+    "naive_shift_correct",
+    "naive_shift_correct_reference",
+    "compute_clc_stats",
+]
 
 
 @dataclass
@@ -165,8 +179,8 @@ class ControlledLogicalClock:
     # ------------------------------------------------------------------
     def correct(self, trace: Trace, lmin: LminSpec = 0.0) -> ClcResult:
         """Apply the CLC to ``trace``; returns the corrected trace + stats."""
-        deps = build_dependencies(trace, include_collectives=self.include_collectives)
-        return self.correct_with_dependencies(trace, deps, lmin)
+        schedule = trace.compiled_schedule(self.include_collectives)
+        return self.correct_with_schedule(trace, schedule, lmin)
 
     def correct_with_dependencies(
         self,
@@ -181,6 +195,57 @@ class ControlledLogicalClock:
         point for non-message semantics — e.g. the POMP constraints of
         :func:`repro.openmp.correction.pomp_clc`.
         """
+        schedule = CompiledSchedule.from_dependencies(trace, deps)
+        return self.correct_with_schedule(trace, schedule, lmin)
+
+    def correct_with_schedule(
+        self, trace: Trace, schedule: CompiledSchedule, lmin: LminSpec = 0.0
+    ) -> ClcResult:
+        """Apply the CLC on a pre-compiled happened-before schedule."""
+        edge_lmin = schedule.edge_lmin(lmin)
+        original = {rank: trace.logs[rank].timestamps for rank in trace.ranks}
+        orig_flat = schedule.flatten(original)
+
+        corr_flat, jumps, njumps, max_jump = clc_forward(
+            schedule, orig_flat, edge_lmin, self.gamma
+        )
+        corrected = schedule.split(corr_flat)
+
+        window = self.amortization_window
+        if window is None:
+            window = self._auto_window(jumps)
+        if window > 0:
+            caps = schedule.split(send_caps_kernel(schedule, corr_flat, edge_lmin))
+            for rank in trace.ranks:
+                if jumps[rank]:
+                    corrected[rank] = _amortize_backward(
+                        corrected[rank], jumps[rank], window, caps.get(rank)
+                    )
+
+        return compute_clc_stats(
+            trace,
+            original,
+            corrected,
+            jumps_count=njumps,
+            max_jump=max_jump,
+            meta={"gamma": self.gamma, "window": window, "jumps": njumps},
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar reference implementation (the equivalence-test oracle)
+    # ------------------------------------------------------------------
+    def correct_reference(self, trace: Trace, lmin: LminSpec = 0.0) -> ClcResult:
+        """Event-by-event scalar CLC; bit-identical oracle for :meth:`correct`."""
+        deps = build_dependencies(trace, include_collectives=self.include_collectives)
+        return self.correct_with_dependencies_reference(trace, deps, lmin)
+
+    def correct_with_dependencies_reference(
+        self,
+        trace: Trace,
+        deps: "dict[tuple[int, int], list[tuple[int, int]]]",
+        lmin: LminSpec = 0.0,
+    ) -> ClcResult:
+        """Scalar formulation of :meth:`correct_with_dependencies` (oracle)."""
         lmin_fn = _lmin_callable(lmin)
 
         original = {rank: trace.logs[rank].timestamps for rank in trace.ranks}
@@ -216,9 +281,9 @@ class ControlledLogicalClock:
         # ---- backward amortization -----------------------------------
         window = self.amortization_window
         if window is None:
-            window = self._auto_window(trace, jumps, lmin_fn)
+            window = self._auto_window(jumps)
         if window > 0:
-            send_caps = self._send_caps(trace, deps, corrected, lmin_fn)
+            send_caps = self._send_caps_reference(trace, deps, corrected, lmin_fn)
             for rank in trace.ranks:
                 if jumps[rank]:
                     corrected[rank] = _amortize_backward(
@@ -236,9 +301,10 @@ class ControlledLogicalClock:
         )
 
     # ------------------------------------------------------------------
-    def _auto_window(self, trace, jumps, lmin_fn) -> float:
+    @staticmethod
+    def _auto_window(jumps: "dict[int, list[tuple[int, float]]]") -> float:
         biggest = 0.0
-        for rank, items in jumps.items():
+        for items in jumps.values():
             for _, jump in items:
                 biggest = max(biggest, jump)
         # Span the jump over a region much wider than the jump itself so
@@ -246,7 +312,7 @@ class ControlledLogicalClock:
         return 50.0 * biggest if biggest > 0 else 0.0
 
     @staticmethod
-    def _send_caps(trace, deps, corrected, lmin_fn) -> dict[int, np.ndarray]:
+    def _send_caps_reference(trace, deps, corrected, lmin_fn) -> dict[int, np.ndarray]:
         """Upper bound per event: sends must stay below partner receive - l_min."""
         caps: dict[int, np.ndarray] = {
             rank: np.full(len(trace.logs[rank]), np.inf) for rank in trace.ranks
@@ -275,6 +341,25 @@ def naive_shift_correct(trace: Trace, lmin: LminSpec = 0.0) -> ClcResult:
     forward/backward amortization exists to avoid.  Use it as the
     comparison point in ablations.
     """
+    schedule = trace.compiled_schedule(True)
+    edge_lmin = schedule.edge_lmin(lmin)
+    original = {rank: trace.logs[rank].timestamps for rank in trace.ranks}
+    orig_flat = schedule.flatten(original)
+    corr_flat, _jumps, njumps, max_jump = clc_forward(
+        schedule, orig_flat, edge_lmin, gamma=None
+    )
+    return compute_clc_stats(
+        trace,
+        original,
+        schedule.split(corr_flat),
+        jumps_count=njumps,
+        max_jump=max_jump,
+        meta={"naive_shift": True, "jumps": njumps},
+    )
+
+
+def naive_shift_correct_reference(trace: Trace, lmin: LminSpec = 0.0) -> ClcResult:
+    """Scalar formulation of :func:`naive_shift_correct` (oracle)."""
     deps = build_dependencies(trace, include_collectives=True)
     lmin_fn = _lmin_callable(lmin)
     original = {rank: trace.logs[rank].timestamps for rank in trace.ranks}
@@ -325,21 +410,25 @@ def _amortize_backward(
     ``caps[i] - t(i)`` (clock condition of its own sends).
     """
     n = times.size
-    desired = np.zeros(n, dtype=np.float64)
-    for k, jump in jump_list:
-        # Anchor the ramp at the event's *pre-jump* time: an event just
-        # before where the receive originally sat advances by (almost)
-        # the full jump, events `window` earlier don't move at all.
-        anchor = times[k] - jump
-        lo = np.searchsorted(times, anchor - window, side="left")
-        if lo >= k:
-            continue
-        seg = times[lo:k]
-        ramp = jump * (1.0 - (anchor - seg) / window)
-        np.clip(ramp, 0.0, jump, out=ramp)
-        np.maximum(desired[lo:k], ramp, out=desired[lo:k])
+    ks = np.array([k for k, _ in jump_list], dtype=np.int64)
+    js = np.array([jump for _, jump in jump_list], dtype=np.float64)
+    # Anchor each ramp at the event's *pre-jump* time: an event just
+    # before where the receive originally sat advances by (almost) the
+    # full jump, events `window` earlier don't move at all.  One
+    # (jumps, events) matrix evaluates every ramp at every event — the
+    # elementwise operations and the clip are exactly the per-jump
+    # formulation's, and max over jumps is exact, so the combined
+    # desired advance is bit-identical to folding jumps one at a time.
+    anchors = times[ks] - js
+    ramp = js[:, None] * (1.0 - (anchors[:, None] - times[None, :]) / window)
+    np.maximum(ramp, 0.0, out=ramp)
+    np.minimum(ramp, js[:, None], out=ramp)
+    # A jump only pre-spreads over *earlier* events of its rank.
+    for row, k in enumerate(ks.tolist()):
+        ramp[row, k:] = 0.0
+    desired = ramp.max(axis=0)
 
-    if not np.any(desired > 0):
+    if not desired.any():
         return times
 
     allowed = desired
@@ -348,12 +437,16 @@ def _amortize_backward(
         np.minimum(allowed, np.maximum(headroom, 0.0), out=allowed)
     # Reverse monotonicity scan: advance may grow by at most the original
     # gap to the next event (which itself might be the jump event with
-    # advance 0 — the ramp is anchored there by construction).
+    # advance 0 — the ramp is anchored there by construction).  The scan
+    # is inherently sequential; it runs on plain lists because Python
+    # float arithmetic is the same IEEE double as numpy scalars.
+    tl = times.tolist()
+    al = allowed.tolist()
     for i in range(n - 2, -1, -1):
-        limit = allowed[i + 1] + (times[i + 1] - times[i])
-        if allowed[i] > limit:
-            allowed[i] = limit
-    out = times + allowed
+        limit = al[i + 1] + (tl[i + 1] - tl[i])
+        if al[i] > limit:
+            al[i] = limit
+    out = times + np.asarray(al, dtype=np.float64)
     if caps is not None:
         # ``times + (caps - times)`` can round one ulp above ``caps``;
         # clamp exactly so verifiers using strict comparison stay happy

@@ -8,30 +8,25 @@ rank corrects its own events in order, and whenever it hits a receive
 (or collective exit) it obtains the corrected send time from the
 producing rank the same way the original message travelled.
 
-:func:`replay_correct` implements that structure as a bulk-synchronous
-round loop: per round, every rank advances through its log until it
-blocks on a not-yet-produced remote value; produced values are then
-"delivered" and the next round starts.  The result is *identical* to
-:class:`repro.sync.clc.ControlledLogicalClock` (the test suite asserts
-it); the value of this module is (a) documenting the parallel
-decomposition and (b) reporting its round count — the quantity that
-bounds wall-clock time on a real parallel replay.
+:func:`replay_correct` reports that structure: the corrected trace is
+computed with the shared array kernels of :mod:`repro.sync.schedule`
+(identical to :class:`repro.sync.clc.ControlledLogicalClock` — the CLC
+forward pass is deterministic dataflow, so every valid execution order
+produces the same values), while the bulk-synchronous round loop of
+:func:`repro.sync.schedule.bsp_rounds` simulates the parallel
+decomposition: per round, every rank advances through its log until it
+blocks on a not-yet-delivered remote value.  The value of this module is
+(a) documenting the parallel decomposition and (b) reporting its round
+count — the quantity that bounds wall-clock time on a real parallel
+replay.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.sync.clc import (
-    ClcResult,
-    ControlledLogicalClock,
-    _amortize_backward,
-    _lmin_callable,
-    compute_clc_stats,
-)
-from repro.sync.order import build_dependencies
+from repro.sync.clc import ClcResult, ControlledLogicalClock
+from repro.sync.schedule import bsp_rounds
 from repro.sync.violations import LminSpec
 from repro.tracing.trace import Trace
 
@@ -60,90 +55,8 @@ def replay_correct(
         amortization_window=amortization_window,
         include_collectives=include_collectives,
     )
-    deps = build_dependencies(trace, include_collectives=include_collectives)
-    lmin_fn = _lmin_callable(lmin)
-
-    original = {rank: trace.logs[rank].timestamps for rank in trace.ranks}
-    corrected = {rank: original[rank].copy() for rank in trace.ranks}
-    produced = {rank: 0 for rank in trace.ranks}  # events finalized so far
-    jumps: dict[int, list[tuple[int, float]]] = {rank: [] for rank in trace.ranks}
-    lengths = {rank: len(trace.logs[rank]) for rank in trace.ranks}
-    total = sum(lengths.values())
-
-    rounds = 0
-    done = 0
-    max_queue = 0
-    njumps = 0
-    max_jump = 0.0
-    while done < total:
-        rounds += 1
-        progressed = 0
-        # "Parallel" phase: each rank advances as far as its inputs allow,
-        # reading only values produced in *previous* rounds or earlier in
-        # its own log (matching a real replay, where remote values arrive
-        # as messages).
-        snapshot = dict(produced)
-        for rank in trace.ranks:
-            orig = original[rank]
-            corr = corrected[rank]
-            idx = produced[rank]
-            while idx < lengths[rank]:
-                ref_deps = deps.get((rank, idx), ())
-                blocked = False
-                remote_floor = -np.inf
-                for dep_rank, dep_idx in ref_deps:
-                    available = (
-                        dep_idx < snapshot[dep_rank]
-                        if dep_rank != rank
-                        else dep_idx < idx
-                    )
-                    if not available:
-                        blocked = True
-                        break
-                    floor = corrected[dep_rank][dep_idx] + lmin_fn(dep_rank, rank)
-                    if floor > remote_floor:
-                        remote_floor = floor
-                if blocked:
-                    break
-                value = orig[idx]
-                if idx > 0:
-                    follow = corr[idx - 1] + gamma * (orig[idx] - orig[idx - 1])
-                    if follow > value:
-                        value = follow
-                if remote_floor > value:
-                    jump = remote_floor - value
-                    value = remote_floor
-                    jumps[rank].append((idx, jump))
-                    njumps += 1
-                    max_jump = max(max_jump, jump)
-                corr[idx] = value
-                idx += 1
-                progressed += 1
-            produced[rank] = idx
-        done += progressed
-        in_flight = sum(produced[r] - snapshot[r] for r in trace.ranks)
-        max_queue = max(max_queue, in_flight)
-        if progressed == 0:
-            raise RuntimeError("replay stalled; trace dependency graph has a cycle")
-
-    # Backward amortization, identical to the sequential implementation.
-    window = amortization_window
-    if window is None:
-        window = corrector._auto_window(trace, jumps, lmin_fn)
-    if window > 0:
-        caps = ControlledLogicalClock._send_caps(trace, deps, corrected, lmin_fn)
-        for rank in trace.ranks:
-            if jumps[rank]:
-                corrected[rank] = _amortize_backward(
-                    corrected[rank], jumps[rank], window, caps.get(rank)
-                )
-
-    clc_result = compute_clc_stats(
-        trace,
-        original,
-        corrected,
-        jumps_count=njumps,
-        max_jump=max_jump,
-        meta={"gamma": gamma, "window": window, "jumps": njumps, "replay": True},
-    )
+    schedule = trace.compiled_schedule(include_collectives)
+    rounds, max_queue = bsp_rounds(schedule)
+    clc_result = corrector.correct_with_schedule(trace, schedule, lmin)
+    clc_result.trace.meta["clc"]["replay"] = True
     return ReplayResult(clc=clc_result, rounds=rounds, max_queue=max_queue)

@@ -10,6 +10,11 @@ Vector clocks characterize happened-before *exactly*:
 ``e -> f  iff  V(e) < V(f)`` (componentwise <=, somewhere <), which the
 test suite verifies against graph reachability on
 :func:`happened_before_graph`.
+
+The default path runs the array kernel of :mod:`repro.sync.schedule`
+(broadcast fills over dependency-free stretches);
+:func:`vector_clocks_reference` keeps the event-by-event scalar loop as
+the equivalence-test oracle.
 """
 
 from __future__ import annotations
@@ -18,9 +23,16 @@ import networkx as nx
 import numpy as np
 
 from repro.sync.order import build_dependencies, replay_schedule
+from repro.sync.schedule import vector_kernel
 from repro.tracing.trace import Trace
 
-__all__ = ["vector_clocks", "happened_before_graph", "vector_leq", "concurrent"]
+__all__ = [
+    "vector_clocks",
+    "vector_clocks_reference",
+    "happened_before_graph",
+    "vector_leq",
+    "concurrent",
+]
 
 
 def vector_clocks(trace: Trace, include_collectives: bool = True) -> dict[int, np.ndarray]:
@@ -29,6 +41,13 @@ def vector_clocks(trace: Trace, include_collectives: bool = True) -> dict[int, n
     Rank ids are mapped to vector components in sorted order
     (``trace.ranks``), so traces with non-contiguous ranks work.
     """
+    return vector_kernel(trace.compiled_schedule(include_collectives))
+
+
+def vector_clocks_reference(
+    trace: Trace, include_collectives: bool = True
+) -> dict[int, np.ndarray]:
+    """Scalar formulation of :func:`vector_clocks` (oracle)."""
     ranks = trace.ranks
     comp = {rank: i for i, rank in enumerate(ranks)}
     n = len(ranks)

@@ -149,6 +149,7 @@ class Trace:
         self.meta: dict[str, Any] = dict(meta or {})
         self._messages: Optional[MessageTable] = None
         self._collectives: Optional[CollectiveTable] = None
+        self._schedules: dict[bool, Any] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -161,6 +162,26 @@ class Trace:
 
     def total_events(self) -> int:
         return sum(len(log) for log in self.logs.values())
+
+    def compiled_schedule(self, include_collectives: bool = True):
+        """The trace's compiled happened-before schedule (cached).
+
+        Returns a :class:`repro.sync.schedule.CompiledSchedule` for the
+        standard message/collective dependency relation.  Schedules are
+        structure-only (timestamps never enter the compilation), so one
+        schedule serves every timestamp correction of this trace; CLC,
+        naive-shift, Lamport, vector, and replay all share it.
+        """
+        # ``setdefault`` on ``__dict__``: traces unpickled from caches
+        # written by older versions lack the attribute.
+        cache = self.__dict__.setdefault("_schedules", {})
+        schedule = cache.get(include_collectives)
+        if schedule is None:
+            from repro.sync.schedule import CompiledSchedule  # import cycle: sync -> tracing
+
+            schedule = CompiledSchedule.from_trace(self, include_collectives)
+            cache[include_collectives] = schedule
+        return schedule
 
     def event_counts(self) -> dict[EventType, int]:
         """Number of events per type across all ranks."""
@@ -428,7 +449,11 @@ class Trace:
             rank: (log.with_timestamps(new_ts[rank]) if rank in new_ts else log)
             for rank, log in self.logs.items()
         }
-        return Trace(logs, meta=dict(self.meta))
+        out = Trace(logs, meta=dict(self.meta))
+        # Timestamp replacement preserves event structure, so compiled
+        # happened-before schedules stay valid for the corrected trace.
+        out._schedules = dict(self.__dict__.get("_schedules", {}))
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Trace(ranks={self.nranks}, events={self.total_events()})"
