@@ -1,0 +1,135 @@
+"""Mutation smoke check: do the verification oracles have teeth?
+
+Injects a handful of hand-written mutants — each a realistic way the
+synchronization stack could silently break — and asserts the
+``mutation`` fuzz campaign catches every one, shrinks the failure, and
+serializes it to a corpus entry.  A mutant that survives means an
+oracle has gone blind; exit code 1.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_oracles.py
+    PYTHONPATH=src python benchmarks/check_oracles.py --max-examples 80
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from unittest import mock
+
+import numpy as np
+
+
+@contextmanager
+def mutant_zero_lmin():
+    """M1: the per-edge latency floor vanishes — Eq. 1 degenerates to
+    ``recv >= send`` and corrected traces keep real violations."""
+    from repro.sync.schedule import CompiledSchedule
+
+    def edge_lmin(self, lmin):
+        return np.zeros(self.n_edges, dtype=np.float64)
+
+    with mock.patch.object(CompiledSchedule, "edge_lmin", edge_lmin):
+        yield
+
+
+@contextmanager
+def mutant_uncapped_sends():
+    """M2: send caps disabled in the array kernel only — backward
+    amortization may push a send past its partner's receive, and the
+    kernel diverges from the scalar reference."""
+    import repro.sync.clc as clc_mod
+
+    def no_caps(schedule, corrected_flat, edge_lmin):
+        return np.full(schedule.n_events, np.inf, dtype=np.float64)
+
+    with mock.patch.object(clc_mod, "send_caps_kernel", no_caps):
+        yield
+
+
+@contextmanager
+def mutant_naive_floor():
+    """M3: quantization reverts to a bare ``floor(value/res) * res`` —
+    the historical grid-boundary overshoot (15.0 at 1 ns) returns."""
+    from repro.clocks.base import Clock
+
+    def naive(self, value):
+        if self.resolution > 0.0:
+            return math.floor(value / self.resolution) * self.resolution
+        return value
+
+    with mock.patch.object(Clock, "_quantize", naive):
+        yield
+
+
+@contextmanager
+def mutant_forced_gamma():
+    """M4: the forward kernel silently ignores the requested gamma —
+    amortized corrections differ from the scalar reference."""
+    import repro.sync.clc as clc_mod
+    from repro.sync.schedule import clc_forward as real_forward
+
+    def forced(schedule, orig_flat, edge_lmin, gamma):
+        return real_forward(
+            schedule, orig_flat, edge_lmin, 1.0 if gamma is not None else None
+        )
+
+    with mock.patch.object(clc_mod, "clc_forward", forced):
+        yield
+
+
+MUTANTS = [
+    ("zero-lmin", mutant_zero_lmin),
+    ("uncapped-sends", mutant_uncapped_sends),
+    ("naive-floor", mutant_naive_floor),
+    ("forced-gamma", mutant_forced_gamma),
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-examples", type=int, default=60,
+                        help="fuzz budget per probe (default 60)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.verify import run_campaign
+
+    survived = []
+    for name, mutant in MUTANTS:
+        with tempfile.TemporaryDirectory() as tmp:
+            with mutant():
+                result = run_campaign(
+                    "mutation",
+                    max_examples=args.max_examples,
+                    corpus_dir=tmp,
+                    seed=args.seed,
+                )
+            if result.passed:
+                survived.append(name)
+                print(f"  SURVIVED {name}: {result.summary()}")
+                continue
+            oracles = sorted({f.oracle for f in result.failures})
+            entries = sorted(p.name for p in Path(tmp).glob("*.json"))
+            if not entries:
+                survived.append(name)
+                print(f"  SURVIVED {name}: caught but nothing serialized")
+                continue
+            print(f"  caught   {name}: {', '.join(oracles)} "
+                  f"({len(entries)} corpus entries)")
+
+    if survived:
+        print(f"mutation check FAILED: {len(survived)}/{len(MUTANTS)} "
+              f"mutants survived ({', '.join(survived)})")
+        return 1
+    print(f"mutation check passed: {len(MUTANTS)}/{len(MUTANTS)} mutants caught")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

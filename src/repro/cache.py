@@ -175,13 +175,21 @@ class ResultCache:
         return True, value
 
     def store(self, digest: str, value: Any) -> bool:
-        """Atomically persist ``value``; returns False if unpicklable."""
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Atomically persist ``value``; returns False if unpicklable.
+
+        An unusable cache root (a plain file, no write permission) also
+        returns False — caching degrades to recomputation, it never
+        takes the experiment down.
+        """
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except (pickle.PicklingError, TypeError, AttributeError):
             return False
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        except OSError:
+            return False
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(payload)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Five subcommands cover the tool loop without writing Python:
+Six subcommands cover the tool loop without writing Python:
 
 * ``simulate`` — run a workload on a simulated platform, write the
   trace (and its offset measurements) to a ``.npz``/``.jsonl`` file;
@@ -11,7 +11,11 @@ Five subcommands cover the tool loop without writing Python:
   violation rates, optional ASCII timeline;
 * ``figures``  — regenerate paper figures/tables through the parallel
   runner (``--jobs N``) with on-disk result caching (``--no-cache`` to
-  disable, ``--cache-dir`` to relocate).
+  disable, ``--cache-dir`` to relocate);
+* ``verify``   — fuzz the invariant oracles with adversarial traces
+  (``--campaign``, repeatable), serialize shrunken failures into the
+  corpus (``--corpus-dir``), or replay the committed corpus
+  (``--replay``); see docs/testing.md.
 
 Examples
 --------
@@ -23,6 +27,8 @@ Examples
     python -m repro.cli sync pop.npz --clc -o pop_fixed.npz
     python -m repro.cli report pop_fixed.npz --timeline
     python -m repro.cli figures fig7 fig8 --jobs 4
+    python -m repro.cli verify --campaign smoke --max-examples 25
+    python -m repro.cli verify --replay
 """
 
 from __future__ import annotations
@@ -123,6 +129,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figs.add_argument(
         "--runs", type=int, default=3, help="repetitions for fig7/fig8 (default 3)"
+    )
+
+    ver = sub.add_parser(
+        "verify",
+        help="fuzz the invariant oracles with adversarial traces",
+    )
+    ver.add_argument(
+        "--campaign", action="append", default=None, metavar="NAME",
+        help="campaign to run (repeatable; default: smoke)",
+    )
+    ver.add_argument(
+        "--max-examples", type=int, default=50,
+        help="hypothesis examples per probe (default 50)",
+    )
+    ver.add_argument(
+        "--corpus-dir", default=None,
+        help="serialize shrunken failures here (default for --replay: tests/corpus)",
+    )
+    ver.add_argument("--seed", type=int, default=0, help="base fuzzing seed")
+    ver.add_argument(
+        "--replay", action="store_true",
+        help="replay the corpus instead of fuzzing",
+    )
+    ver.add_argument(
+        "--list", action="store_true", dest="list_catalog",
+        help="list campaigns and oracles, then exit",
     )
 
     return parser
@@ -372,6 +404,51 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import CAMPAIGNS, ORACLES, replay_corpus, run_campaign
+
+    if args.list_catalog:
+        print("campaigns:")
+        for name, campaign in sorted(CAMPAIGNS.items()):
+            print(f"  {name:<14s} {len(campaign.probes):2d} probes — "
+                  f"{campaign.description}")
+        print("oracles:")
+        for name, oracle in sorted(ORACLES.items()):
+            print(f"  {name:<30s} {oracle.description}")
+        return 0
+
+    if args.replay:
+        corpus_dir = args.corpus_dir or "tests/corpus"
+        results = replay_corpus(corpus_dir)
+        failed = 0
+        for entry, error in results:
+            if error is None:
+                print(f"  ok   {entry.name}")
+            else:
+                failed += 1
+                print(f"  FAIL {entry.name}: {error}")
+        print(f"corpus {corpus_dir}: {len(results)} entries, {failed} failures")
+        return 1 if failed else 0
+
+    names = args.campaign or ["smoke"]
+    rc = 0
+    for name in dict.fromkeys(names):  # dedupe, keep order
+        result = run_campaign(
+            name,
+            max_examples=args.max_examples,
+            corpus_dir=args.corpus_dir,
+            seed=args.seed,
+        )
+        print(result.summary())
+        for failure in result.failures:
+            rc = 1
+            print(f"  FAIL {failure.strategy} x {failure.oracle}: {failure.message}")
+            print(f"       spec: {failure.spec.to_json()}")
+            if failure.corpus_path:
+                print(f"       saved: {failure.corpus_path}")
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -385,6 +462,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_report(args)
         if args.command == "figures":
             return _cmd_figures(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

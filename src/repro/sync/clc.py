@@ -320,7 +320,12 @@ class ControlledLogicalClock:
         for (dst_rank, dst_idx), sources in deps.items():
             recv_time = corrected[dst_rank][dst_idx]
             for src_rank, src_idx in sources:
-                cap = recv_time - lmin_fn(src_rank, dst_rank)
+                lm = lmin_fn(src_rank, dst_rank)
+                cap = recv_time - lm
+                # Same conservative rounding as ``send_caps_kernel``:
+                # the cap must satisfy ``cap + l_min <= recv`` exactly.
+                while cap + lm > recv_time:
+                    cap = float(np.nextafter(cap, -np.inf))
                 if cap < caps[src_rank][src_idx]:
                     caps[src_rank][src_idx] = cap
         return caps
@@ -446,13 +451,28 @@ def _amortize_backward(
         limit = al[i + 1] + (tl[i + 1] - tl[i])
         if al[i] > limit:
             al[i] = limit
+        if al[i] < 0.0:
+            # A negative original gap (non-monotone recorded log, e.g.
+            # an NTP step backwards) makes the limit negative; an
+            # advance must never turn into a retreat — that would move
+            # a receive below send + l_min and re-violate Eq. 1.
+            al[i] = 0.0
     out = times + np.asarray(al, dtype=np.float64)
     if caps is not None:
         # ``times + (caps - times)`` can round one ulp above ``caps``;
         # clamp exactly so verifiers using strict comparison stay happy
         # (never below the original time, though).
         np.minimum(out, np.maximum(caps, times), out=out)
-    return out
+    # ``t[i] + al[i]`` rounds independently per event, so an advance
+    # sitting exactly on the monotonicity limit can land one ulp above
+    # its successor (same for the caps clamp above).  Re-clamp on the
+    # summed values; the ``>= t[i]`` guard leaves a non-monotone
+    # recorded log as-is instead of dragging events backward.
+    ol = out.tolist()
+    for i in range(n - 2, -1, -1):
+        if ol[i] > ol[i + 1] >= tl[i]:
+            ol[i] = ol[i + 1]
+    return np.asarray(ol, dtype=np.float64)
 
 
 def _lmin_callable(lmin: LminSpec):

@@ -553,9 +553,17 @@ def send_caps_kernel(
     """
     caps = np.full(schedule.n_events, np.inf, dtype=np.float64)
     if schedule.n_edges:
-        vals = (
-            corrected_flat[schedule.rev_targets] - edge_lmin[schedule.rev_edge_ids]
-        )
+        recv = corrected_flat[schedule.rev_targets]
+        lm = edge_lmin[schedule.rev_edge_ids]
+        vals = recv - lm
+        # Round-to-nearest can land ``recv - l_min`` above the true
+        # bound; an event later advanced to that cap would sit one ulp
+        # past ``recv - l_min`` and break the clock condition under
+        # exact comparison.  Nudge down until ``cap + l_min <= recv``.
+        bad = vals + lm > recv
+        while bad.any():
+            vals[bad] = np.nextafter(vals[bad], -np.inf)
+            bad = vals + lm > recv
         degrees = np.diff(schedule.rev_indptr)
         sources = np.nonzero(degrees > 0)[0]
         caps[sources] = np.minimum.reduceat(vals, schedule.rev_indptr[sources])

@@ -1,0 +1,46 @@
+"""Differential verification: adversarial fuzzing against named oracles.
+
+The subsystem has four layers, designed to be used independently:
+
+* :mod:`repro.verify.cases` — deterministic builders turning pure-data
+  :class:`~repro.verify.cases.CaseSpec` scenarios into traces with
+  ground truth;
+* :mod:`repro.verify.strategies` — composable hypothesis strategies
+  over specs (drift-jump clocks, NTP step storms, zero-latency edges,
+  degenerate collectives, mixed MPI+POMP streams), exported for reuse
+  by the test suite;
+* :mod:`repro.verify.oracles` — the invariant catalog: every global
+  guarantee of the library as a named, machine-checkable oracle;
+* :mod:`repro.verify.campaigns` / :mod:`repro.verify.corpus` — fuzz
+  campaigns that shrink failures to minimal specs and serialize them
+  into a replayed-forever corpus (``tests/corpus/``).
+
+CLI: ``python -m repro.cli verify --campaign smoke``.
+"""
+
+from repro.verify.campaigns import CAMPAIGNS, Campaign, CampaignResult, run_campaign
+from repro.verify.cases import BUILDERS, CaseSpec, TraceCase, build_case
+from repro.verify.corpus import CorpusEntry, iter_corpus, replay_corpus, save_failure
+from repro.verify.oracles import ORACLES, Oracle, OracleViolation, check_case
+from repro.verify.strategies import STRATEGIES, adversarial_specs
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignResult",
+    "run_campaign",
+    "BUILDERS",
+    "CaseSpec",
+    "TraceCase",
+    "build_case",
+    "CorpusEntry",
+    "iter_corpus",
+    "replay_corpus",
+    "save_failure",
+    "ORACLES",
+    "Oracle",
+    "OracleViolation",
+    "check_case",
+    "STRATEGIES",
+    "adversarial_specs",
+]

@@ -1,0 +1,157 @@
+"""The shrunken-failure corpus: serialized minimal cases replayed forever.
+
+When a fuzz campaign finds an invariant violation, hypothesis shrinks it
+to a minimal :class:`~repro.verify.cases.CaseSpec`; this module writes
+that spec (plus the built trace, as a golden ``.npz`` sidecar) into a
+corpus directory.  ``tests/corpus/`` is the committed instance: tier-1
+replays every entry on every run, so a once-found bug can never silently
+return — the regression test *is* the minimal reproducing input.
+
+Entry layout::
+
+    <oracle>__<digest12>.json        # {"schema": 1, "oracle", "spec", ...}
+    <oracle>__<digest12>.trace.npz   # golden trace (trace kinds only)
+
+Replay rebuilds the case from the spec (builders are deterministic),
+re-runs the recorded oracle, and — when a golden trace is present —
+asserts the rebuilt trace still matches it bit for bit, so accidental
+builder drift is caught too.  Intentional builder changes require
+regenerating the affected goldens (see docs/testing.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tracing.reader import read_trace
+from repro.tracing.writer import write_trace
+from repro.verify.cases import CaseSpec, build_case
+
+__all__ = [
+    "CorpusEntry",
+    "save_failure",
+    "iter_corpus",
+    "replay_entry",
+    "replay_corpus",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One serialized minimal failure."""
+
+    path: Path
+    oracle: str
+    spec: CaseSpec
+    message: str = ""
+    trace_path: Optional[Path] = None
+
+    @property
+    def name(self) -> str:
+        return self.path.stem
+
+
+def _digest(oracle: str, spec: CaseSpec) -> str:
+    payload = f"{oracle}:{spec.to_json()}".encode()
+    return hashlib.sha256(payload).hexdigest()[:12]
+
+
+def save_failure(
+    corpus_dir: Union[str, Path],
+    oracle: str,
+    spec: CaseSpec,
+    message: str = "",
+) -> CorpusEntry:
+    """Serialize one shrunken failure into ``corpus_dir``; idempotent."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{oracle}__{_digest(oracle, spec)}"
+    path = corpus_dir / f"{stem}.json"
+    trace_path: Optional[Path] = None
+
+    case = build_case(spec)
+    if case.trace is not None:
+        trace_path = corpus_dir / f"{stem}.trace.npz"
+        write_trace(case.trace, trace_path)
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "oracle": oracle,
+        "spec": {"kind": spec.kind, "params": spec.params},
+        "message": message.splitlines()[0][:500] if message else "",
+        "trace": trace_path.name if trace_path else None,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return CorpusEntry(path=path, oracle=oracle, spec=spec,
+                       message=payload["message"], trace_path=trace_path)
+
+
+def iter_corpus(corpus_dir: Union[str, Path]) -> list[CorpusEntry]:
+    """Load every entry of a corpus directory (sorted by file name)."""
+    corpus_dir = Path(corpus_dir)
+    entries = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"{path}: unsupported corpus schema {payload.get('schema')!r}"
+            )
+        trace_name = payload.get("trace")
+        trace_path = corpus_dir / trace_name if trace_name else None
+        entries.append(CorpusEntry(
+            path=path,
+            oracle=payload["oracle"],
+            spec=CaseSpec(kind=payload["spec"]["kind"], params=payload["spec"]["params"]),
+            message=payload.get("message", ""),
+            trace_path=trace_path,
+        ))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry) -> None:
+    """Rebuild the case and re-check its oracle; raises on violation."""
+    from repro.verify.oracles import ORACLES, OracleViolation
+
+    case = build_case(entry.spec)
+    if entry.trace_path is not None and entry.trace_path.exists():
+        golden = read_trace(entry.trace_path)
+        if case.trace is None:
+            raise OracleViolation(f"{entry.name}: golden trace but kind has none")
+        for rank in golden.ranks:
+            a = case.trace.logs[rank].timestamps
+            b = golden.logs[rank].timestamps
+            if not np.array_equal(a, b):
+                raise OracleViolation(
+                    f"{entry.name}: rebuilt trace diverged from the golden "
+                    f"(rank {rank}); builder changed — regenerate the corpus "
+                    "entry if intentional"
+                )
+    try:
+        oracle = ORACLES[entry.oracle]
+    except KeyError:
+        raise ConfigurationError(
+            f"{entry.path}: unknown oracle {entry.oracle!r}"
+        ) from None
+    oracle.check(case)
+
+
+def replay_corpus(corpus_dir: Union[str, Path]) -> list[tuple[CorpusEntry, Optional[str]]]:
+    """Replay every entry; returns (entry, error-message-or-None) pairs."""
+    results = []
+    for entry in iter_corpus(corpus_dir):
+        try:
+            replay_entry(entry)
+            results.append((entry, None))
+        except AssertionError as exc:
+            results.append((entry, str(exc)))
+    return results

@@ -1,0 +1,559 @@
+"""The invariant catalog: every global guarantee as a named oracle.
+
+Each :class:`Oracle` states one machine-checkable invariant of the
+library — the paper's clock condition after CLC correction, preservation
+of happened-before, correction idempotence, interpolation error bounds,
+bit-identity between array kernels and their ``*_reference`` scalar
+formulations, serial ≡ parallel ``run_grid`` identity, and trace I/O
+round-trips.  Oracles declare the capability tags they *require* of a
+:class:`~repro.verify.cases.TraceCase` (``trace``, ``truth``,
+``monotone``, ...) and are skipped on cases that lack them, so one fuzz
+stream exercises the whole catalog.
+
+The ``assert_*`` helpers are exported for direct reuse by the test
+suite: ``tests/test_schedule.py`` and
+``tests/test_scalar_vector_consistency.py`` call the same code the fuzz
+campaigns run, so an invariant is stated exactly once.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import math
+import tempfile
+import typing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.clocks.base import Clock
+from repro.clocks.drift import ConstantDrift
+from repro.openmp.correction import pomp_clc, pomp_dependencies
+from repro.sync.clc import (
+    ClcResult,
+    ControlledLogicalClock,
+    naive_shift_correct,
+    naive_shift_correct_reference,
+)
+from repro.sync.interpolation import ClockCorrection, linear_interpolation
+from repro.sync.lamport import lamport_clocks, lamport_clocks_reference
+from repro.sync.offset import OffsetMeasurement
+from repro.sync.order import build_dependencies, replay_schedule
+from repro.sync.replay import replay_correct
+from repro.sync.vector import vector_clocks, vector_clocks_reference
+from repro.sync.violations import scan_collectives, scan_messages, scan_pomp
+from repro.tracing.reader import read_trace, read_trace_dir
+from repro.tracing.trace import Trace
+from repro.tracing.writer import write_trace, write_trace_dir
+from repro.verify.cases import TraceCase, grid_probe_job
+
+__all__ = [
+    "Oracle",
+    "OracleViolation",
+    "ORACLES",
+    "check_case",
+    "assert_traces_identical",
+    "assert_clc_matches_reference",
+    "assert_naive_matches_reference",
+    "assert_dependency_clc_matches_reference",
+    "assert_logical_clocks_match_reference",
+    "assert_topo_matches_replay",
+    "assert_replay_matches_direct",
+    "assert_scalar_matches_vector",
+]
+
+
+class OracleViolation(AssertionError):
+    """An invariant failed; the message names the oracle and the scene."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise OracleViolation(message)
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One named invariant with its applicability preconditions."""
+
+    name: str
+    description: str
+    requires: frozenset[str]
+    check: Callable[[TraceCase], None]
+
+    def applies(self, case: TraceCase) -> bool:
+        return self.requires <= case.tags
+
+    def run(self, case: TraceCase) -> bool:
+        """Check the invariant; returns False when skipped (tags)."""
+        if not self.applies(case):
+            return False
+        self.check(case)
+        return True
+
+
+ORACLES: dict[str, Oracle] = {}
+
+
+def oracle(name: str, description: str, requires: set[str]):
+    def register(fn: Callable[[TraceCase], None]) -> Callable[[TraceCase], None]:
+        ORACLES[name] = Oracle(name, description, frozenset(requires), fn)
+        return fn
+    return register
+
+
+def check_case(case: TraceCase, names=None) -> list[str]:
+    """Run every applicable oracle (or the named subset); returns those run."""
+    ran = []
+    for name in (names if names is not None else sorted(ORACLES)):
+        if ORACLES[name].run(case):
+            ran.append(name)
+    return ran
+
+
+# ----------------------------------------------------------------------
+# Shared differential assertions (reused by the test suite)
+# ----------------------------------------------------------------------
+def assert_traces_identical(a: ClcResult, b: ClcResult, context: str = "",
+                            check_stats: bool = True) -> None:
+    """Two correction results must agree bit-for-bit (arrays and stats)."""
+    _require(a.trace.logs.keys() == b.trace.logs.keys(), f"{context}: rank sets differ")
+    for rank in a.trace.ranks:
+        ta = a.trace.logs[rank].timestamps
+        tb = b.trace.logs[rank].timestamps
+        if not np.array_equal(ta, tb):
+            detail = (
+                f"{np.abs(ta - tb).max():g}s" if ta.shape == tb.shape else "shape"
+            )
+            raise OracleViolation(
+                f"{context}: rank {rank} timestamps differ by {detail}"
+            )
+    if check_stats:
+        for field_ in ("jumps", "max_jump", "max_shift", "corrected_events",
+                       "interval_distortion", "max_interval_growth"):
+            _require(
+                getattr(a, field_) == getattr(b, field_),
+                f"{context}: stat {field_} differs "
+                f"({getattr(a, field_)} vs {getattr(b, field_)})",
+            )
+
+
+def assert_clc_matches_reference(trace: Trace, lmin=0.0, gamma: float = 0.99,
+                                 window=None, include_collectives: bool = True) -> None:
+    """CLC array kernel must be bit-identical to the scalar reference."""
+    clc = ControlledLogicalClock(
+        gamma=gamma, amortization_window=window, include_collectives=include_collectives
+    )
+    a = clc.correct(trace, lmin=lmin)
+    b = clc.correct_reference(trace, lmin=lmin)
+    assert_traces_identical(a, b, context=f"clc(gamma={gamma}, window={window})")
+    _require(a.trace.meta["clc"] == b.trace.meta["clc"], "clc meta differs")
+
+
+def assert_naive_matches_reference(trace: Trace, lmin=0.0) -> None:
+    a = naive_shift_correct(trace, lmin=lmin)
+    b = naive_shift_correct_reference(trace, lmin=lmin)
+    assert_traces_identical(a, b, context="naive_shift")
+    _require(a.trace.meta["clc"] == b.trace.meta["clc"], "naive meta differs")
+
+
+def assert_dependency_clc_matches_reference(trace: Trace, deps, lmin=0.0) -> None:
+    """Explicit-dependency CLC (the POMP extension point) kernel == scalar."""
+    clc = ControlledLogicalClock()
+    a = clc.correct_with_dependencies(trace, deps, lmin=lmin)
+    b = clc.correct_with_dependencies_reference(trace, deps, lmin=lmin)
+    assert_traces_identical(a, b, context="clc(custom deps)")
+
+
+def assert_logical_clocks_match_reference(trace: Trace) -> None:
+    """Lamport and vector kernels == scalar references, both flavors."""
+    for include_collectives in (True, False):
+        for label, kernel, reference in (
+            ("lamport", lamport_clocks, lamport_clocks_reference),
+            ("vector", vector_clocks, vector_clocks_reference),
+        ):
+            a = kernel(trace, include_collectives)
+            b = reference(trace, include_collectives)
+            _require(a.keys() == b.keys(), f"{label}: rank sets differ")
+            for rank in a:
+                _require(
+                    np.array_equal(a[rank], b[rank]),
+                    f"{label}(collectives={include_collectives}): rank {rank} differs",
+                )
+                _require(
+                    a[rank].dtype == np.int64,
+                    f"{label}: rank {rank} clock dtype is {a[rank].dtype}, not int64",
+                )
+
+
+def assert_topo_matches_replay(trace: Trace) -> None:
+    """Compiled topological order == the dict-based replay generator."""
+    deps = build_dependencies(trace)
+    schedule = trace.compiled_schedule(True)
+    _require(
+        schedule.topo_refs() == list(replay_schedule(trace, deps)),
+        "compiled topological order diverges from replay_schedule",
+    )
+
+
+def assert_replay_matches_direct(trace: Trace, lmin=0.0) -> None:
+    """BSP replay correction == the sequential CLC, bit for bit."""
+    result = replay_correct(trace, lmin=lmin)
+    direct = ControlledLogicalClock().correct(trace, lmin=lmin)
+    assert_traces_identical(result.clc, direct, context="replay", check_stats=False)
+
+
+def assert_scalar_matches_vector(model, t: float, rel: float = 1e-12,
+                                 abs_tol: float = 1e-18) -> None:
+    """A drift model's scalar fast path must agree with its vector path."""
+    for attr in ("offset_at", "rate_at"):
+        fn = getattr(model, attr)
+        scalar = float(fn(t))
+        vector = float(np.asarray(fn(np.array([t])))[0])
+        _require(
+            math.isclose(scalar, vector, rel_tol=rel, abs_tol=abs_tol),
+            f"{type(model).__name__}.{attr}({t}): scalar {scalar!r} != vector {vector!r}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace-level invariants
+# ----------------------------------------------------------------------
+@oracle(
+    "clock_condition_post_clc",
+    "After CLC (and naive shift) correction, every p2p and logical "
+    "collective message satisfies recv >= send + l_min (Eq. 1).",
+    {"trace"},
+)
+def _clock_condition_post_clc(case: TraceCase) -> None:
+    for label, result in (
+        ("clc", ControlledLogicalClock().correct(case.trace, lmin=case.lmin)),
+        ("naive", naive_shift_correct(case.trace, lmin=case.lmin)),
+    ):
+        corrected = result.trace
+        rep = scan_messages(corrected.messages(strict=False), case.lmin)
+        _require(rep.violated == 0,
+                 f"{label}: {rep.violated} p2p violations remain (worst {rep.worst:g}s)")
+        crep, _ = scan_collectives(corrected, case.lmin)
+        _require(crep.violated == 0,
+                 f"{label}: {crep.violated} collective violations remain")
+
+
+@oracle(
+    "happened_before_preserved",
+    "Correction never reorders happened-before: every dependency edge "
+    "stays satisfied, events never move backward, and per-rank order "
+    "is preserved on monotone inputs.",
+    {"trace"},
+)
+def _happened_before_preserved(case: TraceCase) -> None:
+    trace, lmin = case.trace, case.lmin
+    schedule = trace.compiled_schedule(True)
+    result = ControlledLogicalClock().correct(trace, lmin=lmin)
+    corr = {r: result.trace.logs[r].timestamps for r in trace.ranks}
+    flat = schedule.flatten(corr)
+    if schedule.n_edges:
+        edge_lmin = schedule.edge_lmin(lmin)
+        slack = flat[schedule.e_dst] - (flat[schedule.e_src] + edge_lmin)
+        _require(float(slack.min()) >= 0.0,
+                 f"dependency edge violated after CLC by {-float(slack.min()):g}s")
+    # The forward pass alone never moves an event backward on any input;
+    # with backward amortization the guarantee needs monotone inputs.
+    forward = ControlledLogicalClock(amortization_window=0.0).correct(trace, lmin=lmin)
+    for rank in trace.ranks:
+        orig = trace.logs[rank].timestamps
+        fwd = forward.trace.logs[rank].timestamps
+        _require(bool(np.all(fwd >= orig)),
+                 f"rank {rank}: forward pass moved an event backward")
+        if "monotone" in case.tags:
+            _require(bool(np.all(corr[rank] >= orig)),
+                     f"rank {rank}: CLC moved an event backward")
+            if corr[rank].size > 1:
+                _require(bool(np.all(np.diff(corr[rank]) >= 0)),
+                         f"rank {rank}: corrected timestamps lost per-rank order")
+
+
+@oracle(
+    "correction_idempotence",
+    "Correcting an already-corrected trace is a no-op: zero jumps and "
+    "timestamps unchanged to 1e-12 (gamma=1, no backward window).",
+    {"trace"},
+)
+def _correction_idempotence(case: TraceCase) -> None:
+    clc = ControlledLogicalClock(gamma=1.0, amortization_window=0.0)
+    first = clc.correct(case.trace, lmin=case.lmin)
+    second = clc.correct(first.trace, lmin=case.lmin)
+    _require(second.jumps == 0, f"re-correction produced {second.jumps} jumps")
+    for rank in case.trace.ranks:
+        a = first.trace.logs[rank].timestamps
+        b = second.trace.logs[rank].timestamps
+        if a.size and not np.allclose(a, b, rtol=0.0, atol=1e-12):
+            _require(False,
+                     f"rank {rank}: re-correction moved events by "
+                     f"{float(np.abs(a - b).max()):g}s")
+
+
+@oracle(
+    "kernel_reference_identity",
+    "Every array kernel (CLC forward+backward, naive shift, Lamport, "
+    "vector, compiled topo order, BSP replay) is bit-identical to its "
+    "scalar *_reference formulation.",
+    {"trace"},
+)
+def _kernel_reference_identity(case: TraceCase) -> None:
+    trace, lmin = case.trace, case.lmin
+    assert_clc_matches_reference(trace, lmin, gamma=0.99, window=None)
+    assert_clc_matches_reference(trace, lmin, gamma=1.0, window=0.5)
+    assert_naive_matches_reference(trace, lmin)
+    assert_logical_clocks_match_reference(trace)
+    assert_topo_matches_replay(trace)
+    assert_replay_matches_direct(trace, lmin)
+
+
+@oracle(
+    "custom_dependency_identity",
+    "The explicit-dependency CLC entry point (POMP extension) matches "
+    "its scalar reference on merged MPI+POMP constraint sets.",
+    {"trace", "pomp"},
+)
+def _custom_dependency_identity(case: TraceCase) -> None:
+    deps = build_dependencies(case.trace, include_collectives=True)
+    for ref, sources in pomp_dependencies(case.trace).items():
+        deps.setdefault(ref, []).extend(sources)
+    assert_dependency_clc_matches_reference(case.trace, deps, lmin=case.lmin)
+
+
+@oracle(
+    "pomp_post_clc",
+    "After pomp_clc, every POMP region satisfies fork-first, join-last "
+    "and barrier-overlap semantics.",
+    {"trace", "pomp", "monotone"},
+)
+def _pomp_post_clc(case: TraceCase) -> None:
+    result = pomp_clc(case.trace, sync_lmin=case.lmin)
+    report = scan_pomp(result.trace, case.lmin)
+    _require(
+        report.any_violations == 0,
+        f"{report.any_violations}/{report.regions} regions still violated "
+        f"(entry {report.entry_violations}, exit {report.exit_violations}, "
+        f"barrier {report.barrier_violations})",
+    )
+
+
+# ----------------------------------------------------------------------
+# Interpolation error bounds (need ground truth)
+# ----------------------------------------------------------------------
+_VIRTUAL_MASTER = -1  # no real rank is mapped identically
+
+
+def _endpoint_measurements(case: TraceCase, min_span: float = 1e-6):
+    """Per-rank first/last offset measurements onto the *true* timeline."""
+    init, final = {}, {}
+    for rank in case.trace.ranks:
+        w = case.trace.logs[rank].timestamps
+        t = case.true_times[rank]
+        if w.size < 2:
+            continue
+        i0, i1 = int(np.argmin(w)), int(np.argmax(w))
+        if w[i1] - w[i0] < min_span:
+            continue
+        init[rank] = OffsetMeasurement(rank, float(w[i0]), float(t[i0] - w[i0]), 0.0, 1)
+        final[rank] = OffsetMeasurement(rank, float(w[i1]), float(t[i1] - w[i1]), 0.0, 1)
+    return init, final
+
+
+@oracle(
+    "interpolation_affine_exact",
+    "Two-point linear interpolation (Eq. 3) with exact measurements "
+    "recovers the true timeline exactly for affine clock errors.",
+    {"trace", "truth", "affine"},
+)
+def _interpolation_affine_exact(case: TraceCase) -> None:
+    init, final = _endpoint_measurements(case)
+    if not init:
+        return
+    correction = linear_interpolation(init, final, master=_VIRTUAL_MASTER)
+    for rank in init:
+        corrected = correction.apply_rank(rank, case.trace.logs[rank].timestamps)
+        residual = float(np.abs(corrected - case.true_times[rank]).max())
+        _require(residual <= 1e-9,
+                 f"rank {rank}: affine interpolation residual {residual:g}s")
+
+
+@oracle(
+    "interpolation_residual_bound",
+    "Two-point interpolation residual never exceeds the clock error's "
+    "maximum deviation from the chord between the measurement points.",
+    {"trace", "truth"},
+)
+def _interpolation_residual_bound(case: TraceCase) -> None:
+    init, final = _endpoint_measurements(case)
+    if not init:
+        return
+    correction = linear_interpolation(init, final, master=_VIRTUAL_MASTER)
+    for rank in init:
+        w = case.trace.logs[rank].timestamps
+        t = case.true_times[rank]
+        offsets = t - w  # true master-minus-worker offset at each event
+        m1, m2 = init[rank], final[rank]
+        slope = (m2.offset - m1.offset) / (m2.worker_time - m1.worker_time)
+        chord = m1.offset + slope * (w - m1.worker_time)
+        max_dev = float(np.abs(offsets - chord).max())
+        corrected = correction.apply_rank(rank, w)
+        residual = float(np.abs(corrected - t).max())
+        _require(residual <= max_dev + 1e-9,
+                 f"rank {rank}: residual {residual:g}s exceeds chord "
+                 f"deviation bound {max_dev:g}s")
+
+
+@oracle(
+    "interpolation_dense_knots_exact",
+    "Piecewise interpolation with a knot at every event recovers the "
+    "true timeline exactly at the knots, for any drift shape.",
+    {"trace", "truth", "monotone"},
+)
+def _interpolation_dense_knots_exact(case: TraceCase) -> None:
+    knots = {}
+    kept: dict[int, np.ndarray] = {}
+    for rank in case.trace.ranks:
+        w = case.trace.logs[rank].timestamps
+        t = case.true_times[rank]
+        if w.size == 0:
+            continue
+        keep = np.ones(w.size, dtype=bool)
+        keep[1:] = np.diff(w) > 0  # drop ties: knots must strictly increase
+        knots[rank] = (w[keep], t[keep] - w[keep])
+        kept[rank] = keep
+    if not knots:
+        return
+    correction = ClockCorrection(knots, master=_VIRTUAL_MASTER)
+    for rank, keep in kept.items():
+        w = case.trace.logs[rank].timestamps[keep]
+        t = case.true_times[rank][keep]
+        corrected = correction.apply_rank(rank, w)
+        residual = float(np.abs(corrected - t).max())
+        _require(residual <= 1e-9,
+                 f"rank {rank}: dense-knot interpolation residual {residual:g}s")
+
+
+# ----------------------------------------------------------------------
+# I/O, clock front-end, runner, typing
+# ----------------------------------------------------------------------
+def _assert_traces_equal_bitwise(a: Trace, b: Trace, context: str) -> None:
+    _require(set(a.ranks) == set(b.ranks), f"{context}: rank sets differ")
+    for rank in a.ranks:
+        la, lb = a.logs[rank], b.logs[rank]
+        for col in ("timestamps", "etypes", "a", "b", "c", "d"):
+            _require(
+                np.array_equal(getattr(la, col), getattr(lb, col)),
+                f"{context}: rank {rank} column {col} changed across round-trip",
+            )
+    _require(
+        len(a.messages(strict=False)) == len(b.messages(strict=False)),
+        f"{context}: message table size changed",
+    )
+    _require(
+        len(a.collectives()) == len(b.collectives()),
+        f"{context}: collective table size changed",
+    )
+
+
+@oracle(
+    "trace_roundtrip",
+    "write_trace/read_trace (.npz and .jsonl) and the per-rank "
+    "directory format reproduce every event column bit for bit.",
+    {"trace"},
+)
+def _trace_roundtrip(case: TraceCase) -> None:
+    trace = case.trace
+    with tempfile.TemporaryDirectory(prefix="repro-verify-") as td:
+        root = Path(td)
+        for name in ("roundtrip.npz", "roundtrip.jsonl"):
+            path = write_trace(trace, root / name)
+            _assert_traces_equal_bitwise(trace, read_trace(path), context=name)
+        directory = write_trace_dir(trace, root / "trace_dir")
+        _assert_traces_equal_bitwise(
+            trace, read_trace_dir(directory), context="trace_dir"
+        )
+
+
+@oracle(
+    "clock_quantization",
+    "Quantized clock readings never exceed the ideal reading, stay "
+    "within one grid step below it, remain monotone, and read() == "
+    "read_array() bitwise.",
+    {"clock"},
+)
+def _clock_quantization(case: TraceCase) -> None:
+    p = case.spec.params
+    resolution = float(p["resolution"])
+    offset = float(p.get("offset", 0.0))
+    values = [float(v) for v in p["values"]]
+
+    clock = Clock(ConstantDrift(0.0, offset), resolution=resolution)
+    scalar = np.array([clock.read(v) for v in values])
+    vector = Clock(ConstantDrift(0.0, offset), resolution=resolution).read_array(
+        np.asarray(values)
+    )
+    _require(np.array_equal(scalar, vector),
+             "scalar read() and vectorized read_array() disagree")
+    ideal = np.asarray(values) + offset
+    over = scalar - ideal
+    _require(float(over.max(initial=0.0)) <= 0.0,
+             f"quantized reading exceeds the ideal reading by {float(over.max()):g}s "
+             "(floor overshoot)")
+    under = ideal - scalar
+    _require(float(under.max(initial=0.0)) <= resolution * (1.0 + 1e-9),
+             f"quantized reading more than one grid step low "
+             f"({float(under.max()):g}s at resolution {resolution:g})")
+    if scalar.size > 1:
+        _require(bool(np.all(np.diff(scalar) >= 0)), "readings are not monotone")
+
+
+@oracle(
+    "module_type_hints",
+    "typing.get_type_hints resolves on the annotated callables of the "
+    "target module (guards against missing imports in annotations).",
+    {"hints"},
+)
+def _module_type_hints(case: TraceCase) -> None:
+    p = case.spec.params
+    module = importlib.import_module(p["module"])
+    qualname = p.get("qualname") or ""
+    if qualname:
+        target = module
+        for part in qualname.split("."):
+            target = getattr(target, part)
+        targets = [target]
+    else:
+        targets = [
+            obj for _, obj in inspect.getmembers(module, inspect.isclass)
+            if obj.__module__ == module.__name__
+        ]
+    for cls in targets:
+        try:
+            typing.get_type_hints(cls.__init__)
+        except Exception as exc:
+            raise OracleViolation(
+                f"get_type_hints failed on {module.__name__}.{cls.__qualname__}: {exc}"
+            ) from exc
+
+
+@oracle(
+    "run_grid_identity",
+    "run_grid returns bit-identical results for serial and parallel "
+    "execution of the same grid.",
+    {"grid"},
+)
+def _run_grid_identity(case: TraceCase) -> None:
+    from repro.analysis.runner import run_grid
+
+    p = case.spec.params
+    grid = [{"seed": int(s), "n": int(p["n"])} for s in p["seeds"]]
+    serial = run_grid(grid_probe_job, grid, jobs=None)
+    parallel = run_grid(grid_probe_job, grid, jobs=2)
+    _require(serial == parallel,
+             "parallel run_grid results differ from the serial run")

@@ -135,3 +135,16 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         assert default_cache_dir() == tmp_path / "envcache"
         assert ResultCache().root == tmp_path / "envcache"
+
+    def test_file_as_cache_root_degrades_to_recompute(self, tmp_path):
+        # The cache root path is occupied by a plain file: store returns
+        # False, load misses, and call() still computes the value.
+        root = tmp_path / "occupied"
+        root.write_text("not a directory")
+        cache = ResultCache(root)
+        digest = cache.key(fn_a, {"x": 1})
+        assert not cache.store(digest, 42)
+        hit, value = cache.load(digest)
+        assert not hit and value is None
+        assert cache.call(fn_a, x=1) == fn_a(x=1)
+        assert cache.misses >= 2 and cache.stores == 0

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from conftest import examples
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import SynchronizationError
@@ -204,7 +205,7 @@ class TestBackwardAmortization:
 
 
 class TestClcProperty:
-    @settings(max_examples=15, deadline=None)
+    @examples(15)
     @given(seed=st.integers(0, 2**16), rounds=st.integers(2, 8))
     def test_random_traces_fully_repaired(self, seed, rounds):
         """Against arbitrary sparse traffic with badly drifting clocks,

@@ -125,3 +125,43 @@ class TestErrors:
         rc = main(["scan", str(tmp_path / "nope.npz")])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+    def test_figures_with_unusable_cache_dir_still_renders(self, tmp_path, capsys):
+        # A cache root that is a plain file: every store fails, every
+        # load misses, and the figure still renders.
+        bad = tmp_path / "not-a-dir"
+        bad.write_text("occupied")
+        rc = main(["figures", "table2", "--cache-dir", str(bad)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "0 hits" in out
+
+
+class TestVerify:
+    CORPUS = str(__import__("pathlib").Path(__file__).parent / "corpus")
+
+    def test_smoke_campaign_passes(self, capsys):
+        rc = main(["verify", "--campaign", "smoke", "--max-examples", "5"])
+        assert rc == 0
+        assert "campaign smoke: PASS" in capsys.readouterr().out
+
+    def test_unknown_campaign_is_a_config_error(self, capsys):
+        rc = main(["verify", "--campaign", "definitely-not-a-campaign"])
+        assert rc == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_replay_committed_corpus(self, capsys):
+        rc = main(["verify", "--replay", "--corpus-dir", self.CORPUS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 failures" in out
+        assert "ok   clock_quantization" in out
+
+    def test_list_prints_catalog(self, capsys):
+        rc = main(["verify", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaigns:" in out
+        assert "smoke" in out
+        assert "kernel_reference_identity" in out

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from conftest import examples
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.clocks.base import Clock
@@ -93,7 +94,7 @@ class TestReadArray:
 
 
 class TestClockProperties:
-    @settings(max_examples=50)
+    @examples(50)
     @given(
         rate=st.floats(min_value=-1e-3, max_value=1e-3),
         res=st.sampled_from([0.0, 1e-9, 1e-6]),
@@ -106,7 +107,7 @@ class TestClockProperties:
         values = [c.read(t) for t in ts]
         assert all(b >= a for a, b in zip(values, values[1:]))
 
-    @settings(max_examples=50)
+    @examples(50)
     @given(res=st.floats(min_value=1e-9, max_value=1e-3), t=st.floats(min_value=0, max_value=1e4))
     def test_quantization_error_bounded_by_resolution(self, res, t):
         c = Clock(ConstantDrift(0.0), resolution=res)

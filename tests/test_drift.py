@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from conftest import examples
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.clocks.drift import (
@@ -195,7 +196,7 @@ class TestDriftProperties:
             d.offset_at(t) - d.offset_at(0.0), abs=1e-9
         )
 
-    @settings(max_examples=30)
+    @examples(30)
     @given(st.integers(min_value=0, max_value=1000), finite_times)
     def test_piecewise_offset_consistent_with_rate_integral(self, seed, t):
         rng = np.random.default_rng(seed)
@@ -217,7 +218,7 @@ class TestDriftProperties:
             integral, abs=tol
         )
 
-    @settings(max_examples=25)
+    @examples(25)
     @given(st.integers(min_value=0, max_value=100))
     def test_clock_function_monotone_for_small_rates(self, seed):
         # A clock c(t) = t + offset(t) must be increasing whenever

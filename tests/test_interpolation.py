@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from conftest import examples
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import SynchronizationError
@@ -129,7 +130,7 @@ class TestBuilders:
 
 
 class TestExactnessProperty:
-    @settings(max_examples=50)
+    @examples(50)
     @given(
         rate=st.floats(min_value=-1e-4, max_value=1e-4),
         offset0=st.floats(min_value=-1.0, max_value=1.0),
@@ -149,7 +150,7 @@ class TestExactnessProperty:
         )
         assert corr.offset_model(1, t) == pytest.approx(o(t), abs=1e-9)
 
-    @settings(max_examples=30)
+    @examples(30)
     @given(seed=st.integers(0, 2**16))
     def test_correction_preserves_local_order(self, seed):
         """Applying any affine correction must keep a rank's event order."""

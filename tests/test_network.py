@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from conftest import examples
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cluster.machines import opteron_cluster, xeon_cluster
@@ -141,7 +142,7 @@ class TestXeonPreset:
 
 
 class TestLatencyProperties:
-    @settings(max_examples=40)
+    @examples(40)
     @given(
         nbytes=st.integers(0, 10**6),
         seed=st.integers(0, 2**16),

@@ -2,15 +2,20 @@
 
 The drift models grew scalar fast paths (the simulation engine's hot
 loop); any divergence from the vector path would silently change every
-figure.  These property tests pin scalar == vector for every model.
+figure.  These property tests pin scalar == vector for every model via
+the shared :func:`repro.verify.oracles.assert_scalar_matches_vector`
+invariant helper.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from conftest import examples
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.oracles import assert_scalar_matches_vector
 
 from repro.clocks.drift import (
     CompositeDrift,
@@ -27,15 +32,6 @@ from repro.clocks.ntp import NTPDiscipline
 times = st.floats(min_value=-50.0, max_value=5000.0, allow_nan=False)
 
 
-def assert_scalar_matches_vector(model, t: float):
-    scalar = model.offset_at(t)
-    vector = float(model.offset_at(np.array([t]))[0])
-    assert scalar == pytest.approx(vector, rel=1e-12, abs=1e-18)
-    scalar_rate = model.rate_at(t)
-    vector_rate = float(model.rate_at(np.array([t]))[0])
-    assert scalar_rate == pytest.approx(vector_rate, rel=1e-12, abs=1e-18)
-
-
 class TestScalarVectorAgreement:
     @given(t=times, rate=st.floats(-1e-4, 1e-4), off=st.floats(-1, 1))
     def test_constant(self, t, rate, off):
@@ -45,7 +41,7 @@ class TestScalarVectorAgreement:
     def test_linear_ramp(self, t):
         assert_scalar_matches_vector(LinearRampDrift(1e-6, 2e-10, 0.1), t)
 
-    @settings(max_examples=50)
+    @examples(50)
     @given(t=times, seed=st.integers(0, 2**16))
     def test_piecewise(self, t, seed):
         rng = np.random.default_rng(seed)
@@ -58,29 +54,27 @@ class TestScalarVectorAgreement:
     def test_sinusoidal(self, t):
         assert_scalar_matches_vector(SinusoidalDrift(2e-8, 700.0, 123.0), t)
 
-    @settings(max_examples=30)
+    @examples(30)
     @given(t=times, seed=st.integers(0, 2**10))
     def test_random_walk(self, t, seed):
         model = RandomWalkDrift(np.random.default_rng(seed), sigma=1e-9, duration=500.0)
         assert_scalar_matches_vector(model, t)
 
-    @settings(max_examples=30)
+    @examples(30)
     @given(t=times, seed=st.integers(0, 2**10))
     def test_ou(self, t, seed):
         model = OrnsteinUhlenbeckDrift(np.random.default_rng(seed), sigma=2e-8, duration=500.0)
         assert_scalar_matches_vector(model, t)
 
-    @settings(max_examples=30)
+    @examples(30)
     @given(t=times, seed=st.integers(0, 2**10))
     def test_composite_oscillator(self, t, seed):
         model = build_oscillator_drift(
             TSC_PARAMS, np.random.default_rng(seed), duration=500.0
         )
-        scalar = model.offset_at(t)
-        vector = float(np.asarray(model.offset_at(np.array([t])))[0])
-        assert scalar == pytest.approx(vector, rel=1e-12, abs=1e-15)
+        assert_scalar_matches_vector(model, t, abs_tol=1e-15)
 
-    @settings(max_examples=20)
+    @examples(20)
     @given(t=st.floats(0.0, 3000.0), seed=st.integers(0, 2**10))
     def test_ntp(self, t, seed):
         model = NTPDiscipline(
@@ -89,9 +83,7 @@ class TestScalarVectorAgreement:
             duration=2000.0,
             measurement_error=1e-4,
         )
-        scalar = model.offset_at(t)
-        vector = float(np.asarray(model.offset_at(np.array([t])))[0])
-        assert scalar == pytest.approx(vector, rel=1e-12, abs=1e-15)
+        assert_scalar_matches_vector(model, t, abs_tol=1e-15)
 
     def test_numpy_scalar_takes_vector_path(self):
         """np.float64 inputs are not the fast-path type but must still

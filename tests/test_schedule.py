@@ -5,7 +5,10 @@ dict-based ``replay_schedule`` exactly, and every array kernel must be
 **bit-for-bit** identical to its ``*_reference`` scalar oracle —
 checked here on randomized synthetic traces mixing messages with all
 four collective flavors (N-to-N, 1-to-N, N-to-1, prefix) under clock
-offsets large enough to force violations and jumps.
+offsets large enough to force violations and jumps.  The equivalence
+assertions themselves live in :mod:`repro.verify.oracles` and are
+shared with the fuzz campaigns (``repro verify``); this file drives
+them over its own trace generator.
 """
 
 from __future__ import annotations
@@ -16,18 +19,20 @@ import numpy as np
 import pytest
 
 from repro.errors import SynchronizationError
-from repro.sync.clc import (
-    ControlledLogicalClock,
-    naive_shift_correct,
-    naive_shift_correct_reference,
-)
-from repro.sync.lamport import lamport_clocks, lamport_clocks_reference
-from repro.sync.order import build_dependencies, replay_schedule
-from repro.sync.replay import replay_correct
+from repro.sync.clc import ControlledLogicalClock
+from repro.sync.order import build_dependencies
 from repro.sync.schedule import CompiledSchedule, bsp_rounds
-from repro.sync.vector import vector_clocks, vector_clocks_reference
+from repro.sync.replay import replay_correct
 from repro.tracing.events import CollectiveOp, EventLog, EventType
 from repro.tracing.trace import Trace
+from repro.verify.oracles import (
+    assert_clc_matches_reference,
+    assert_dependency_clc_matches_reference,
+    assert_logical_clocks_match_reference,
+    assert_naive_matches_reference,
+    assert_replay_matches_direct,
+    assert_topo_matches_replay,
+)
 
 #: Collective mix covering every flavor: N_TO_N, ONE_TO_N, N_TO_ONE, PREFIX.
 _COLLECTIVE_MIX = [
@@ -89,21 +94,10 @@ def random_trace(seed: int, nranks: int = 4, steps: int = 60) -> Trace:
 SEEDS = list(range(8))
 
 
-def assert_traces_identical(a, b):
-    assert a.trace.logs.keys() == b.trace.logs.keys()
-    for rank in a.trace.ranks:
-        ta = a.trace.logs[rank].timestamps
-        tb = b.trace.logs[rank].timestamps
-        assert np.array_equal(ta, tb), f"rank {rank} differs by {np.abs(ta - tb).max()}"
-
-
 class TestCompilation:
     @pytest.mark.parametrize("seed", SEEDS)
     def test_topo_order_matches_replay_schedule(self, seed):
-        trace = random_trace(seed)
-        deps = build_dependencies(trace)
-        schedule = CompiledSchedule.from_dependencies(trace, deps)
-        assert schedule.topo_refs() == list(replay_schedule(trace, deps))
+        assert_topo_matches_replay(random_trace(seed))
 
     @pytest.mark.parametrize("seed", SEEDS[:4])
     def test_csr_matches_dependency_dict(self, seed):
@@ -167,26 +161,12 @@ class TestClcEquivalence:
     @pytest.mark.parametrize("seed", SEEDS)
     @pytest.mark.parametrize("gamma", [1.0, 0.99, 0.9])
     def test_bit_identical_auto_window(self, seed, gamma):
-        trace = random_trace(seed)
-        clc = ControlledLogicalClock(gamma=gamma)
-        a = clc.correct(trace, lmin=1e-6)
-        b = clc.correct_reference(trace, lmin=1e-6)
-        assert_traces_identical(a, b)
-        assert a.jumps == b.jumps
-        assert a.max_jump == b.max_jump
-        assert a.max_shift == b.max_shift
-        assert a.corrected_events == b.corrected_events
-        assert a.interval_distortion == b.interval_distortion
-        assert a.trace.meta["clc"] == b.trace.meta["clc"]
+        assert_clc_matches_reference(random_trace(seed), lmin=1e-6, gamma=gamma)
 
     @pytest.mark.parametrize("seed", SEEDS[:4])
     @pytest.mark.parametrize("window", [0.0, 0.5])
     def test_bit_identical_fixed_window(self, seed, window):
-        trace = random_trace(seed)
-        clc = ControlledLogicalClock(amortization_window=window)
-        assert_traces_identical(
-            clc.correct(trace, lmin=1e-6), clc.correct_reference(trace, lmin=1e-6)
-        )
+        assert_clc_matches_reference(random_trace(seed), lmin=1e-6, window=window)
 
     @pytest.mark.parametrize("seed", SEEDS[:4])
     def test_bit_identical_lmin_matrix_and_callable(self, seed):
@@ -194,21 +174,14 @@ class TestClcEquivalence:
         nr = len(trace.ranks)
         rng = np.random.default_rng(seed + 100)
         matrix = rng.uniform(0.0, 2e-4, size=(nr, nr))
-        clc = ControlledLogicalClock()
-        assert_traces_identical(
-            clc.correct(trace, lmin=matrix), clc.correct_reference(trace, lmin=matrix)
-        )
+        assert_clc_matches_reference(trace, lmin=matrix)
         fn = lambda s, d: 1e-5 * (s + 2 * d)  # noqa: E731
-        assert_traces_identical(
-            clc.correct(trace, lmin=fn), clc.correct_reference(trace, lmin=fn)
-        )
+        assert_clc_matches_reference(trace, lmin=fn)
 
     @pytest.mark.parametrize("seed", SEEDS[:4])
     def test_bit_identical_without_collectives(self, seed):
-        trace = random_trace(seed)
-        clc = ControlledLogicalClock(include_collectives=False)
-        assert_traces_identical(
-            clc.correct(trace, lmin=1e-6), clc.correct_reference(trace, lmin=1e-6)
+        assert_clc_matches_reference(
+            random_trace(seed), lmin=1e-6, include_collectives=False
         )
 
     def test_bit_identical_custom_dependency_dict(self):
@@ -219,21 +192,11 @@ class TestClcEquivalence:
         lens = {r: len(trace.logs[r]) for r in trace.ranks}
         deps.setdefault((1, lens[1] - 1), []).append((0, 0))
         deps.setdefault((3, lens[3] - 1), []).extend([(0, 0), (2, 0)])
-        clc = ControlledLogicalClock()
-        a = clc.correct_with_dependencies(trace, deps, lmin=1e-6)
-        b = clc.correct_with_dependencies_reference(trace, deps, lmin=1e-6)
-        assert_traces_identical(a, b)
-        assert a.jumps == b.jumps
+        assert_dependency_clc_matches_reference(trace, deps, lmin=1e-6)
 
     @pytest.mark.parametrize("seed", SEEDS)
     def test_naive_shift_bit_identical(self, seed):
-        trace = random_trace(seed)
-        a = naive_shift_correct(trace, lmin=1e-6)
-        b = naive_shift_correct_reference(trace, lmin=1e-6)
-        assert_traces_identical(a, b)
-        assert a.jumps == b.jumps
-        assert a.max_jump == b.max_jump
-        assert a.trace.meta["clc"] == b.trace.meta["clc"]
+        assert_naive_matches_reference(random_trace(seed), lmin=1e-6)
 
     def test_simulated_trace_bit_identical(self):
         from repro.cluster import inter_node, xeon_cluster
@@ -245,47 +208,23 @@ class TestClcEquivalence:
             preset, inter_node(preset.machine, 6), timer="tsc", seed=11, duration_hint=30.0
         )
         trace = world.run(sparse_worker(SparseConfig(rounds=10), seed=11)).trace
-        clc = ControlledLogicalClock()
-        assert_traces_identical(
-            clc.correct(trace, lmin=1e-6), clc.correct_reference(trace, lmin=1e-6)
-        )
-        assert_traces_identical(
-            naive_shift_correct(trace, lmin=1e-6),
-            naive_shift_correct_reference(trace, lmin=1e-6),
-        )
+        assert_clc_matches_reference(trace, lmin=1e-6)
+        assert_naive_matches_reference(trace, lmin=1e-6)
 
 
 class TestLogicalClockEquivalence:
     @pytest.mark.parametrize("seed", SEEDS)
-    @pytest.mark.parametrize("include_collectives", [True, False])
-    def test_lamport_bit_identical(self, seed, include_collectives):
-        trace = random_trace(seed)
-        a = lamport_clocks(trace, include_collectives)
-        b = lamport_clocks_reference(trace, include_collectives)
-        assert a.keys() == b.keys()
-        for rank in a:
-            assert np.array_equal(a[rank], b[rank])
-            assert a[rank].dtype == np.int64
-
-    @pytest.mark.parametrize("seed", SEEDS)
-    @pytest.mark.parametrize("include_collectives", [True, False])
-    def test_vector_bit_identical(self, seed, include_collectives):
-        trace = random_trace(seed)
-        a = vector_clocks(trace, include_collectives)
-        b = vector_clocks_reference(trace, include_collectives)
-        assert a.keys() == b.keys()
-        for rank in a:
-            assert np.array_equal(a[rank], b[rank])
-            assert a[rank].dtype == np.int64
+    def test_lamport_and_vector_bit_identical(self, seed):
+        # Both flavors of include_collectives, lamport and vector.
+        assert_logical_clocks_match_reference(random_trace(seed))
 
 
 class TestReplayOnSchedule:
     @pytest.mark.parametrize("seed", SEEDS[:4])
     def test_replay_matches_sequential_clc(self, seed):
         trace = random_trace(seed)
+        assert_replay_matches_direct(trace, lmin=1e-6)
         result = replay_correct(trace, lmin=1e-6)
-        direct = ControlledLogicalClock().correct(trace, lmin=1e-6)
-        assert_traces_identical(result.clc, direct)
         assert result.rounds >= 1
         assert result.max_queue >= 1
         assert result.clc.trace.meta["clc"]["replay"] is True

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from conftest import examples
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sync.clc import ControlledLogicalClock, naive_shift_correct
@@ -78,14 +79,14 @@ def synthetic_traces(draw):
 
 
 class TestSyntheticTraceProperties:
-    @settings(max_examples=60, deadline=None)
+    @examples(60)
     @given(data=synthetic_traces())
     def test_scan_counts_exactly_the_injected_reversals(self, data):
         trace, true_violations = data
         report = scan_messages(trace.messages(), lmin=0.0)
         assert report.violated == true_violations
 
-    @settings(max_examples=40, deadline=None)
+    @examples(40)
     @given(data=synthetic_traces())
     def test_clc_always_repairs(self, data):
         trace, _ = data
@@ -96,14 +97,14 @@ class TestSyntheticTraceProperties:
             assert np.all(np.diff(ts) >= -1e-15)
             assert np.all(ts - trace.logs[rank].timestamps >= -1e-15)
 
-    @settings(max_examples=40, deadline=None)
+    @examples(40)
     @given(data=synthetic_traces())
     def test_naive_always_repairs(self, data):
         trace, _ = data
         result = naive_shift_correct(trace, lmin=LMIN)
         assert scan_messages(result.trace.messages(refresh=True), lmin=LMIN).violated == 0
 
-    @settings(max_examples=30, deadline=None)
+    @examples(30)
     @given(data=synthetic_traces())
     def test_lamport_respects_messages(self, data):
         trace, _ = data
@@ -114,7 +115,7 @@ class TestSyntheticTraceProperties:
             s_idx, r_idx = int(msgs.send_idx[k]), int(msgs.recv_idx[k])
             assert clocks[src][s_idx] < clocks[dst][r_idx]
 
-    @settings(max_examples=25, deadline=None)
+    @examples(25)
     @given(data=synthetic_traces())
     def test_roundtrip_preserves_scan(self, data, tmp_path_factory):
         from repro.tracing.reader import read_trace
