@@ -6,13 +6,21 @@ postmortem message matching, violation scan, and CLC throughput.
 """
 
 import numpy as np
+import pytest
 from conftest import emit, record_metric
 
 from repro.cluster import inter_node, xeon_cluster
 from repro.mpi import MpiWorld
 from repro.sync.clc import ControlledLogicalClock
 from repro.sync.violations import scan_messages
-from repro.workloads import SparseConfig, sparse_worker
+from repro.workloads import (
+    PopConfig,
+    Smg2000Config,
+    SparseConfig,
+    pop_worker,
+    smg2000_worker,
+    sparse_worker,
+)
 
 
 def make_run(rounds=40, nprocs=8, seed=3):
@@ -40,6 +48,65 @@ def test_engine_event_rate(benchmark):
         events_per_run=int(result.events_processed),
         events_per_second=rate,
     )
+    assert result.events_processed > 1000
+
+
+# ----------------------------------------------------------------------
+# Trace generation: reference engine vs the vectorized batch fast path.
+# Same workload, same seed, bit-identical traces (the `batch` verify
+# campaign enforces that); these benches track the throughput of each
+# path so check_regression.py catches the fast path losing its edge.
+# ----------------------------------------------------------------------
+TRACE_GENERATION_CASES = {
+    "sparse": lambda seed: sparse_worker(
+        SparseConfig(rounds=40, density=0.4), seed=seed
+    ),
+    "pop": lambda seed: pop_worker(
+        PopConfig(steps=60, step_time=1e-3, trace_window=None, grid=(4, 2)),
+        seed=seed,
+    ),
+    "smg2000": lambda seed: smg2000_worker(
+        Smg2000Config(cycles=4, pre_sleep=0.01, post_sleep=0.01), seed=seed
+    ),
+}
+
+#: (workload, engine) -> measured events/s, for the speedup summary.
+_TRACE_RATES: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("engine", ["reference", "batch"])
+@pytest.mark.parametrize("workload", sorted(TRACE_GENERATION_CASES))
+def test_trace_generation(benchmark, request, workload, engine):
+    make_worker = TRACE_GENERATION_CASES[workload]
+
+    def run():
+        preset = xeon_cluster()
+        world = MpiWorld(
+            preset, inter_node(preset.machine, 8), timer="tsc", seed=3,
+            duration_hint=120.0,
+        )
+        return world.run(make_worker(3), tracing=True, engine=engine)
+
+    result = benchmark(run)
+    assert result.engine == engine, f"{workload} fell back to {result.engine}"
+    rate = result.events_processed / benchmark.stats["mean"]
+    _TRACE_RATES[(workload, engine)] = rate
+    emit(
+        f"trace generation [{workload}/{engine}]: "
+        f"{result.events_processed} events in "
+        f"{benchmark.stats['mean'] * 1e3:.2f} ms/run, ~{rate / 1e3:.0f}k events/s"
+    )
+    metrics = dict(
+        events_per_run=int(result.events_processed), events_per_second=rate
+    )
+    reference_rate = _TRACE_RATES.get((workload, "reference"))
+    if engine == "batch" and reference_rate:
+        metrics["speedup_vs_reference"] = rate / reference_rate
+        emit(
+            f"  batch speedup on {workload}: "
+            f"{rate / reference_rate:.2f}x over the reference engine"
+        )
+    record_metric(request.node.name, **metrics)
     assert result.events_processed > 1000
 
 

@@ -11,7 +11,9 @@ A benchmark regresses when its throughput drops by more than
 conventions are understood, matching what the benches record:
 
 * ``mean_s`` (and the other ``*_s`` timing fields): lower is better;
-* ``*_per_second`` derived metrics: higher is better.
+* ``*_per_second`` derived metrics: higher is better;
+* ``speedup_*`` derived metrics (ratios of two timings from the same
+  session, so immune to overall machine-speed shifts): higher is better.
 
 Benchmarks present in only one file are reported but never fail the
 check (machines differ, benches come and go); refresh the baseline by
@@ -44,7 +46,7 @@ def compare(baseline: dict[str, dict], latest: dict[str, dict], threshold: float
                 continue
             if metric == "mean_s":
                 lower_is_better = True
-            elif metric.endswith("_per_second"):
+            elif metric.endswith("_per_second") or metric.startswith("speedup"):
                 lower_is_better = False
             else:
                 continue  # stddev/min/max/rounds/counters: informational only

@@ -29,6 +29,6 @@ from repro.core.api import TracingSession
 from repro.core.pipeline import PipelineReport, SyncPipeline
 from repro.errors import ReproError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = ["TracingSession", "SyncPipeline", "PipelineReport", "ReproError", "__version__"]

@@ -107,29 +107,31 @@ class Table2Result:
         return {r.label: r for r in self.rows}
 
 
-def _table2_row(kind: str, seed: int, repeats: int) -> LatencyStats:
+def _table2_row(
+    kind: str, seed: int, repeats: int, engine: str = "reference"
+) -> LatencyStats:
     """One Table II measurement — a standalone job for :func:`run_grid`."""
     preset = xeon_cluster()
     machine = preset.machine
     if kind == "inter_node":
         return measure_latency(
             preset, inter_node(machine, 4), repeats=repeats, seed=seed,
-            label="Inter node message latency",
+            label="Inter node message latency", engine=engine,
         )
     if kind == "inter_chip":
         return measure_latency(
             preset, inter_chip(machine), repeats=repeats, seed=seed,
-            label="Inter chip message latency",
+            label="Inter chip message latency", engine=engine,
         )
     if kind == "inter_core":
         return measure_latency(
             preset, inter_core(machine), repeats=repeats, seed=seed,
-            label="Inter core message latency",
+            label="Inter core message latency", engine=engine,
         )
     if kind == "collective":
         return measure_collective_latency(
             preset, inter_node(machine, 4), repeats=repeats, seed=seed,
-            label="Inter node collective latency",
+            label="Inter node collective latency", engine=engine,
         )
     raise ConfigurationError(f"unknown Table II row kind {kind!r}")
 
@@ -140,17 +142,20 @@ def table2_latencies(
     coll_repeats: int = 200,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    engine: str = "reference",
 ) -> Table2Result:
     """Measured message and collective latencies per placement (Table II).
 
     The four placements are independent simulations; ``jobs``/``cache``
     fan them out / memoize them via :func:`repro.analysis.runner.run_grid`.
+    ``engine`` selects the simulation path; both are bit-identical, and
+    cache keys ignore it, so switching engines still hits prior entries.
     """
     grid = [
-        dict(kind="inter_node", seed=seed, repeats=repeats),
-        dict(kind="inter_chip", seed=seed, repeats=repeats),
-        dict(kind="inter_core", seed=seed, repeats=repeats),
-        dict(kind="collective", seed=seed, repeats=coll_repeats),
+        dict(kind="inter_node", seed=seed, repeats=repeats, engine=engine),
+        dict(kind="inter_chip", seed=seed, repeats=repeats, engine=engine),
+        dict(kind="inter_core", seed=seed, repeats=repeats, engine=engine),
+        dict(kind="collective", seed=seed, repeats=coll_repeats, engine=engine),
     ]
     return Table2Result(rows=run_grid(_table2_row, grid, jobs=jobs, cache=cache))
 
@@ -417,7 +422,12 @@ def _smg_config(scale: float) -> Smg2000Config:
 
 
 def _fig7_one_run(
-    app: str, rep_seed: int, nprocs: int, scale: float, timer: str
+    app: str,
+    rep_seed: int,
+    nprocs: int,
+    scale: float,
+    timer: str,
+    engine: str = "reference",
 ) -> Fig7RunStats:
     """One traced application run of Fig. 7 — a :func:`run_grid` job."""
     preset = xeon_cluster()
@@ -439,7 +449,7 @@ def _fig7_one_run(
         duration_hint=duration_hint,
         jitter=OsJitterModel(rate=10.0, mean_delay=5e-6),
     )
-    run = world.run(worker, tracing=True, tracing_initially=False)
+    run = world.run(worker, tracing=True, tracing_initially=False, engine=engine)
     corr = linear_interpolation(run.init_offsets, run.final_offsets)
     trace = corr.apply(run.trace)
     p2p = scan_messages(trace.messages(strict=False), lmin=0.0)
@@ -471,6 +481,7 @@ def fig7_app_violations(
     timer: str = "tsc",
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    engine: str = "reference",
 ) -> Fig7Result:
     """Fig. 7: percentage of reversed messages in Scalasca-style traces.
 
@@ -483,11 +494,17 @@ def fig7_app_violations(
     The repetitions are independent simulations with explicit per-rep
     seeds, so they fan out over ``jobs`` worker processes with results
     identical to a serial run; ``cache`` memoizes finished repetitions.
+    ``engine="batch"`` selects the vectorized trace generator — bit-
+    identical by contract, and invisible to cache keys, so a cached
+    figure regenerates from either engine's entries.
     """
     if app not in ("pop", "smg2000"):
         raise ConfigurationError(f"unknown app {app!r} (use 'pop' or 'smg2000')")
     grid = [
-        dict(app=app, rep_seed=seed * 1000 + rep, nprocs=nprocs, scale=scale, timer=timer)
+        dict(
+            app=app, rep_seed=seed * 1000 + rep, nprocs=nprocs,
+            scale=scale, timer=timer, engine=engine,
+        )
         for rep in range(runs)
     ]
     stats = run_grid(_fig7_one_run, grid, jobs=jobs, cache=cache)

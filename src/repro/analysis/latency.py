@@ -65,6 +65,7 @@ def measure_latency(
     seed: int = 0,
     timer: str | None = None,
     label: str | None = None,
+    engine: str = "reference",
 ) -> LatencyStats:
     """One-way message latency between ranks 0 and 1 of ``pinning``."""
     world = MpiWorld(
@@ -78,6 +79,7 @@ def measure_latency(
         pingpong_worker(repeats=repeats, nbytes=nbytes),
         tracing=False,
         measure_offsets=False,
+        engine=engine,
     )
     samples = result.results[0]
     floor = world.min_latency(0, 1, nbytes)
@@ -92,6 +94,7 @@ def measure_collective_latency(
     seed: int = 0,
     timer: str | None = None,
     label: str | None = None,
+    engine: str = "reference",
 ) -> LatencyStats:
     """Allreduce completion latency over all ranks of ``pinning``."""
     world = MpiWorld(
@@ -105,6 +108,7 @@ def measure_collective_latency(
         collective_timing_worker(repeats=repeats, nbytes=nbytes),
         tracing=False,
         measure_offsets=False,
+        engine=engine,
     )
     samples = result.results[0]
     floor = world.min_latency(0, 1, nbytes)

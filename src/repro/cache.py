@@ -42,12 +42,20 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "ResultCache",
+    "PATH_ONLY_KEYS",
     "canonical_config",
     "config_digest",
     "default_cache_dir",
 ]
 
 _MISS = object()
+
+#: Keyword arguments that select an execution *path*, not a result.
+#: The two simulation engines are bit-identical by contract (enforced
+#: by the ``batch_matches_engine`` oracle), so ``engine`` must not
+#: enter cache keys: a grid re-run under the other engine has to hit
+#: every entry the first run stored.
+PATH_ONLY_KEYS = frozenset({"engine"})
 
 
 def default_cache_dir() -> Path:
@@ -111,9 +119,14 @@ def config_digest(
     config: dict[str, Any],
     version: Optional[str] = None,
 ) -> str:
-    """SHA-256 key over (function name, canonical config, package version)."""
+    """SHA-256 key over (function name, canonical config, package version).
+
+    Path-selection kwargs (:data:`PATH_ONLY_KEYS`) are excluded: they
+    change how a result is computed, never what it is.
+    """
     if version is None:
         from repro import __version__ as version
+    config = {k: v for k, v in config.items() if k not in PATH_ONLY_KEYS}
     text = "\x1e".join((_func_name(func), canonical_config(config), f"v:{version}"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

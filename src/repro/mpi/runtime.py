@@ -51,6 +51,16 @@ class RunResult:
     #: periodic synchronization); empty unless the world was configured
     #: with ``periodic_sync_every > 0``.
     periodic_offsets: list[dict[int, OffsetMeasurement]] = field(default_factory=list)
+    #: Which execution path produced this result: ``"reference"`` (the
+    #: discrete-event engine) or ``"batch"`` (the vectorized fast path of
+    #: :mod:`repro.sim.batch`).  Both paths are bit-identical; this field
+    #: exists so tests and oracles can assert the fast path engaged.
+    engine: str = "reference"
+    #: Post-run RNG stream positions (``{"network": state, "clocks":
+    #: {rank: (jitter_rng_state | None, last_reading)}}``) — the
+    #: ``batch_matches_engine`` oracle compares these to prove the fast
+    #: path consumed every stream exactly as far as the engine did.
+    rng_states: dict = field(default_factory=dict)
 
     def all_measurement_sets(self) -> list[dict[int, OffsetMeasurement]]:
         """init + periodic + final, in run order (piecewise-ready)."""
@@ -141,6 +151,7 @@ class MpiWorld:
         sync_repeats: int = 10,
         tracing_initially: bool = True,
         until: Optional[float] = None,
+        engine: str = "reference",
     ) -> RunResult:
         """Execute ``worker`` on every rank.
 
@@ -160,7 +171,31 @@ class MpiWorld:
             ``ctx.set_tracing`` (partial tracing).
         until:
             Optional true-time cap for the event loop.
+        engine:
+            ``"reference"`` runs the discrete-event engine;
+            ``"batch"`` tries the vectorized fast path of
+            :mod:`repro.sim.batch` and falls back to the reference
+            engine whenever bit-identity cannot be guaranteed.  Both
+            produce identical results; check ``RunResult.engine`` for
+            the path actually taken.
         """
+        if engine not in ("reference", "batch"):
+            raise ConfigurationError(f"unknown engine {engine!r}")
+        if engine == "batch":
+            from repro.sim.batch import BatchFallback, run_batch
+
+            try:
+                return run_batch(
+                    self,
+                    worker,
+                    tracing=tracing,
+                    measure_offsets=measure_offsets,
+                    sync_repeats=sync_repeats,
+                    tracing_initially=tracing_initially,
+                    until=until,
+                )
+            except BatchFallback:
+                pass  # run the reference engine below; results identical
         engine = Engine(
             Transport(
                 self.preset.latency,
@@ -235,6 +270,17 @@ class MpiWorld:
                 }
             trace = Trace({r: t.log for r, t in tracers.items()}, meta=meta)
 
+        clocks = {rank: self.ensemble.clock_for(self.pinning[rank]) for rank in range(nranks)}
+        rng_states = {
+            "network": engine.transport.rng.bit_generator.state,
+            "clocks": {
+                rank: (
+                    clock.rng.bit_generator.state if clock.rng is not None else None,
+                    clock._last,
+                )
+                for rank, clock in clocks.items()
+            },
+        }
         return RunResult(
             trace=trace,
             init_offsets=init_offsets,
@@ -243,6 +289,8 @@ class MpiWorld:
             duration=final_time,
             events_processed=engine.events_processed,
             periodic_offsets=list(master_ctx.periodic_series),
+            engine="reference",
+            rng_states=rng_states,
         )
 
     # ------------------------------------------------------------------

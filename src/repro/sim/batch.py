@@ -1,0 +1,1094 @@
+"""Batched trace generation: an array-native fast path for built-in workloads.
+
+The discrete-event engine executes one Python generator resume per
+event.  For the built-in workloads that is pure overhead: their
+communication structure is *statically known* — every send, receive,
+clock read and compute interval can be enumerated without running any
+generator.  This module compiles that structure once into per-rank
+timeline kernels and then *solves* for the event times:
+
+1. **Plan compilation** (cached): each workload module contributes a
+   ``batch_plan`` function that replays its worker's control flow
+   against a :class:`_RankPlan` recorder instead of an ``MpiContext``.
+   The recorder applies exactly the traced lowering of
+   :mod:`repro.mpi.comm` (regions, record costs, flush accounting),
+   expands collectives with the algorithms of
+   :mod:`repro.mpi.collectives`, and expands the init/finalize offset
+   measurement of :mod:`repro.sync.offset`.  The result per rank is a
+   list of *segments* — straight-line runs of time deltas between
+   blocking receives — plus statically paired event columns.
+
+2. **Timeline solve**: true-time advancement inside a segment is a
+   sequential running sum of the segment's deltas (bit-identical to the
+   engine's one-add-per-event arithmetic); receives synchronize
+   segments through per-channel FIFO queues and a global send heap that
+   processes sends in true-time order — the exact order in which the
+   engine consumes the transport RNG.  Latency noise is drawn as one
+   vectorized ``standard_gamma`` block and consumed in that same order.
+
+3. **Deferred clock evaluation**: clock reads are collected per physical
+   clock, merged in true-time order across the ranks sharing the clock,
+   and evaluated with a single :meth:`Clock.read_array` call — the same
+   jitter draws, quantization, and monotonicity clamp as per-event
+   scalar :meth:`Clock.read`, in the same RNG order.
+
+4. **Columnar assembly**: event logs are built via
+   :meth:`EventLog.from_arrays` from the precompiled columns, with
+   timestamps gathered from the solved read values and match ids
+   patched from the solver.
+
+The contract is **bit-for-bit identity** with the generator engine:
+same timestamps, same event order, same ``events_processed``, same
+duration, and the same RNG stream positions afterwards.  Whenever the
+fast path cannot *guarantee* that (dynamic matching ambiguity,
+simultaneous sends, congestion coupling, run horizons, …) it raises
+:class:`BatchFallback` before mutating any shared state and the caller
+falls back to the reference engine.  The ``batch_matches_engine``
+oracle in :mod:`repro.verify.oracles` fuzzes this contract.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict, deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.cluster.network import HierarchicalLatency, TorusLatency
+from repro.cluster.topology import distance_class
+from repro.errors import ConfigurationError
+from repro.sync.offset import SYNC_TAG, OffsetMeasurement, cristian_offset
+from repro.tracing.events import CollectiveOp, EventLog, EventType
+from repro.tracing.trace import Trace
+
+__all__ = ["BatchFallback", "run_batch"]
+
+#: Region ids mirrored from repro.mpi.comm (imported lazily to keep the
+#: sim package import-light); values are stable API constants.
+_MPI_SEND_REGION = 1
+_MPI_RECV_REGION = 2
+
+#: Mirrors repro.mpi.collectives.STAGE_COST (stable API constant).
+_STAGE_COST = 1.0e-6
+
+#: Segments at most this long advance with a plain Python running sum;
+#: longer ones use np.cumsum (bit-identical: both are sequential adds).
+_SMALL_SEGMENT = 24
+
+
+class BatchFallback(Exception):
+    """The batch fast path cannot guarantee bit-identity; use the engine."""
+
+
+# ----------------------------------------------------------------------
+# Plan recorder
+# ----------------------------------------------------------------------
+class _Segment:
+    """A straight-line run of time deltas between blocking receives."""
+
+    __slots__ = (
+        "deltas", "read_pos", "read_slot0", "send_pos", "send_serials",
+        "deltas_arr", "read_pos_arr",
+    )
+
+    def __init__(self, deltas, read_pos, read_slot0, send_pos, send_serials):
+        self.deltas = tuple(deltas)
+        self.read_pos = tuple(read_pos)
+        self.read_slot0 = read_slot0
+        self.send_pos = tuple(send_pos)
+        self.send_serials = tuple(send_serials)
+        self.deltas_arr = np.array(deltas, dtype=np.float64)
+        self.read_pos_arr = np.array(read_pos, dtype=np.int64)
+
+
+class _RankEvents:
+    """Precompiled event columns of one rank (timestamps as read slots)."""
+
+    __slots__ = ("slot", "et", "a", "b", "c", "d_static",
+                 "send_rows", "send_serials", "recv_rows", "recv_match_serials")
+
+
+class _RankPlan:
+    """Records one rank's operations, mirroring ``MpiContext`` lowering.
+
+    Workload ``batch_plan`` functions call the same surface a worker
+    generator uses on its context (``compute``, ``send``, ``recv``,
+    collectives, …), but as plain methods — no generators run.
+    """
+
+    def __init__(self, rank, size, *, tracing, tracing_initially, mpi_regions,
+                 jitter_model, jitter_rng, record_cost, flush_cost, capacity,
+                 read_overhead, send_overhead):
+        self.rank = rank
+        self.size = size
+        self.tracing = tracing
+        self.active = tracing_initially
+        self.mpi_regions = mpi_regions
+        self.jitter_model = jitter_model
+        self.jitter_rng = jitter_rng
+        self.record_cost = record_cost
+        self.flush_cost = flush_cost
+        self.capacity = capacity
+        self.read_overhead = read_overhead
+        self.send_overhead = send_overhead
+        self._since_flush = 0
+        self._coll_instance = 0
+        self.n_reads = 0
+        # Current segment under construction.
+        self._deltas: list[float] = []
+        self._read_pos: list[int] = []
+        self._read_slot0 = 0
+        self._send_pos: list[int] = []
+        self._send_local: list[int] = []
+        self.segments: list[_Segment] = []
+        self.boundaries: list[tuple[int, int, int] | None] = []  # recv channel or None=end
+        # Communication metadata (program order).
+        self.sends: list[tuple[int, int, int]] = []  # (dst, tag, nbytes)
+        self.recvs: list[tuple[int, int]] = []  # (src, tag)
+        # Event columns (lists; frozen to arrays at finalize).
+        self.ev_slot: list[int] = []
+        self.ev_et: list[int] = []
+        self.ev_a: list[int] = []
+        self.ev_b: list[int] = []
+        self.ev_c: list[int] = []
+        self.ev_d: list[int] = []
+        self.send_rows: list[tuple[int, int]] = []  # (event row, local send idx)
+        self.recv_rows: list[tuple[int, int]] = []  # (event row, local recv idx)
+
+    # -- low-level emission -------------------------------------------
+    @property
+    def traced(self) -> bool:
+        return self.tracing and self.active
+
+    def _read(self) -> int:
+        slot = self.n_reads
+        self.n_reads += 1
+        self._read_pos.append(len(self._deltas))
+        self._deltas.append(self.read_overhead)
+        return slot
+
+    def _record(self, slot, etype, a=0, b=0, c=0, d=0) -> int:
+        row = len(self.ev_slot)
+        self.ev_slot.append(slot)
+        self.ev_et.append(int(etype))
+        self.ev_a.append(a)
+        self.ev_b.append(b)
+        self.ev_c.append(c)
+        self.ev_d.append(d)
+        cost = self.record_cost
+        self._since_flush += 1
+        if self.capacity and self._since_flush >= self.capacity:
+            self._since_flush = 0
+            cost += self.flush_cost
+        if cost > 0:
+            self._deltas.append(cost)
+        return row
+
+    def _simple_event(self, etype, a=0, b=0, c=0, d=0) -> None:
+        if self.traced:
+            slot = self._read()
+            self._record(slot, etype, a, b, c, d)
+
+    def _close_segment(self, boundary) -> None:
+        self.segments.append(_Segment(
+            self._deltas, self._read_pos, self._read_slot0,
+            self._send_pos, self._send_local,
+        ))
+        self.boundaries.append(boundary)
+        self._deltas = []
+        self._read_pos = []
+        self._read_slot0 = self.n_reads
+        self._send_pos = []
+        self._send_local = []
+
+    def finish(self) -> None:
+        self._close_segment(None)
+
+    # -- MpiContext surface -------------------------------------------
+    def compute(self, duration: float) -> None:
+        if self.jitter_model is not None and self.jitter_rng is not None:
+            duration = self.jitter_model.perturb(duration, self.jitter_rng)
+        if duration > 0:
+            self._deltas.append(duration)
+
+    def sleep(self, duration: float) -> None:
+        if duration > 0:
+            self._deltas.append(duration)
+
+    def wtime(self) -> int:
+        """Read the clock; returns the read's *slot index* for later lookup."""
+        return self._read()
+
+    def set_tracing(self, enabled: bool) -> None:
+        if self.tracing:
+            self.active = enabled
+
+    def send_raw(self, dst: int, tag: int = 0, nbytes: int = 0, payload=None) -> None:
+        self._send_pos.append(len(self._deltas))
+        self._send_local.append(len(self.sends))
+        self.sends.append((dst, tag, nbytes))
+        self._deltas.append(self.send_overhead)
+
+    def recv_raw(self, src: int, tag: int) -> None:
+        if src < 0 or tag == -1:
+            # ANY_SOURCE / ANY_TAG need dynamic mailbox scans (tags < -1
+            # are collective/sync tags and remain fully static).
+            raise BatchFallback("wildcard receive needs the engine's matching")
+        self.recvs.append((src, tag))
+        self._close_segment((src, self.rank, tag))
+
+    def send(self, dst: int, tag: int = 0, nbytes: int = 0, payload=None) -> None:
+        if not self.traced:
+            self.send_raw(dst, tag, nbytes)
+            return
+        if self.mpi_regions:
+            self._simple_event(EventType.ENTER, _MPI_SEND_REGION)
+        slot = self._read()
+        local = len(self.sends)
+        self.send_raw(dst, tag, nbytes)
+        row = self._record(slot, EventType.SEND, dst, tag, nbytes, 0)
+        self.send_rows.append((row, local))
+        if self.mpi_regions:
+            self._simple_event(EventType.EXIT, _MPI_SEND_REGION)
+
+    def recv(self, src: int = -1, tag: int = -1) -> None:
+        if not self.traced:
+            self.recv_raw(src, tag)
+            return
+        if self.mpi_regions:
+            self._simple_event(EventType.ENTER, _MPI_RECV_REGION)
+        local = len(self.recvs)
+        self.recv_raw(src, tag)
+        slot = self._read()
+        # a=src and b=tag are static (explicit receive); c (nbytes) and
+        # d (match id) are patched from the paired send.
+        row = self._record(slot, EventType.RECV, src, tag, 0, 0)
+        self.recv_rows.append((row, local))
+        if self.mpi_regions:
+            self._simple_event(EventType.EXIT, _MPI_RECV_REGION)
+
+    def enter_region(self, region_id: int) -> None:
+        self._simple_event(EventType.ENTER, region_id)
+
+    def exit_region(self, region_id: int) -> None:
+        self._simple_event(EventType.EXIT, region_id)
+
+    def sendrecv(self, dst, src, sendtag=0, recvtag=-1, nbytes=0, payload=None) -> None:
+        self.send(dst, sendtag, nbytes)
+        self.recv(src, recvtag)
+
+    def split(self, color, key=None):
+        raise BatchFallback("communicator splits need the engine")
+
+    # -- collectives ---------------------------------------------------
+    def _collective(self, op, root, algo, **kwargs) -> None:
+        instance = self._coll_instance
+        self._coll_instance += 1
+        traced = self.traced
+        if traced:
+            slot = self._read()
+            self._record(slot, EventType.COLL_ENTER, int(op), root, self.size, instance)
+        algo(self, instance, **kwargs)
+        if traced:
+            slot = self._read()
+            self._record(slot, EventType.COLL_EXIT, int(op), root, self.size, instance)
+
+    def barrier(self) -> None:
+        self._collective(CollectiveOp.BARRIER, 0, _plan_barrier)
+
+    def bcast(self, root=0, nbytes=0, payload=None) -> None:
+        self._collective(CollectiveOp.BCAST, root, _plan_bcast,
+                         root=root, nbytes=nbytes)
+
+    def reduce(self, root=0, nbytes=0, value=None, op=None) -> None:
+        self._collective(CollectiveOp.REDUCE, root, _plan_reduce,
+                         root=root, nbytes=nbytes)
+
+    def allreduce(self, nbytes=0, value=None, op=None) -> None:
+        self._collective(CollectiveOp.ALLREDUCE, 0, _plan_allreduce,
+                         nbytes=nbytes)
+
+    def gather(self, root=0, nbytes=0, value=None) -> None:
+        self._collective(CollectiveOp.GATHER, root, _plan_gather,
+                         root=root, nbytes=nbytes)
+
+    def scatter(self, root=0, nbytes=0, values=None) -> None:
+        self._collective(CollectiveOp.SCATTER, root, _plan_scatter,
+                         root=root, nbytes=nbytes)
+
+    def allgather(self, nbytes=0, value=None) -> None:
+        self._collective(CollectiveOp.ALLGATHER, 0, _plan_allgather,
+                         nbytes=nbytes)
+
+    def alltoall(self, nbytes=0, values=None) -> None:
+        self._collective(CollectiveOp.ALLTOALL, 0, _plan_alltoall,
+                         nbytes=nbytes)
+
+    def scan(self, nbytes=0, value=None, op=None) -> None:
+        self._collective(CollectiveOp.SCAN, 0, _plan_scan, nbytes=nbytes)
+
+    def reduce_scatter(self, nbytes=0, values=None, op=None) -> None:
+        self._collective(CollectiveOp.REDUCE_SCATTER, 0,
+                         _plan_reduce_scatter, nbytes=nbytes)
+
+
+# ----------------------------------------------------------------------
+# Collective algorithms (structural ports of repro.mpi.collectives)
+# ----------------------------------------------------------------------
+def _check_root(root: int, n: int) -> None:
+    if not 0 <= root < n:
+        raise ConfigurationError(f"root {root} outside communicator of size {n}")
+
+
+def _tag(instance: int) -> int:
+    return -(instance + 2)
+
+
+def _stage(plan: _RankPlan) -> None:
+    plan.sleep(_STAGE_COST)
+
+
+def _plan_barrier(plan, instance):
+    n = plan.size
+    tag = _tag(instance)
+    dist = 1
+    while dist < n:
+        plan.send_raw((plan.rank + dist) % n, tag, 0)
+        plan.recv_raw((plan.rank - dist) % n, tag)
+        _stage(plan)
+        dist <<= 1
+
+
+def _plan_bcast(plan, instance, root=0, nbytes=0):
+    n = plan.size
+    _check_root(root, n)
+    tag = _tag(instance)
+    rel = (plan.rank - root) % n
+    if rel != 0:
+        plan.recv_raw(((rel & (rel - 1)) + root) % n, tag)
+        _stage(plan)
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            break
+        child_rel = rel | mask
+        if child_rel < n:
+            plan.send_raw((child_rel + root) % n, tag, nbytes)
+        mask <<= 1
+
+
+def _plan_reduce(plan, instance, root=0, nbytes=0):
+    n = plan.size
+    _check_root(root, n)
+    tag = _tag(instance)
+    rel = (plan.rank - root) % n
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            plan.send_raw(((rel & ~mask) + root) % n, tag, nbytes)
+            return
+        child_rel = rel | mask
+        if child_rel < n:
+            plan.recv_raw(((child_rel + root) % n), tag)
+            _stage(plan)
+        mask <<= 1
+
+
+def _plan_allreduce(plan, instance, nbytes=0):
+    n = plan.size
+    tag = _tag(instance)
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    extras = n - p
+    rank = plan.rank
+    if rank >= p:
+        plan.send_raw(rank - p, tag, nbytes)
+        plan.recv_raw(rank - p, tag)
+        return
+    if rank < extras:
+        plan.recv_raw(rank + p, tag)
+        _stage(plan)
+    mask = 1
+    while mask < p:
+        partner = rank ^ mask
+        plan.send_raw(partner, tag, nbytes)
+        plan.recv_raw(partner, tag)
+        _stage(plan)
+        mask <<= 1
+    if rank < extras:
+        plan.send_raw(rank + p, tag, nbytes)
+
+
+def _plan_gather(plan, instance, root=0, nbytes=0):
+    n = plan.size
+    _check_root(root, n)
+    tag = _tag(instance)
+    rel = (plan.rank - root) % n
+    count = 1  # len(collected): own entry plus received subtrees
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            plan.send_raw(((rel & ~mask) + root) % n, tag, nbytes * count)
+            return
+        child_rel = rel | mask
+        if child_rel < n:
+            plan.recv_raw((child_rel + root) % n, tag)
+            _stage(plan)
+            count += min(mask, n - child_rel)  # child's binomial subtree size
+        mask <<= 1
+
+
+def _plan_scatter(plan, instance, root=0, nbytes=0):
+    n = plan.size
+    _check_root(root, n)
+    tag = _tag(instance)
+    rel = (plan.rank - root) % n
+    if rel != 0:
+        plan.recv_raw(((rel & (rel - 1)) + root) % n, tag)
+        _stage(plan)
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            break
+        child_rel = rel | mask
+        if child_rel < n:
+            subtree = min(child_rel + mask, n) - child_rel
+            plan.send_raw((child_rel + root) % n, tag, nbytes * max(subtree, 1))
+        mask <<= 1
+
+
+def _plan_allgather(plan, instance, nbytes=0):
+    n = plan.size
+    tag = _tag(instance)
+    right = (plan.rank + 1) % n
+    left = (plan.rank - 1) % n
+    for _ in range(n - 1):
+        plan.send_raw(right, tag, nbytes)
+        plan.recv_raw(left, tag)
+        _stage(plan)
+
+
+def _plan_alltoall(plan, instance, nbytes=0):
+    n = plan.size
+    tag = _tag(instance)
+    for shift in range(1, n):
+        plan.send_raw((plan.rank + shift) % n, tag, nbytes)
+        plan.recv_raw((plan.rank - shift) % n, tag)
+        _stage(plan)
+
+
+def _plan_scan(plan, instance, nbytes=0):
+    n = plan.size
+    tag = _tag(instance)
+    if plan.rank > 0:
+        plan.recv_raw(plan.rank - 1, tag)
+        _stage(plan)
+    if plan.rank + 1 < n:
+        plan.send_raw(plan.rank + 1, tag, nbytes)
+
+
+def _plan_reduce_scatter(plan, instance, nbytes=0):
+    _plan_gather(plan, instance, root=0, nbytes=nbytes)
+    _plan_scatter(plan, instance, root=0, nbytes=nbytes)
+
+
+# ----------------------------------------------------------------------
+# Offset-measurement expansion (repro.sync.offset.measurement_protocol)
+# ----------------------------------------------------------------------
+def _plan_measurement(plan: _RankPlan, repeats: int, master: int = 0):
+    """Expand the Cristian protocol; returns slot bookkeeping.
+
+    Master: ``{worker: [(t1_slot, t2_slot), ...]}``.  Worker: list of its
+    ``t0`` slots, aligned with the master's exchange order.
+    """
+    if plan.rank == master:
+        spec: dict[int, list[tuple[int, int]]] = {}
+        for worker in range(plan.size):
+            if worker == master:
+                continue
+            pairs = []
+            for _ in range(repeats):
+                t1 = plan.wtime()
+                plan.send_raw(worker, SYNC_TAG, 8)
+                plan.recv_raw(worker, SYNC_TAG)
+                t2 = plan.wtime()
+                pairs.append((t1, t2))
+            spec[worker] = pairs
+        return spec
+    slots = []
+    for _ in range(repeats):
+        plan.recv_raw(master, SYNC_TAG)
+        slots.append(plan.wtime())
+        plan.send_raw(master, SYNC_TAG, 8)
+    return slots
+
+
+# ----------------------------------------------------------------------
+# Compiled plan
+# ----------------------------------------------------------------------
+class _CompiledPlan:
+    __slots__ = (
+        "nranks", "rank_segments", "rank_boundaries", "rank_nreads",
+        "channels", "n_sends", "send_src", "send_dst", "send_nbytes",
+        "send_chan", "send_pair", "events_processed", "rank_events",
+        "result_specs", "init_specs", "final_specs", "latency_cache",
+    )
+
+
+_PLAN_CACHE: "OrderedDict[tuple, _CompiledPlan]" = OrderedDict()
+_PLAN_CACHE_MAX = 32
+
+
+def _compile(world, plan_fn: Callable, key: tuple, *, tracing, tracing_initially,
+             measure, sync_repeats) -> _CompiledPlan:
+    cached = _PLAN_CACHE.get(key)
+    if cached is not None:
+        _PLAN_CACHE.move_to_end(key)
+        return cached
+
+    nranks = world.pinning.nranks
+    rank_plans: list[_RankPlan] = []
+    init_specs = []
+    final_specs = []
+    result_specs = []
+    for rank in range(nranks):
+        rp = _RankPlan(
+            rank, nranks,
+            tracing=tracing, tracing_initially=tracing_initially,
+            mpi_regions=world.mpi_regions,
+            jitter_model=world.jitter,
+            jitter_rng=world.fabric.generator("jitter", rank),
+            record_cost=world.record_cost, flush_cost=world.flush_cost,
+            capacity=world.trace_buffer_capacity,
+            read_overhead=world.spec.read_overhead,
+            send_overhead=world.send_overhead,
+        )
+        init_specs.append(_plan_measurement(rp, sync_repeats) if measure else None)
+        result_specs.append(plan_fn(rp))
+        final_specs.append(_plan_measurement(rp, sync_repeats) if measure else None)
+        rp.finish()
+        rank_plans.append(rp)
+
+    plan = _CompiledPlan()
+    plan.nranks = nranks
+    plan.rank_nreads = [rp.n_reads for rp in rank_plans]
+    plan.result_specs = result_specs
+    plan.init_specs = init_specs
+    plan.final_specs = final_specs
+    plan.latency_cache = {}
+
+    # Global send serials and channel table.
+    send_base = [0] * nranks
+    total = 0
+    for r, rp in enumerate(rank_plans):
+        send_base[r] = total
+        total += len(rp.sends)
+    plan.n_sends = total
+    # Segments carry rank-local send indices; globalize them so the
+    # solver can push heap entries without per-rank translation.
+    for r, rp in enumerate(rank_plans):
+        base = send_base[r]
+        if base:
+            for seg in rp.segments:
+                seg.send_serials = tuple(base + s for s in seg.send_serials)
+    plan.rank_segments = [rp.segments for rp in rank_plans]
+    send_src = np.empty(total, dtype=np.int64)
+    send_dst = np.empty(total, dtype=np.int64)
+    send_nbytes = np.empty(total, dtype=np.int64)
+    send_chan = np.empty(total, dtype=np.int64)
+    send_pair = np.empty(total, dtype=np.int64)
+    channel_index: dict[tuple[int, int, int], int] = {}
+    channel_sends: list[deque] = []
+    for r, rp in enumerate(rank_plans):
+        base = send_base[r]
+        for i, (dst, tag, nbytes) in enumerate(rp.sends):
+            serial = base + i
+            send_src[serial] = r
+            send_dst[serial] = dst
+            send_nbytes[serial] = nbytes
+            send_pair[serial] = r * nranks + dst
+            chan_key = (r, dst, tag)
+            ci = channel_index.get(chan_key)
+            if ci is None:
+                ci = len(channel_sends)
+                channel_index[chan_key] = ci
+                channel_sends.append(deque())
+            channel_sends[ci].append(serial)
+            send_chan[serial] = ci
+    plan.send_src = send_src
+    plan.send_dst = send_dst
+    plan.send_nbytes = send_nbytes
+    plan.send_chan = send_chan
+    plan.send_pair = send_pair
+    plan.channels = list(channel_index)
+
+    # Rewrite the boundary segments of every rank to channel indices and
+    # statically pair each receive with its FIFO send.
+    fifo = [deque(q) for q in channel_sends]
+    plan.rank_boundaries = []
+    plan.rank_events = []
+    events_processed = nranks  # one initial resume per rank
+    for r, rp in enumerate(rank_plans):
+        bounds = []
+        matches = []  # matched global send serial per local recv index
+        for boundary in rp.boundaries:
+            if boundary is None:
+                bounds.append(-1)
+                continue
+            ci = channel_index.get(boundary)
+            if ci is None:
+                raise BatchFallback(
+                    f"rank {r} receives on channel {boundary} with no sender"
+                )
+            bounds.append(ci)
+            q = fifo[ci]
+            if not q:
+                raise BatchFallback(
+                    f"rank {r} posts more receives than sends on {boundary}"
+                )
+            matches.append(q.popleft())
+        plan.rank_boundaries.append(bounds)
+        events_processed += len(rp.recvs) + sum(
+            len(seg.deltas) for seg in rp.segments
+        )
+
+        ev = _RankEvents()
+        ev.slot = np.array(rp.ev_slot, dtype=np.int64)
+        ev.et = np.array(rp.ev_et, dtype=np.int8)
+        ev.a = np.array(rp.ev_a, dtype=np.int64)
+        ev.b = np.array(rp.ev_b, dtype=np.int64)
+        ev.c = np.array(rp.ev_c, dtype=np.int64)
+        ev.d_static = np.array(rp.ev_d, dtype=np.int64)
+        ev.send_rows = np.array([row for row, _ in rp.send_rows], dtype=np.int64)
+        ev.send_serials = np.array(
+            [send_base[r] + local for _, local in rp.send_rows], dtype=np.int64
+        )
+        ev.recv_rows = np.array([row for row, _ in rp.recv_rows], dtype=np.int64)
+        ev.recv_match_serials = np.array(
+            [matches[local] for _, local in rp.recv_rows], dtype=np.int64
+        )
+        # Patch the static part of recv events from the matched send.
+        if ev.recv_rows.size:
+            ev.c[ev.recv_rows] = send_nbytes[ev.recv_match_serials]
+        plan.rank_events.append(ev)
+    # Per-event pops: one initial resume per rank, one resume per delta
+    # (computes, clock reads, sender resumes), one completion resume per
+    # receive, and one delivery pop per send.
+    events_processed += total
+    plan.events_processed = events_processed
+
+    _PLAN_CACHE[key] = plan
+    if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Latency static parameters (vectorized noise consumption)
+# ----------------------------------------------------------------------
+def _latency_fingerprint(model) -> Optional[tuple]:
+    if isinstance(model, HierarchicalLatency):
+        return ("hier",) + tuple(
+            (cls.value, s.base, s.bandwidth, s.jitter, s.jitter_shape)
+            for cls, s in sorted(model._table.items(), key=lambda kv: kv[0].value)
+        )
+    if isinstance(model, TorusLatency):
+        intra = _latency_fingerprint(model.intra_node)
+        return ("torus", model.dims, model.inter_node_base, model.per_hop,
+                model.bandwidth, model.jitter, model.jitter_shape, intra)
+    return None
+
+
+def _static_latency(plan: _CompiledPlan, model, locations) -> Optional[tuple]:
+    """Per-send (floor, scale, shape) when the model decomposes statically.
+
+    Returns ``(floor_list, scale_list, shape, n_noisy)`` or ``None`` when
+    the model is unknown or uses mixed gamma shapes (the solver then
+    falls back to per-send scalar ``model.sample`` calls — still
+    bit-identical, just slower).
+    """
+    fp = _latency_fingerprint(model)
+    if fp is None:
+        return None
+    loc_key = tuple((loc.node, loc.chip, loc.core) for loc in locations)
+    cached = plan.latency_cache.get((loc_key, fp))
+    if cached is not None:
+        return cached
+    n = plan.n_sends
+    floors = [0.0] * n
+    scales = [0.0] * n
+    shapes = set()
+    for serial in range(n):
+        src = locations[plan.send_src[serial]]
+        dst = locations[plan.send_dst[serial]]
+        nbytes = int(plan.send_nbytes[serial])
+        if isinstance(model, TorusLatency) and src.node != dst.node:
+            floors[serial] = model.min_latency(src, dst, nbytes)
+            jitter, shape = model.jitter, model.jitter_shape
+        else:
+            table = model.intra_node if isinstance(model, TorusLatency) else model
+            sample = table.sample_for_class(distance_class(src, dst))
+            floors[serial] = sample.floor(nbytes)
+            jitter, shape = sample.jitter, sample.jitter_shape
+        if jitter > 0.0:
+            scales[serial] = jitter / shape
+            shapes.add(shape)
+    if len(shapes) > 1:
+        result = None
+    else:
+        shape = shapes.pop() if shapes else 0.0
+        n_noisy = sum(1 for s in scales if s > 0.0)
+        result = (floors, scales, shape, n_noisy)
+    plan.latency_cache[(loc_key, fp)] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Solver
+# ----------------------------------------------------------------------
+def _solve(plan: _CompiledPlan, world, locations, rng):
+    """Walk all rank timelines; returns per-rank read times and solver state."""
+    nranks = plan.nranks
+    recv_ovh = world.recv_overhead
+    model = world.preset.latency
+    static = _static_latency(plan, model, locations)
+    if static is not None:
+        floors, scales, shape, n_noisy = static
+        noise = rng.standard_gamma(shape, size=n_noisy).tolist() if n_noisy else []
+    ni = 0
+
+    read_times = [np.empty(n, dtype=np.float64) for n in plan.rank_nreads]
+    seg_idx = [0] * nranks
+    parked_t = [0.0] * nranks
+    done_t = [None] * nranks
+    n_channels = len(plan.channels)
+    queues: list[deque] = [deque() for _ in range(n_channels)]
+    waiter = [-1] * n_channels
+    heap: list[tuple[float, int]] = []
+    match_ids = [0] * plan.n_sends
+    send_chan = plan.send_chan.tolist()
+    send_pair = plan.send_pair.tolist()
+    last_delivery = [-math.inf] * (nranks * nranks)
+    max_arrival = -math.inf
+
+    def advance(r: int, t: float, i: int) -> None:
+        segs = plan.rank_segments[r]
+        bounds = plan.rank_boundaries[r]
+        rt = read_times[r]
+        while True:
+            seg = segs[i]
+            deltas = seg.deltas
+            m = len(deltas)
+            if m:
+                if m <= _SMALL_SEGMENT:
+                    rp = seg.read_pos
+                    sp = seg.send_pos
+                    ser = seg.send_serials
+                    ri = si = 0
+                    nr = len(rp)
+                    ns = len(sp)
+                    slot = seg.read_slot0
+                    for j in range(m):
+                        if ri < nr and rp[ri] == j:
+                            rt[slot + ri] = t
+                            ri += 1
+                        elif si < ns and sp[si] == j:
+                            heappush(heap, (t, ser[si]))
+                            si += 1
+                        t += deltas[j]
+                else:
+                    buf = np.empty(m + 1, dtype=np.float64)
+                    buf[0] = t
+                    buf[1:] = seg.deltas_arr
+                    cum = np.cumsum(buf)
+                    if seg.read_pos_arr.size:
+                        slot = seg.read_slot0
+                        rt[slot:slot + seg.read_pos_arr.size] = cum[seg.read_pos_arr]
+                    for p, s in zip(seg.send_pos, seg.send_serials):
+                        heappush(heap, (float(cum[p]), s))
+                    t = float(cum[m])
+            ci = bounds[i]
+            if ci < 0:
+                done_t[r] = t
+                seg_idx[r] = i
+                return
+            q = queues[ci]
+            if q:
+                arrival = q.popleft()
+                if arrival > t:
+                    t = arrival
+                t += recv_ovh
+                i += 1
+                continue
+            waiter[ci] = r
+            parked_t[r] = t
+            seg_idx[r] = i
+            return
+
+    for r in range(nranks):
+        advance(r, 0.0, 0)
+
+    next_mid = 0
+    prev = -math.inf
+    while heap:
+        t_send, serial = heappop(heap)
+        if t_send <= prev:
+            # Two sends at exactly the same true time: the engine breaks
+            # the tie on scheduling order, which the solver cannot see.
+            raise BatchFallback("simultaneous sends; tie order is engine-defined")
+        prev = t_send
+        # Local send serial -> global: segments store per-rank local
+        # indices; translate lazily via the rank base is avoided by
+        # storing globals at compile time — `serial` is already global.
+        if static is not None:
+            scale = scales[serial]
+            if scale > 0.0:
+                delay = floors[serial] + noise[ni] * scale
+                ni += 1
+            else:
+                delay = floors[serial]
+        else:
+            delay = model.sample(
+                locations[plan.send_src[serial]],
+                locations[plan.send_dst[serial]],
+                int(plan.send_nbytes[serial]),
+                rng,
+            )
+        arrival = t_send + delay
+        pi = send_pair[serial]
+        floor = last_delivery[pi]
+        if arrival <= floor:
+            arrival = math.nextafter(floor, math.inf)
+        last_delivery[pi] = arrival
+        match_ids[serial] = next_mid
+        next_mid += 1
+        if arrival > max_arrival:
+            max_arrival = arrival
+        ci = send_chan[serial]
+        w = waiter[ci]
+        if w >= 0:
+            waiter[ci] = -1
+            pt = parked_t[w]
+            resume = arrival if arrival > pt else pt
+            advance(w, resume + recv_ovh, seg_idx[w] + 1)
+        else:
+            queues[ci].append(arrival)
+
+    blocked = [r for r in range(nranks) if done_t[r] is None]
+    if blocked:
+        raise BatchFallback(f"ranks {blocked} blocked; engine reports the deadlock")
+    duration = max(done_t)
+    if max_arrival > duration:
+        duration = max_arrival
+    return read_times, match_ids, duration
+
+
+# ----------------------------------------------------------------------
+# Deferred clock evaluation
+# ----------------------------------------------------------------------
+def _evaluate_clocks(read_times, clocks):
+    """One ``read_array`` per physical clock, in engine RNG order.
+
+    Raises :class:`BatchFallback` — before consuming any clock RNG or
+    touching monotonicity state — if reads of *different* ranks sharing
+    a jittered clock coincide in true time (the engine breaks such ties
+    on scheduling order).
+    """
+    groups: dict[int, list[int]] = {}
+    clock_of: dict[int, Any] = {}
+    for r, clock in enumerate(clocks):
+        groups.setdefault(id(clock), []).append(r)
+        clock_of[id(clock)] = clock
+
+    prepared = []
+    for cid, ranks in groups.items():
+        clock = clock_of[cid]
+        if len(ranks) == 1:
+            times = read_times[ranks[0]]
+            order = None
+        else:
+            times = np.concatenate([read_times[r] for r in ranks])
+            order = np.argsort(times, kind="stable")
+            times = times[order]
+            if clock.read_jitter > 0.0 and times.size > 1 and np.any(
+                np.diff(times) == 0.0
+            ):
+                raise BatchFallback(
+                    "simultaneous reads on a shared jittered clock"
+                )
+        prepared.append((clock, ranks, times, order))
+
+    read_values = [None] * len(clocks)
+    for clock, ranks, times, order in prepared:
+        if times.size == 0:
+            for r in ranks:
+                read_values[r] = np.empty(0, dtype=np.float64)
+            continue
+        values = clock.read_array(times, jitter=True)
+        if clock._last != -math.inf:
+            values = np.maximum(values, clock._last)
+        clock._last = float(values[-1])
+        if order is None:
+            read_values[ranks[0]] = values
+        else:
+            unsorted = np.empty_like(values)
+            unsorted[order] = values
+            offset = 0
+            for r in ranks:
+                n = read_times[r].size
+                read_values[r] = unsorted[offset:offset + n]
+                offset += n
+    return read_values
+
+
+# ----------------------------------------------------------------------
+# Result reconstruction
+# ----------------------------------------------------------------------
+def _build_result(spec, values: np.ndarray):
+    kind = spec[0]
+    if kind == "static":
+        return spec[1]
+    if kind == "timed":
+        _, t1_slots, t2_slots, halve = spec
+        v1 = values[np.asarray(t1_slots, dtype=np.int64)]
+        v2 = values[np.asarray(t2_slots, dtype=np.int64)]
+        return (v2 - v1) / 2.0 if halve else v2 - v1
+    raise BatchFallback(f"unknown result spec {kind!r}")
+
+
+def _build_offsets(master_spec, worker_specs, read_values, repeats, master=0):
+    if master_spec is None:
+        return None
+    results: dict[int, OffsetMeasurement] = {}
+    vm = read_values[master]
+    for worker, pairs in master_spec.items():
+        vw = read_values[worker]
+        t0_slots = worker_specs[worker]
+        best = None
+        for (s1, s2), s0 in zip(pairs, t0_slots):
+            t1 = float(vm[s1])
+            t2 = float(vm[s2])
+            t0 = float(vw[s0])
+            rtt = t2 - t1
+            if best is None or rtt < best.rtt:
+                best = OffsetMeasurement(
+                    worker=worker, worker_time=t0,
+                    offset=cristian_offset(t1, t0, t2),
+                    rtt=rtt, repeats=repeats,
+                )
+        results[worker] = best
+    return results
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_batch(world, worker, *, tracing=True, measure_offsets=True,
+              sync_repeats=10, tracing_initially=True, until=None):
+    """Execute ``worker`` through the batched fast path.
+
+    Returns the same :class:`repro.mpi.runtime.RunResult` the reference
+    engine would produce, bit for bit, or raises :class:`BatchFallback`
+    when identity cannot be guaranteed.
+    """
+    from repro.mpi.runtime import RunResult
+
+    if until is not None:
+        raise BatchFallback("run horizons need the event loop")
+    if world.periodic_sync_every > 0:
+        raise BatchFallback("periodic sync piggybacks on live collectives")
+    if world.congestion_alpha > 0.0:
+        raise BatchFallback("congestion couples latency to live queue state")
+    plan_fn = getattr(worker, "batch_plan", None)
+    batch_key = getattr(worker, "batch_key", None)
+    if plan_fn is None or batch_key is None:
+        raise BatchFallback("worker does not publish a batch plan")
+
+    key = (
+        batch_key, world.pinning.nranks, bool(tracing), bool(tracing_initially),
+        bool(measure_offsets), int(sync_repeats), world.mpi_regions,
+        world.record_cost, world.flush_cost, world.trace_buffer_capacity,
+        world.send_overhead, world.recv_overhead, world.spec.read_overhead,
+        world.jitter, world.fabric.seed,
+    )
+    plan = _compile(
+        world, plan_fn, key,
+        tracing=tracing, tracing_initially=tracing_initially,
+        measure=measure_offsets, sync_repeats=sync_repeats,
+    )
+
+    nranks = plan.nranks
+    locations = [world.pinning[r] for r in range(nranks)]
+    clocks = [world.ensemble.clock_for(loc) for loc in locations]
+    rng = world.fabric.generator("network")
+
+    read_times, match_ids, duration = _solve(plan, world, locations, rng)
+    read_values = _evaluate_clocks(read_times, clocks)
+    match_arr = np.array(match_ids, dtype=np.int64)
+
+    results = {
+        r: _build_result(plan.result_specs[r], read_values[r])
+        for r in range(nranks)
+    }
+    init_offsets = final_offsets = None
+    if measure_offsets:
+        init_offsets = _build_offsets(
+            plan.init_specs[0], plan.init_specs, read_values, sync_repeats
+        )
+        final_offsets = _build_offsets(
+            plan.final_specs[0], plan.final_specs, read_values, sync_repeats
+        )
+
+    trace = None
+    if tracing:
+        logs = {}
+        for r in range(nranks):
+            ev = plan.rank_events[r]
+            ts = read_values[r][ev.slot]
+            d = ev.d_static.copy()
+            if ev.send_rows.size:
+                d[ev.send_rows] = match_arr[ev.send_serials]
+            if ev.recv_rows.size:
+                d[ev.recv_rows] = match_arr[ev.recv_match_serials]
+            logs[r] = EventLog.from_arrays(ts, ev.et, ev.a, ev.b, ev.c, d)
+        meta = {
+            "machine": world.preset.machine.name,
+            "timer": world.spec.name,
+            "locations": [(loc.node, loc.chip, loc.core) for loc in locations],
+            "duration": duration,
+        }
+        if init_offsets is not None:
+            meta["init_offsets"] = {
+                str(r): (m.worker_time, m.offset) for r, m in init_offsets.items()
+            }
+        if final_offsets is not None:
+            meta["final_offsets"] = {
+                str(r): (m.worker_time, m.offset) for r, m in final_offsets.items()
+            }
+        trace = Trace(logs, meta=meta)
+
+    rng_states = {
+        "network": rng.bit_generator.state,
+        "clocks": {
+            r: (
+                clocks[r].rng.bit_generator.state
+                if clocks[r].rng is not None else None,
+                clocks[r]._last,
+            )
+            for r in range(nranks)
+        },
+    }
+    return RunResult(
+        trace=trace,
+        init_offsets=init_offsets,
+        final_offsets=final_offsets,
+        results=results,
+        duration=duration,
+        events_processed=plan.events_processed,
+        periodic_offsets=[],
+        engine="batch",
+        rng_states=rng_states,
+    )

@@ -66,5 +66,25 @@ class TraceBuffer:
             cost += self.flush_cost
         return cost
 
+    def append_batch(self, timestamps, etypes, a, b, c, d) -> float:
+        """Record N events at once; return the total CPU time charged.
+
+        Costs match N scalar :meth:`append` calls exactly: every record
+        charges ``record_cost`` and every capacity boundary crossed
+        mid-batch charges one ``flush_cost`` (and increments
+        :attr:`flushes`), starting from the current fill level.
+        """
+        n = len(timestamps)
+        self.log.extend(timestamps, etypes, a, b, c, d)
+        cost = n * self.record_cost
+        if self.capacity:
+            flushed = (self._since_flush + n) // self.capacity
+            self._since_flush = (self._since_flush + n) % self.capacity
+            self.flushes += flushed
+            cost += flushed * self.flush_cost
+        else:
+            self._since_flush += n
+        return cost
+
     def __len__(self) -> int:
         return len(self.log)

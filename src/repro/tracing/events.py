@@ -8,8 +8,9 @@ parallel-region enter/exit, implicit-barrier enter/exit).
 Records are held columnar — one numpy array per field — because every
 postmortem algorithm in :mod:`repro.sync` (interpolation, violation
 scans, CLC) operates on whole timestamp arrays at once.  During a
-simulation records accumulate in Python lists (cheap appends) and are
-frozen into arrays once at the end.
+simulation records accumulate directly in preallocated numpy columns
+that double in capacity when full (amortized O(1) appends); freezing
+merely slices zero-copy views of the filled prefix.
 
 Field meaning by event type (the four generic integer attributes
 ``a, b, c, d`` are interpreted per type, like OTF's record layouts):
@@ -126,23 +127,51 @@ class Event:
     d: int = 0
 
 
+#: Initial column capacity on the first append (doubles when full).
+_INITIAL_CAPACITY = 64
+
+#: (attribute, dtype) layout of the six columns, in record order.
+_COLUMNS = (
+    ("_ts", np.float64),
+    ("_et", np.int8),
+    ("_a", np.int64),
+    ("_b", np.int64),
+    ("_c", np.int64),
+    ("_d", np.int64),
+)
+
+
 class EventLog:
     """Columnar, append-then-freeze event storage for one rank.
 
-    Appends go to Python lists; :meth:`freeze` converts to numpy arrays
-    exactly once.  All read accessors implicitly freeze.
+    Appends write directly into preallocated numpy columns that double
+    in capacity when full (amortized O(1)); :meth:`freeze` slices
+    zero-copy views of the filled prefix.  All read accessors
+    implicitly freeze.
     """
 
-    __slots__ = ("_ts", "_et", "_a", "_b", "_c", "_d", "_frozen")
+    __slots__ = ("_ts", "_et", "_a", "_b", "_c", "_d", "_n", "_frozen")
 
     def __init__(self) -> None:
-        self._ts: list[float] | np.ndarray = []
-        self._et: list[int] | np.ndarray = []
-        self._a: list[int] | np.ndarray = []
-        self._b: list[int] | np.ndarray = []
-        self._c: list[int] | np.ndarray = []
-        self._d: list[int] | np.ndarray = []
+        for name, dtype in _COLUMNS:
+            setattr(self, name, np.empty(0, dtype=dtype))
+        self._n = 0
         self._frozen = False
+
+    def _reserve(self, extra: int) -> None:
+        """Grow every column so at least ``extra`` more records fit."""
+        need = self._n + extra
+        cap = len(self._ts)
+        if need <= cap:
+            return
+        new_cap = max(cap, _INITIAL_CAPACITY)
+        while new_cap < need:
+            new_cap *= 2
+        for name, dtype in _COLUMNS:
+            old = getattr(self, name)
+            grown = np.empty(new_cap, dtype=dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
 
     # ------------------------------------------------------------------
     def append(
@@ -151,22 +180,47 @@ class EventLog:
         """Record one event (only before freezing)."""
         if self._frozen:
             raise TraceError("cannot append to a frozen EventLog")
-        self._ts.append(timestamp)
-        self._et.append(int(etype))
-        self._a.append(a)
-        self._b.append(b)
-        self._c.append(c)
-        self._d.append(d)
+        n = self._n
+        if n >= len(self._ts):
+            self._reserve(1)
+        self._ts[n] = timestamp
+        self._et[n] = int(etype)
+        self._a[n] = a
+        self._b[n] = b
+        self._c[n] = c
+        self._d[n] = d
+        self._n = n + 1
+
+    def extend(
+        self,
+        timestamps: np.ndarray,
+        etypes: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        d: np.ndarray,
+    ) -> None:
+        """Append N records at once from parallel column arrays."""
+        if self._frozen:
+            raise TraceError("cannot append to a frozen EventLog")
+        k = len(timestamps)
+        if not all(len(col) == k for col in (etypes, a, b, c, d)):
+            raise TraceError("column length mismatch")
+        self._reserve(k)
+        n = self._n
+        for name, col in zip(
+            ("_ts", "_et", "_a", "_b", "_c", "_d"),
+            (timestamps, etypes, a, b, c, d),
+        ):
+            getattr(self, name)[n : n + k] = col
+        self._n = n + k
 
     def freeze(self) -> "EventLog":
-        """Convert to immutable columnar storage; idempotent."""
+        """Slice immutable zero-copy views of the columns; idempotent."""
         if not self._frozen:
-            self._ts = np.asarray(self._ts, dtype=np.float64)
-            self._et = np.asarray(self._et, dtype=np.int8)
-            self._a = np.asarray(self._a, dtype=np.int64)
-            self._b = np.asarray(self._b, dtype=np.int64)
-            self._c = np.asarray(self._c, dtype=np.int64)
-            self._d = np.asarray(self._d, dtype=np.int64)
+            n = self._n
+            for name, _ in _COLUMNS:
+                setattr(self, name, getattr(self, name)[:n])
             self._frozen = True
         return self
 
@@ -191,6 +245,7 @@ class EventLog:
         log._b = np.asarray(b, dtype=np.int64)
         log._c = np.asarray(c, dtype=np.int64)
         log._d = np.asarray(d, dtype=np.int64)
+        log._n = n
         log._frozen = True
         return log
 
@@ -223,7 +278,7 @@ class EventLog:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._ts)
+        return self._n
 
     def __getitem__(self, i: int) -> Event:
         self.freeze()

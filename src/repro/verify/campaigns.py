@@ -101,6 +101,13 @@ _campaign(
     (("quantization", "clock_quantization"),),
 )
 _campaign(
+    "batch",
+    "batch trace generator vs the discrete-event engine, bit for bit",
+    (("batch", "batch_matches_engine"),),
+    # Every example is two full simulator runs; keep the default cheap.
+    example_cap=25,
+)
+_campaign(
     "runner",
     "serial == parallel run_grid identity and typing resolution",
     (("unit", "run_grid_identity"), ("unit", "module_type_hints")),

@@ -42,6 +42,7 @@ __all__ = [
     "CaseSpec",
     "TraceCase",
     "BUILDERS",
+    "BATCH_WORKLOADS",
     "build_case",
     "clock_error",
     "grid_probe_job",
@@ -293,6 +294,25 @@ def _build_grid(spec: CaseSpec) -> TraceCase:
     return TraceCase(spec=spec, tags=frozenset({"grid", "unit"}))
 
 
+#: Workloads the batch fast path knows how to plan (kept in sync with
+#: the ``batch_plan`` attachments in :mod:`repro.workloads`).
+BATCH_WORKLOADS = (
+    "sparse", "pingpong", "collective_timing", "pop", "smg2000", "sweep3d",
+)
+
+
+def _build_batch(spec: CaseSpec) -> TraceCase:
+    p = spec.params
+    if p.get("workload") not in BATCH_WORKLOADS:
+        raise ConfigurationError(
+            f"batch case needs a workload in {BATCH_WORKLOADS}; "
+            f"got {p.get('workload')!r}"
+        )
+    if int(p.get("nranks", 2)) < 2:
+        raise ConfigurationError("batch cases need at least two ranks")
+    return TraceCase(spec=spec, tags=frozenset({"batch", "unit"}))
+
+
 def grid_probe_job(seed: int, n: int) -> list[float]:
     """Module-level job for run_grid identity checks (picklable)."""
     from repro.rng import RngFabric
@@ -311,6 +331,7 @@ BUILDERS: dict[str, Callable[[CaseSpec], TraceCase]] = {
     "clock_quantization": _build_clock_quantization,
     "module_hints": _build_module_hints,
     "grid": _build_grid,
+    "batch": _build_batch,
 }
 
 

@@ -63,6 +63,7 @@ __all__ = [
     "assert_topo_matches_replay",
     "assert_replay_matches_direct",
     "assert_scalar_matches_vector",
+    "assert_batch_matches_engine",
 ]
 
 
@@ -557,3 +558,165 @@ def _run_grid_identity(case: TraceCase) -> None:
     parallel = run_grid(grid_probe_job, grid, jobs=2)
     _require(serial == parallel,
              "parallel run_grid results differ from the serial run")
+
+
+# ----------------------------------------------------------------------
+# Batch fast path vs the discrete-event engine
+# ----------------------------------------------------------------------
+def _batch_world(params: dict):
+    """Build the :class:`MpiWorld` a batch equivalence spec describes."""
+    from repro.cluster import inter_chip, inter_core, inter_node, xeon_cluster
+    from repro.mpi.runtime import MpiWorld
+
+    preset = xeon_cluster()
+    nranks = int(params.get("nranks", 2))
+    pin = {"inter_node": inter_node, "inter_chip": inter_chip,
+           "inter_core": inter_core}[params.get("pinning", "inter_node")]
+    return MpiWorld(
+        preset,
+        pin(preset.machine, nranks),
+        timer=params.get("timer", "tsc"),
+        seed=int(params.get("seed", 0)),
+        duration_hint=float(params.get("duration_hint", 60.0)),
+        trace_buffer_capacity=int(params.get("trace_buffer_capacity", 0)),
+        mpi_regions=bool(params.get("mpi_regions", False)),
+    )
+
+
+def _batch_worker(params: dict):
+    """Build the workload worker a batch equivalence spec describes."""
+    kind = params.get("workload", "sparse")
+    nranks = int(params.get("nranks", 2))
+    seed = int(params.get("workload_seed", 0))
+    shape = params.get("shape") or {}
+    if kind == "sparse":
+        from repro.workloads.sparse import SparseConfig, sparse_worker
+        return sparse_worker(SparseConfig(
+            rounds=int(shape.get("rounds", 4)),
+            density=float(shape.get("density", 0.3)),
+            collective_every=int(shape.get("collective_every", 2)),
+        ), seed=seed)
+    if kind == "pingpong":
+        from repro.workloads.pingpong import pingpong_worker
+        return pingpong_worker(
+            repeats=int(shape.get("repeats", 4)),
+            nbytes=int(shape.get("nbytes", 64)),
+            warmup=int(shape.get("warmup", 1)),
+        )
+    if kind == "collective_timing":
+        from repro.workloads.pingpong import collective_timing_worker
+        return collective_timing_worker(
+            repeats=int(shape.get("repeats", 3)),
+            nbytes=int(shape.get("nbytes", 8)),
+            warmup=int(shape.get("warmup", 1)),
+        )
+    if kind == "pop":
+        from repro.workloads.pop import PopConfig, pop_worker
+        steps = int(shape.get("steps", 3))
+        window = shape.get("window")
+        return pop_worker(PopConfig(
+            steps=steps,
+            step_time=float(shape.get("step_time", 1e-3)),
+            trace_window=tuple(window) if window else None,
+            grid=(nranks, 1),
+            halo_bytes=int(shape.get("halo_bytes", 256)),
+            reductions_per_step=int(shape.get("reductions_per_step", 1)),
+            fast_forward=bool(shape.get("fast_forward", True)),
+        ), seed=seed)
+    if kind == "smg2000":
+        from repro.workloads.smg2000 import Smg2000Config, smg2000_worker
+        return smg2000_worker(Smg2000Config(
+            cycles=int(shape.get("cycles", 2)),
+            levels=shape.get("levels"),
+            smooth_time=float(shape.get("smooth_time", 1e-3)),
+            msg_bytes=int(shape.get("msg_bytes", 256)),
+            pre_sleep=float(shape.get("pre_sleep", 0.01)),
+            post_sleep=float(shape.get("post_sleep", 0.01)),
+        ), seed=seed)
+    if kind == "sweep3d":
+        from repro.workloads.sweep3d import Sweep3dConfig, sweep3d_worker
+        return sweep3d_worker(Sweep3dConfig(
+            iterations=int(shape.get("iterations", 2)),
+            grid=(nranks, 1),
+            cell_time=float(shape.get("cell_time", 1e-4)),
+            msg_bytes=int(shape.get("msg_bytes", 128)),
+        ), seed=seed)
+    raise OracleViolation(f"unknown batch workload {kind!r}")
+
+
+def _require_equal_offsets(a, b, label: str) -> None:
+    if a is None or b is None:
+        _require(a is None and b is None, f"{label} offsets present on one path only")
+        return
+    _require(set(a) == set(b), f"{label} offsets: worker sets differ")
+    for rank in a:
+        _require(a[rank] == b[rank],
+                 f"{label} offsets: worker {rank} differs ({a[rank]} vs {b[rank]})")
+
+
+def _require_equal_results(a: dict, b: dict) -> None:
+    _require(set(a) == set(b), "worker result rank sets differ")
+    for rank in a:
+        va, vb = a[rank], b[rank]
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            same = (isinstance(va, np.ndarray) and isinstance(vb, np.ndarray)
+                    and np.array_equal(va, vb))
+            _require(same, f"rank {rank}: result arrays differ")
+        else:
+            _require(va == vb, f"rank {rank}: results differ ({va!r} vs {vb!r})")
+
+
+def assert_batch_matches_engine(params: dict) -> str:
+    """Run one scenario under both engines and demand bit-identity.
+
+    Builds two independent worlds from ``params`` (so no RNG state
+    leaks between the runs), executes the reference discrete-event
+    engine and the batch fast path, and compares every observable:
+    trace columns, worker results, offset measurements, duration,
+    ``events_processed``, and the post-run RNG stream positions (the
+    proof that the fast path consumed every random stream exactly as
+    far as the engine did).  Returns the path the batch run actually
+    took (``"batch"``, or ``"reference"`` after a fallback).
+    """
+    kwargs = dict(
+        tracing=bool(params.get("tracing", True)),
+        measure_offsets=bool(params.get("measure_offsets", True)),
+        sync_repeats=int(params.get("sync_repeats", 3)),
+        tracing_initially=bool(params.get("tracing_initially", True)),
+    )
+    ref = _batch_world(params).run(_batch_worker(params), engine="reference", **kwargs)
+    bat = _batch_world(params).run(_batch_worker(params), engine="batch", **kwargs)
+
+    _require(bat.events_processed == ref.events_processed,
+             f"events_processed: {bat.events_processed} vs {ref.events_processed}")
+    _require(bat.duration == ref.duration,
+             f"duration differs by {abs(bat.duration - ref.duration):g}s")
+    if ref.trace is None or bat.trace is None:
+        _require(ref.trace is None and bat.trace is None,
+                 "trace present on one path only")
+    else:
+        _assert_traces_equal_bitwise(ref.trace, bat.trace, context="batch-vs-engine")
+        _require(ref.trace.meta == bat.trace.meta, "trace meta differs")
+    _require_equal_results(ref.results, bat.results)
+    _require_equal_offsets(ref.init_offsets, bat.init_offsets, "init")
+    _require_equal_offsets(ref.final_offsets, bat.final_offsets, "final")
+    _require(ref.periodic_offsets == bat.periodic_offsets,
+             "periodic offset sets differ")
+    _require(ref.rng_states == bat.rng_states,
+             "post-run RNG stream positions differ (stream consumption mismatch)")
+    return bat.engine
+
+
+@oracle(
+    "batch_matches_engine",
+    "The vectorized batch trace generator produces bit-identical runs "
+    "to the discrete-event engine: same trace columns, results, offset "
+    "measurements, duration, event count, and RNG stream positions.",
+    {"batch"},
+)
+def _batch_matches_engine(case: TraceCase) -> None:
+    taken = assert_batch_matches_engine(case.spec.params)
+    if case.spec.params.get("expect_engaged"):
+        _require(taken == "batch",
+                 "batch fast path fell back to the reference engine on a "
+                 "spec expected to engage it")

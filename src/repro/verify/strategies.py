@@ -32,6 +32,7 @@ __all__ = [
     "pomp_specs",
     "mixed_specs",
     "quantization_specs",
+    "batch_specs",
     "unit_specs",
     "adversarial_specs",
     "STRATEGIES",
@@ -213,6 +214,76 @@ def quantization_specs(draw):
 
 
 @st.composite
+def batch_specs(draw):
+    """Full-run engine-equivalence probes for the batch fast path.
+
+    Draws a built-in workload, a timer technology, a placement and the
+    run options that shape the event stream (tracing, offset
+    measurement, trace-buffer flushes, MPI-region events).  The oracle
+    runs the scenario under both engines and demands bit-identity;
+    specs with initial offset measurement additionally expect the fast
+    path to *engage* (the Cristian exchanges stagger the ranks, so none
+    of the tie-based fallbacks can fire).
+    """
+    from repro.verify.cases import BATCH_WORKLOADS
+
+    workload = draw(st.sampled_from(sorted(BATCH_WORKLOADS)))
+    pinning = draw(st.sampled_from(["inter_node", "inter_chip", "inter_core"]))
+    # Placement bounds come from the Xeon preset: 2 chips/node, 4
+    # cores/chip, plenty of nodes.
+    nranks = draw(st.integers(2, {"inter_chip": 2}.get(pinning, 4)))
+    if workload == "sparse":
+        shape = {
+            "rounds": draw(st.integers(1, 5)),
+            "density": draw(st.sampled_from([0.0, 0.25, 0.6])),
+            "collective_every": draw(st.sampled_from([0, 2])),
+        }
+    elif workload in ("pingpong", "collective_timing"):
+        shape = {
+            "repeats": draw(st.integers(1, 6)),
+            "nbytes": draw(st.sampled_from([0, 8, 1024])),
+            "warmup": draw(st.integers(0, 2)),
+        }
+    elif workload == "pop":
+        steps = draw(st.integers(1, 4))
+        window = draw(st.one_of(st.none(), st.just([0, steps])))
+        shape = {
+            "steps": steps,
+            "window": window,
+            "reductions_per_step": draw(st.integers(0, 2)),
+            "fast_forward": draw(st.booleans()),
+        }
+    elif workload == "smg2000":
+        shape = {
+            "cycles": draw(st.integers(1, 3)),
+            "levels": draw(st.one_of(st.none(), st.integers(1, 2))),
+            "pre_sleep": draw(st.sampled_from([0.0, 0.01])),
+            "post_sleep": draw(st.sampled_from([0.0, 0.01])),
+        }
+    else:  # sweep3d
+        shape = {"iterations": draw(st.integers(1, 3))}
+    measure_offsets = draw(st.booleans())
+    return CaseSpec("batch", {
+        "workload": workload,
+        "nranks": nranks,
+        "pinning": pinning,
+        "timer": draw(st.sampled_from([
+            "tsc", "timebase", "rtc", "gettimeofday", "mpi_wtime", "cycle",
+            "global",
+        ])),
+        "seed": draw(st.integers(0, 2**16)),
+        "workload_seed": draw(st.integers(0, 2**16)),
+        "tracing": draw(st.booleans()),
+        "measure_offsets": measure_offsets,
+        "sync_repeats": draw(st.integers(1, 4)),
+        "mpi_regions": draw(st.booleans()),
+        "trace_buffer_capacity": draw(st.sampled_from([0, 4])),
+        "shape": shape,
+        "expect_engaged": measure_offsets,
+    })
+
+
+@st.composite
 def unit_specs(draw):
     """Non-trace kinds: run_grid identity probes and typing resolution."""
     which = draw(st.sampled_from(["grid", "hints"]))
@@ -244,6 +315,7 @@ STRATEGIES: dict[str, object] = {
     "pomp": pomp_specs,
     "mixed": mixed_specs,
     "quantization": quantization_specs,
+    "batch": batch_specs,
     "unit": unit_specs,
     "adversarial": adversarial_specs,
 }

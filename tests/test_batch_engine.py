@@ -1,0 +1,147 @@
+"""Batch fast path vs discrete-event engine: bit-for-bit equivalence.
+
+The batch trace generator (repro.sim.batch) compiles the statically
+known communication structure of the built-in workloads into per-rank
+numpy timeline kernels; its contract is *bit-identity* with the engine
+— same timestamps, same event order, same RNG stream positions — so
+``engine="batch"`` can be substituted anywhere without changing a
+single figure.  The comparison itself is the shared
+:func:`repro.verify.oracles.assert_batch_matches_engine` invariant (the
+same code the ``batch`` fuzz campaign runs); these tests pin the
+deterministic matrix of every workload under every timer technology
+and additionally require the fast path to actually *engage* (not fall
+back) on each of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import examples
+from hypothesis import given
+
+from repro.clocks.factory import TIMER_TECHNOLOGIES
+from repro.cluster import inter_node, xeon_cluster
+from repro.errors import ConfigurationError
+from repro.mpi import MpiWorld
+from repro.sim.batch import BatchFallback, run_batch
+from repro.verify.cases import BATCH_WORKLOADS
+from repro.verify.oracles import assert_batch_matches_engine
+from repro.verify.strategies import batch_specs
+from repro.workloads import PopConfig, pop_worker
+
+
+def _params(workload: str, timer: str, **overrides) -> dict:
+    base = {
+        "workload": workload,
+        "nranks": 4,
+        "pinning": "inter_node",
+        "timer": timer,
+        "seed": 11,
+        "workload_seed": 3,
+        "tracing": True,
+        "measure_offsets": True,
+        "sync_repeats": 3,
+        "mpi_regions": True,
+        "trace_buffer_capacity": 8,
+        "shape": {},
+    }
+    base.update(overrides)
+    return base
+
+
+@pytest.mark.parametrize("timer", TIMER_TECHNOLOGIES)
+@pytest.mark.parametrize("workload", sorted(BATCH_WORKLOADS))
+def test_batch_engages_and_matches(workload, timer):
+    """Every built-in workload x every clock model: identical and engaged."""
+    taken = assert_batch_matches_engine(_params(workload, timer))
+    assert taken == "batch", f"{workload}/{timer} fell back to the engine"
+
+
+def test_batch_matches_without_tracing_or_offsets():
+    for overrides in (
+        {"tracing": False},
+        {"measure_offsets": False, "expect": None},
+        {"tracing": False, "measure_offsets": False, "expect": None},
+    ):
+        expect_engaged = overrides.pop("expect", "batch")
+        taken = assert_batch_matches_engine(
+            _params("sparse", "tsc", **overrides)
+        )
+        if expect_engaged is not None:
+            assert taken == expect_engaged
+
+
+@examples(15)
+@given(spec=batch_specs())
+def test_batch_fuzz_lite(spec):
+    """A tier-1 slice of the ``batch`` fuzz campaign's search space."""
+    taken = assert_batch_matches_engine(spec.params)
+    if spec.params.get("expect_engaged"):
+        assert taken == "batch"
+
+
+def _world(**kwargs) -> MpiWorld:
+    preset = xeon_cluster()
+    return MpiWorld(
+        preset, inter_node(preset.machine, 4), timer="tsc", seed=2,
+        duration_hint=60.0, **kwargs,
+    )
+
+
+class TestFallbacks:
+    """Dynamic structure must fall back — silently and identically."""
+
+    def test_unknown_engine_rejected(self):
+        from repro.workloads import SparseConfig, sparse_worker
+
+        with pytest.raises(ConfigurationError):
+            _world().run(sparse_worker(SparseConfig(rounds=1)), engine="turbo")
+
+    def test_until_falls_back(self):
+        from repro.workloads import SparseConfig, sparse_worker
+
+        result = _world().run(
+            sparse_worker(SparseConfig(rounds=2)), until=1e9, engine="batch"
+        )
+        assert result.engine == "reference"
+
+    def test_congestion_falls_back(self):
+        from repro.workloads import SparseConfig, sparse_worker
+
+        world = _world(congestion_alpha=0.5)
+        result = world.run(sparse_worker(SparseConfig(rounds=2)), engine="batch")
+        assert result.engine == "reference"
+
+    def test_subcommunicator_falls_back_identically(self):
+        """pop with row communicators plans a split -> BatchFallback,
+        and the fallback reruns the reference engine bit-identically."""
+        config = PopConfig(
+            steps=2, step_time=1e-3, trace_window=None, grid=(4, 1),
+            reductions_per_step=1, row_reductions=True,
+        )
+        ref = _world().run(pop_worker(config, seed=1), engine="reference")
+        bat = _world().run(pop_worker(config, seed=1), engine="batch")
+        assert bat.engine == "reference"
+        assert bat.duration == ref.duration
+        assert bat.events_processed == ref.events_processed
+        assert bat.rng_states == ref.rng_states
+
+    def test_fallback_raises_before_mutation(self):
+        """BatchFallback must surface before any shared state changes,
+        so the reference rerun starts from pristine RNG/clock state."""
+        config = PopConfig(
+            steps=1, step_time=1e-3, trace_window=None, grid=(4, 1),
+            row_reductions=True,
+        )
+        world = _world()
+        worker = pop_worker(config, seed=1)
+        with pytest.raises(BatchFallback):
+            run_batch(world, worker)
+        # The aborted attempt must leave the world exactly as a fresh
+        # one: the subsequent reference run has to be bit-identical to
+        # a run on a never-touched world.
+        after = world.run(worker, engine="reference")
+        pristine = _world().run(pop_worker(config, seed=1), engine="reference")
+        assert after.duration == pristine.duration
+        assert after.events_processed == pristine.events_processed
+        assert after.rng_states == pristine.rng_states

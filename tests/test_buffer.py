@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -43,6 +44,44 @@ class TestTraceBuffer:
             TraceBuffer(capacity=-1)
         with pytest.raises(ConfigurationError):
             TraceBuffer(record_cost=-1.0)
+
+    @pytest.mark.parametrize("capacity", [0, 1, 3, 4, 7])
+    @pytest.mark.parametrize("prefill", [0, 1, 2])
+    def test_append_batch_equals_scalar_appends(self, capacity, prefill):
+        """One append_batch == N appends: cost, flushes, fill, contents.
+
+        Dyadic costs make the total exactly representable, so the sum
+        of the scalar costs and the batched total must be equal as
+        floats, not just approximately.
+        """
+        record_cost, flush_cost = 2.0**-25, 2.0**-8
+        scalar = TraceBuffer(capacity, record_cost, flush_cost)
+        batched = TraceBuffer(capacity, record_cost, flush_cost)
+        prefill = min(prefill, max(capacity - 1, 0))
+        for i in range(prefill):
+            scalar.append(float(i), EventType.ENTER, a=i)
+            batched.append(float(i), EventType.ENTER, a=i)
+
+        n = 11
+        ts = [float(prefill + i) for i in range(n)]
+        ets = [EventType.SEND] * n
+        a = list(range(n))
+        b = [7] * n
+        c = [64] * n
+        d = list(range(100, 100 + n))
+        scalar_cost = sum(
+            scalar.append(ts[i], ets[i], a[i], b[i], c[i], d[i]) for i in range(n)
+        )
+        batch_cost = batched.append_batch(ts, ets, a, b, c, d)
+
+        assert batch_cost == scalar_cost
+        assert batched.flushes == scalar.flushes
+        assert batched._since_flush == scalar._since_flush
+        assert len(batched) == len(scalar)
+        for col in ("timestamps", "etypes", "a", "b", "c", "d"):
+            assert np.array_equal(
+                getattr(batched.log, col), getattr(scalar.log, col)
+            ), f"column {col} diverged"
 
 
 class TestTracer:

@@ -66,6 +66,14 @@ class TestConfigDigest:
             "mod.f", {}, version="1"
         )
 
+    def test_engine_is_path_only(self):
+        # Both simulation engines are bit-identical by contract, so the
+        # "engine" kwarg must not split cache entries: a grid re-run
+        # under the other engine has to hit everything the first stored.
+        base = config_digest(fn_a, {"x": 1}, version="1")
+        assert config_digest(fn_a, {"x": 1, "engine": "batch"}, version="1") == base
+        assert config_digest(fn_a, {"x": 1, "engine": "reference"}, version="1") == base
+
 
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):
