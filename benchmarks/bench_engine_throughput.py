@@ -11,8 +11,10 @@ from conftest import emit, record_metric
 
 from repro.cluster import inter_node, xeon_cluster
 from repro.mpi import MpiWorld
+from repro.options import RunOptions
 from repro.sync.clc import ControlledLogicalClock
 from repro.sync.violations import scan_messages
+from repro.telemetry import TelemetryRecorder
 from repro.workloads import (
     PopConfig,
     Smg2000Config,
@@ -85,7 +87,9 @@ def test_trace_generation(benchmark, request, workload, engine):
             preset, inter_node(preset.machine, 8), timer="tsc", seed=3,
             duration_hint=120.0,
         )
-        return world.run(make_worker(3), tracing=True, engine=engine)
+        return world.run(
+            make_worker(3), tracing=True, options=RunOptions(engine=engine)
+        )
 
     result = benchmark(run)
     assert result.engine == engine, f"{workload} fell back to {result.engine}"
@@ -108,6 +112,56 @@ def test_trace_generation(benchmark, request, workload, engine):
         )
     record_metric(request.node.name, **metrics)
     assert result.events_processed > 1000
+
+
+def test_telemetry_disabled_overhead(benchmark):
+    """Engine throughput with the telemetry plumbing in place but off.
+
+    The disabled mode's contract is zero overhead: instrumented call
+    sites reduce to one attribute check (``tele.enabled``), so this
+    gated ``events_per_second`` metric should track
+    ``test_engine_event_rate`` within noise.  The enabled-mode ratio is
+    recorded informationally (``enabled_overhead_pct``) and quoted in
+    docs/observability.md.
+    """
+
+    def run_disabled():
+        return make_run()
+
+    result = benchmark(run_disabled)
+    disabled_rate = result.events_processed / benchmark.stats["mean"]
+
+    # One untimed instrumented run per mode for the informational ratio;
+    # a single sample is noisy but cheap, and the gate is the disabled
+    # rate above, not this number.
+    import time
+
+    t0 = time.perf_counter()
+    preset = xeon_cluster()
+    world = MpiWorld(
+        preset, inter_node(preset.machine, 8), timer="tsc", seed=3,
+        duration_hint=60.0,
+    )
+    enabled = world.run(
+        sparse_worker(SparseConfig(rounds=40, density=0.4), seed=3),
+        options=RunOptions(telemetry=TelemetryRecorder()),
+    )
+    enabled_elapsed = time.perf_counter() - t0
+    enabled_rate = enabled.events_processed / enabled_elapsed
+    overhead_pct = 100.0 * (disabled_rate / enabled_rate - 1.0)
+
+    emit(
+        f"telemetry off: ~{disabled_rate / 1e3:.0f}k events/s; "
+        f"on: ~{enabled_rate / 1e3:.0f}k events/s "
+        f"(~{overhead_pct:+.1f}% single-sample overhead)"
+    )
+    record_metric(
+        "test_telemetry_disabled_overhead",
+        events_per_run=int(result.events_processed),
+        events_per_second=disabled_rate,
+        enabled_overhead_pct=overhead_pct,
+    )
+    assert result.events_processed == enabled.events_processed
 
 
 def test_message_matching_rate(benchmark):

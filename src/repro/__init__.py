@@ -12,10 +12,10 @@ forward/backward amortization and collective mapping.
 
 Quick start
 -----------
->>> from repro import TracingSession
+>>> from repro import RunOptions, TracingSession
 >>> from repro.workloads import SparseConfig, sparse_worker
->>> session = TracingSession(platform="xeon", nprocs=4, seed=7,
-...                          duration_hint=60.0)
+>>> session = TracingSession(platform="xeon", nprocs=4, duration_hint=60.0,
+...                          options=RunOptions(seed=7))
 >>> run = session.trace(sparse_worker(SparseConfig(rounds=5)))
 >>> report = session.synchronize(run)
 >>> report.stage("clc").total_violated
@@ -28,7 +28,19 @@ regeneration of every table and figure in the paper.
 from repro.core.api import TracingSession
 from repro.core.pipeline import PipelineReport, SyncPipeline
 from repro.errors import ReproError
+from repro.mpi.runtime import RunResult
+from repro.options import RunOptions
+from repro.telemetry import TelemetryRecorder
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
-__all__ = ["TracingSession", "SyncPipeline", "PipelineReport", "ReproError", "__version__"]
+__all__ = [
+    "TracingSession",
+    "SyncPipeline",
+    "PipelineReport",
+    "ReproError",
+    "RunOptions",
+    "RunResult",
+    "TelemetryRecorder",
+    "__version__",
+]

@@ -43,6 +43,7 @@ from repro.cluster.pinning import (
 from repro.errors import ConfigurationError
 from repro.mpi.runtime import MpiWorld
 from repro.openmp.team import OmpTeamConfig, run_parallel_for_benchmark
+from repro.options import _UNSET, RunOptions, resolve_options
 from repro.rng import RngFabric
 from repro.sync.clc import ControlledLogicalClock
 from repro.sync.interpolation import align_offsets, linear_interpolation
@@ -137,27 +138,39 @@ def _table2_row(
 
 
 def table2_latencies(
-    seed: int = 0,
+    seed: int = _UNSET,
     repeats: int = 1000,
     coll_repeats: int = 200,
-    jobs: int | None = None,
-    cache: ResultCache | None = None,
-    engine: str = "reference",
+    jobs: int | None = _UNSET,
+    cache: ResultCache | None = _UNSET,
+    engine: str = _UNSET,
+    *,
+    options: RunOptions | None = None,
+    telemetry=None,
 ) -> Table2Result:
     """Measured message and collective latencies per placement (Table II).
 
-    The four placements are independent simulations; ``jobs``/``cache``
-    fan them out / memoize them via :func:`repro.analysis.runner.run_grid`.
-    ``engine`` selects the simulation path; both are bit-identical, and
-    cache keys ignore it, so switching engines still hits prior entries.
+    The four placements are independent simulations; ``options.jobs`` /
+    ``options.cache`` fan them out / memoize them via
+    :func:`repro.analysis.runner.run_grid`.  ``options.engine`` selects
+    the simulation path; both are bit-identical, and cache keys ignore
+    it, so switching engines still hits prior entries.  The ``seed`` /
+    ``jobs`` / ``cache`` / ``engine`` keywords are deprecated shims.
     """
+    options = resolve_options(
+        options, caller="table2_latencies",
+        seed=seed, jobs=jobs, cache=cache, engine=engine,
+    )
+    seed = options.resolved_seed(0)
     grid = [
-        dict(kind="inter_node", seed=seed, repeats=repeats, engine=engine),
-        dict(kind="inter_chip", seed=seed, repeats=repeats, engine=engine),
-        dict(kind="inter_core", seed=seed, repeats=repeats, engine=engine),
-        dict(kind="collective", seed=seed, repeats=coll_repeats, engine=engine),
+        dict(kind="inter_node", seed=seed, repeats=repeats, engine=options.engine),
+        dict(kind="inter_chip", seed=seed, repeats=repeats, engine=options.engine),
+        dict(kind="inter_core", seed=seed, repeats=repeats, engine=options.engine),
+        dict(kind="collective", seed=seed, repeats=coll_repeats, engine=options.engine),
     ]
-    return Table2Result(rows=run_grid(_table2_row, grid, jobs=jobs, cache=cache))
+    return Table2Result(
+        rows=run_grid(_table2_row, grid, options=options, telemetry=telemetry)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -291,24 +304,32 @@ def fig4_timer_deviation(
 
 def fig4_all_panels(
     panels: tuple[str, ...] = ("a", "b", "c"),
-    seed: int = 0,
+    seed: int = _UNSET,
     nprocs: int = 4,
     probe_interval: float = 5.0,
-    jobs: int | None = None,
-    cache: ResultCache | None = None,
+    jobs: int | None = _UNSET,
+    cache: ResultCache | None = _UNSET,
+    *,
+    options: RunOptions | None = None,
+    telemetry=None,
 ) -> dict[str, DeviationResult]:
     """All Fig. 4 panels through the parallel runner.
 
     Panel "c" simulates an hour of drift; regenerating the whole figure
     serially is dominated by it, so the three panels run as independent
     :func:`repro.analysis.runner.run_grid` jobs (and cache hits make an
-    unchanged figure near-instant).
+    unchanged figure near-instant).  The ``seed`` / ``jobs`` / ``cache``
+    keywords are deprecated shims for ``options``.
     """
+    options = resolve_options(
+        options, caller="fig4_all_panels", seed=seed, jobs=jobs, cache=cache
+    )
     grid = [
-        dict(panel=p, seed=seed, nprocs=nprocs, probe_interval=probe_interval)
+        dict(panel=p, seed=options.resolved_seed(0), nprocs=nprocs,
+             probe_interval=probe_interval)
         for p in panels
     ]
-    results = run_grid(fig4_timer_deviation, grid, jobs=jobs, cache=cache)
+    results = run_grid(fig4_timer_deviation, grid, options=options, telemetry=telemetry)
     return dict(zip(panels, results))
 
 
@@ -391,10 +412,9 @@ class Fig7Result:
 
 def _grid_for(nprocs: int) -> tuple[int, int]:
     """Most-square 2-D factorization px * py == nprocs, px >= py."""
-    py = int(np.sqrt(nprocs))
-    while nprocs % py:
-        py -= 1
-    return (nprocs // py, py)
+    from repro.workloads import most_square_grid
+
+    return most_square_grid(nprocs)
 
 
 def _pop_config(scale: float, nprocs: int) -> PopConfig:
@@ -449,7 +469,10 @@ def _fig7_one_run(
         duration_hint=duration_hint,
         jitter=OsJitterModel(rate=10.0, mean_delay=5e-6),
     )
-    run = world.run(worker, tracing=True, tracing_initially=False, engine=engine)
+    run = world.run(
+        worker, tracing=True, tracing_initially=False,
+        options=RunOptions(engine=engine),
+    )
     corr = linear_interpolation(run.init_offsets, run.final_offsets)
     trace = corr.apply(run.trace)
     p2p = scan_messages(trace.messages(strict=False), lmin=0.0)
@@ -474,14 +497,17 @@ def _fig7_one_run(
 
 def fig7_app_violations(
     app: str = "pop",
-    seed: int = 0,
+    seed: int = _UNSET,
     runs: int = 3,
     nprocs: int = 32,
     scale: float = 0.1,
     timer: str = "tsc",
-    jobs: int | None = None,
-    cache: ResultCache | None = None,
-    engine: str = "reference",
+    jobs: int | None = _UNSET,
+    cache: ResultCache | None = _UNSET,
+    engine: str = _UNSET,
+    *,
+    options: RunOptions | None = None,
+    telemetry=None,
 ) -> Fig7Result:
     """Fig. 7: percentage of reversed messages in Scalasca-style traces.
 
@@ -492,22 +518,29 @@ def fig7_app_violations(
     ``runs`` repetitions.
 
     The repetitions are independent simulations with explicit per-rep
-    seeds, so they fan out over ``jobs`` worker processes with results
-    identical to a serial run; ``cache`` memoizes finished repetitions.
-    ``engine="batch"`` selects the vectorized trace generator — bit-
-    identical by contract, and invisible to cache keys, so a cached
-    figure regenerates from either engine's entries.
+    seeds, so they fan out over ``options.jobs`` worker processes with
+    results identical to a serial run; ``options.cache`` memoizes
+    finished repetitions.  ``engine="batch"`` selects the vectorized
+    trace generator — bit-identical by contract, and invisible to cache
+    keys, so a cached figure regenerates from either engine's entries.
+    The ``seed`` / ``jobs`` / ``cache`` / ``engine`` keywords are
+    deprecated shims for ``options``.
     """
     if app not in ("pop", "smg2000"):
         raise ConfigurationError(f"unknown app {app!r} (use 'pop' or 'smg2000')")
+    options = resolve_options(
+        options, caller="fig7_app_violations",
+        seed=seed, jobs=jobs, cache=cache, engine=engine,
+    )
+    seed = options.resolved_seed(0)
     grid = [
         dict(
             app=app, rep_seed=seed * 1000 + rep, nprocs=nprocs,
-            scale=scale, timer=timer, engine=engine,
+            scale=scale, timer=timer, engine=options.engine,
         )
         for rep in range(runs)
     ]
-    stats = run_grid(_fig7_one_run, grid, jobs=jobs, cache=cache)
+    stats = run_grid(_fig7_one_run, grid, options=options, telemetry=telemetry)
     return Fig7Result(app=app, runs=list(stats))
 
 
@@ -546,25 +579,33 @@ def _fig8_one_run(nthreads: int, run_seed: int, regions: int) -> PompRegionRepor
 
 def fig8_openmp_violations(
     threads: tuple[int, ...] = (4, 8, 12, 16),
-    seed: int = 1,
+    seed: int = _UNSET,
     runs: int = 3,
     regions: int = 200,
-    jobs: int | None = None,
-    cache: ResultCache | None = None,
+    jobs: int | None = _UNSET,
+    cache: ResultCache | None = _UNSET,
+    *,
+    options: RunOptions | None = None,
+    telemetry=None,
 ) -> Fig8Result:
     """Fig. 8: % of parallel regions with POMP violations vs threads.
 
     No offset alignment or interpolation is applied (paper's setup);
     numbers are averaged over ``runs`` seeds like the paper's three
     measurements.  The (thread count x repetition) grid fans out over
-    ``jobs`` workers deterministically.
+    ``options.jobs`` workers deterministically.  The ``seed`` / ``jobs``
+    / ``cache`` keywords are deprecated shims for ``options``.
     """
+    options = resolve_options(
+        options, caller="fig8_openmp_violations", seed=seed, jobs=jobs, cache=cache
+    )
+    seed = options.resolved_seed(1)
     grid = [
         dict(nthreads=n, run_seed=seed + rep, regions=regions)
         for n in threads
         for rep in range(runs)
     ]
-    flat = run_grid(_fig8_one_run, grid, jobs=jobs, cache=cache)
+    flat = run_grid(_fig8_one_run, grid, options=options, telemetry=telemetry)
     reports: dict[int, list[PompRegionReport]] = {
         n: flat[k * runs : (k + 1) * runs] for k, n in enumerate(threads)
     }
@@ -726,24 +767,33 @@ def _waitstate_job(
 
 
 def ext_waitstate_accuracy(
-    seed: int = 11,
+    seed: int = _UNSET,
     nprocs: int = 6,
     steps: int = 60,
     timer: str = "mpi_wtime",
-    jobs: int | None = None,
-    cache: ResultCache | None = None,
+    jobs: int | None = _UNSET,
+    cache: ResultCache | None = _UNSET,
+    *,
+    options: RunOptions | None = None,
+    telemetry=None,
 ) -> WaitstateAccuracyResult:
     """Quantify the paper's "false conclusions": Late Sender analysis on
     ground truth vs. raw / interpolated / CLC-corrected timestamps.
 
     The ground-truth and measured simulations are independent worlds
-    with the same seed, so they run as two :func:`run_grid` jobs.
+    with the same seed, so they run as two :func:`run_grid` jobs.  The
+    ``seed`` / ``jobs`` / ``cache`` keywords are deprecated shims for
+    ``options``.
     """
+    options = resolve_options(
+        options, caller="ext_waitstate_accuracy", seed=seed, jobs=jobs, cache=cache
+    )
+    seed = options.resolved_seed(11)
     grid = [
         dict(mode="truth", timer=timer, seed=seed, nprocs=nprocs, steps=steps),
         dict(mode="measured", timer=timer, seed=seed, nprocs=nprocs, steps=steps),
     ]
-    truth, schemes = run_grid(_waitstate_job, grid, jobs=jobs, cache=cache)
+    truth, schemes = run_grid(_waitstate_job, grid, options=options, telemetry=telemetry)
 
     return WaitstateAccuracyResult(
         truth_total=truth.total,

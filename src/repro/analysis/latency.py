@@ -22,6 +22,7 @@ import numpy as np
 from repro.cluster.machines import ClusterPreset
 from repro.cluster.pinning import Pinning
 from repro.mpi.runtime import MpiWorld
+from repro.options import RunOptions
 from repro.workloads.pingpong import collective_timing_worker, pingpong_worker
 
 __all__ = ["LatencyStats", "measure_latency", "measure_collective_latency"]
@@ -66,6 +67,7 @@ def measure_latency(
     timer: str | None = None,
     label: str | None = None,
     engine: str = "reference",
+    telemetry=None,
 ) -> LatencyStats:
     """One-way message latency between ranks 0 and 1 of ``pinning``."""
     world = MpiWorld(
@@ -79,7 +81,7 @@ def measure_latency(
         pingpong_worker(repeats=repeats, nbytes=nbytes),
         tracing=False,
         measure_offsets=False,
-        engine=engine,
+        options=RunOptions(engine=engine, telemetry=telemetry),
     )
     samples = result.results[0]
     floor = world.min_latency(0, 1, nbytes)
@@ -95,6 +97,7 @@ def measure_collective_latency(
     timer: str | None = None,
     label: str | None = None,
     engine: str = "reference",
+    telemetry=None,
 ) -> LatencyStats:
     """Allreduce completion latency over all ranks of ``pinning``."""
     world = MpiWorld(
@@ -108,7 +111,7 @@ def measure_collective_latency(
         collective_timing_worker(repeats=repeats, nbytes=nbytes),
         tracing=False,
         measure_offsets=False,
-        engine=engine,
+        options=RunOptions(engine=engine, telemetry=telemetry),
     )
     samples = result.results[0]
     floor = world.min_latency(0, 1, nbytes)

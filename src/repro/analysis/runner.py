@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from time import perf_counter
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.cache import ResultCache
 from repro.errors import ConfigurationError
+from repro.options import _UNSET, RunOptions, resolve_options
 from repro.rng import stable_hash32
 
 __all__ = ["run_grid", "derive_seed", "resolve_jobs", "seed_grid"]
@@ -69,22 +71,31 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def _call(func: Callable[..., Any], kwargs: dict[str, Any],
-          cache_root, cache_version) -> Any:
-    """Worker-side job body: compute and (best-effort) write through."""
+          cache_root, cache_version) -> tuple[Any, float]:
+    """Worker-side job body: compute and (best-effort) write through.
+
+    Returns ``(value, elapsed_seconds)`` so the parent can account
+    per-job wall time and worker utilization without clock skew games
+    (each worker times itself).
+    """
+    start = perf_counter()
     value = func(**kwargs)
+    elapsed = perf_counter() - start
     if cache_root is not None:
         cache = ResultCache(cache_root, version=cache_version)
         cache.store(cache.key(func, kwargs), value)
-    return value
+    return value, elapsed
 
 
 def run_grid(
     func: Callable[..., Any],
     grid: Sequence[dict[str, Any]],
     *,
-    jobs: Optional[int] = None,
-    cache: Optional[ResultCache] = None,
+    jobs: Optional[int] = _UNSET,
+    cache: Optional[ResultCache] = _UNSET,
     on_result: Optional[Callable[[int, Any], None]] = None,
+    options: Optional[RunOptions] = None,
+    telemetry=None,
 ) -> list[Any]:
     """Run ``func(**cfg)`` for every ``cfg`` in ``grid``.
 
@@ -96,9 +107,11 @@ def run_grid(
         Sequence of keyword-argument dicts, one per job.  Results come
         back as a list aligned with this sequence.
     jobs:
+        Deprecated — pass ``options=RunOptions(jobs=...)``.
         ``None``/``1`` runs in-process (serial); ``N > 1`` fans out over
         a process pool of ``N`` workers; ``0`` uses every core.
     cache:
+        Deprecated — pass ``options=RunOptions(cache=...)``.
         Optional :class:`ResultCache`.  Hits skip execution entirely;
         misses are stored after computing (both in the parent and, for
         crash resilience, by the worker that produced them).
@@ -106,6 +119,15 @@ def run_grid(
         Optional callback ``(index, result)`` invoked as each job
         finishes (completion order, not grid order) — for progress
         reporting.
+    options:
+        A :class:`repro.options.RunOptions`; ``jobs``, ``cache``, and
+        ``telemetry`` are consulted here.
+    telemetry:
+        A :class:`repro.telemetry.TelemetryRecorder`; overrides
+        ``options.telemetry`` when both are given.  The recorder is also
+        attached to the cache for load/store latencies, and collects
+        ``runner.job`` wall-time observations plus a
+        ``runner.worker_utilization`` gauge for pool runs.
 
     Returns
     -------
@@ -113,47 +135,78 @@ def run_grid(
         ``[func(**grid[0]), func(**grid[1]), ...]`` — identical for any
         ``jobs`` value.
     """
+    options = resolve_options(options, caller="run_grid", jobs=jobs, cache=cache)
+    tele = telemetry if telemetry is not None else options.telemetry_or_null
+    jobs, cache = options.jobs, options.cache
+    if cache is not None and tele.enabled:
+        cache.telemetry = tele
+
     configs = [dict(cfg) for cfg in grid]
     results: list[Any] = [None] * len(configs)
     pending = list(range(len(configs)))
 
-    if cache is not None:
-        still_pending = []
-        for i in pending:
-            hit, value = cache.load(cache.key(func, configs[i]))
-            if hit:
+    with tele.span("runner.run_grid", func=_func_label(func), njobs=len(configs)) as grid_span:
+        if cache is not None:
+            still_pending = []
+            for i in pending:
+                hit, value = cache.load(cache.key(func, configs[i]))
+                if hit:
+                    results[i] = value
+                    if on_result is not None:
+                        on_result(i, value)
+                else:
+                    still_pending.append(i)
+            pending = still_pending
+            if tele.enabled:
+                tele.count("runner.jobs_from_cache", len(configs) - len(pending))
+
+        nworkers = min(resolve_jobs(jobs), max(len(pending), 1))
+        if nworkers <= 1 or len(pending) <= 1:
+            for i in pending:
+                if tele.enabled:
+                    start = perf_counter()
+                value = func(**configs[i])
+                if tele.enabled:
+                    tele.observe("runner.job", perf_counter() - start)
+                    tele.count("runner.jobs_executed")
+                if cache is not None:
+                    cache.store(cache.key(func, configs[i]), value)
                 results[i] = value
                 if on_result is not None:
                     on_result(i, value)
-            else:
-                still_pending.append(i)
-        pending = still_pending
+            return results
 
-    nworkers = min(resolve_jobs(jobs), max(len(pending), 1))
-    if nworkers <= 1 or len(pending) <= 1:
-        for i in pending:
-            value = func(**configs[i])
-            if cache is not None:
-                cache.store(cache.key(func, configs[i]), value)
-            results[i] = value
-            if on_result is not None:
-                on_result(i, value)
-        return results
-
-    cache_root = str(cache.root) if cache is not None else None
-    cache_version = cache.version if cache is not None else None
-    with ProcessPoolExecutor(max_workers=nworkers) as pool:
-        futures = {
-            pool.submit(_call, func, configs[i], cache_root, cache_version): i
-            for i in pending
-        }
-        outstanding = set(futures)
-        while outstanding:
-            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-            for fut in done:
-                i = futures[fut]
-                value = fut.result()  # re-raises worker exceptions here
-                results[i] = value
-                if on_result is not None:
-                    on_result(i, value)
+        cache_root = str(cache.root) if cache is not None else None
+        cache_version = cache.version if cache is not None else None
+        busy = 0.0
+        pool_start = perf_counter() if tele.enabled else 0.0
+        with ProcessPoolExecutor(max_workers=nworkers) as pool:
+            futures = {
+                pool.submit(_call, func, configs[i], cache_root, cache_version): i
+                for i in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i = futures[fut]
+                    value, elapsed = fut.result()  # re-raises worker exceptions here
+                    if tele.enabled:
+                        busy += elapsed
+                        tele.observe("runner.job", elapsed)
+                        tele.count("runner.jobs_executed")
+                    results[i] = value
+                    if on_result is not None:
+                        on_result(i, value)
+        if tele.enabled:
+            # Fraction of worker-seconds actually spent inside jobs; the
+            # rest is pool startup, pickling, and scheduling slack.
+            wall = perf_counter() - pool_start
+            if wall > 0:
+                tele.gauge("runner.worker_utilization", busy / (nworkers * wall))
+            grid_span.set(workers=nworkers)
     return results
+
+
+def _func_label(func: Callable[..., Any]) -> str:
+    return getattr(func, "__qualname__", repr(func))

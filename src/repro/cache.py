@@ -34,11 +34,13 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Callable, Optional, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry import ensure_telemetry
 
 __all__ = [
     "ResultCache",
@@ -144,11 +146,24 @@ class ResultCache:
         :data:`repro.__version__`, so upgrading the package invalidates
         all prior entries.
 
+    telemetry:
+        A :class:`repro.telemetry.TelemetryRecorder` (or ``None``).
+        When recording, every load/store also lands as ``cache.hit`` /
+        ``cache.miss`` / ``cache.store`` counters plus latency timings
+        (``cache.load.hit``, ``cache.load.miss``, ``cache.store``).
+        :func:`repro.analysis.runner.run_grid` attaches its recorder
+        here automatically.
+
     Counters ``hits`` / ``misses`` / ``stores`` track usage for
     reporting (e.g. the CLI prints them after a cached regeneration).
     """
 
-    def __init__(self, root: Union[str, Path, None] = None, version: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        version: Optional[str] = None,
+        telemetry=None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         if version is None:
             from repro import __version__ as version
@@ -156,6 +171,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.telemetry = ensure_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     def key(self, func: Union[str, Callable[..., Any]], config: dict[str, Any]) -> str:
@@ -168,12 +184,15 @@ class ResultCache:
     # ------------------------------------------------------------------
     def load(self, digest: str) -> tuple[bool, Any]:
         """Return ``(hit, value)``; corrupt entries are dropped and miss."""
+        tele = self.telemetry
+        start = perf_counter() if tele.enabled else 0.0
         path = self.path_for(digest)
         try:
             with path.open("rb") as fh:
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            self._note_load(tele, start, hit=False)
             return False, None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
             # Truncated write, unreadable file, or a payload whose class
@@ -183,9 +202,18 @@ class ResultCache:
             except OSError:
                 pass
             self.misses += 1
+            self._note_load(tele, start, hit=False)
             return False, None
         self.hits += 1
+        self._note_load(tele, start, hit=True)
         return True, value
+
+    @staticmethod
+    def _note_load(tele, start: float, *, hit: bool) -> None:
+        if tele.enabled:
+            outcome = "hit" if hit else "miss"
+            tele.count(f"cache.{outcome}")
+            tele.observe(f"cache.load.{outcome}", perf_counter() - start)
 
     def store(self, digest: str, value: Any) -> bool:
         """Atomically persist ``value``; returns False if unpicklable.
@@ -194,6 +222,8 @@ class ResultCache:
         returns False — caching degrades to recomputation, it never
         takes the experiment down.
         """
+        tele = self.telemetry
+        start = perf_counter() if tele.enabled else 0.0
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except (pickle.PicklingError, TypeError, AttributeError):
@@ -214,6 +244,9 @@ class ResultCache:
                 pass
             return False
         self.stores += 1
+        if tele.enabled:
+            tele.count("cache.store")
+            tele.observe("cache.store", perf_counter() - start)
         return True
 
     # ------------------------------------------------------------------

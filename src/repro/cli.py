@@ -8,7 +8,8 @@ Six subcommands cover the tool loop without writing Python:
 * ``sync``     — correct a trace file (interpolation and/or CLC) and
   write the result;
 * ``report``   — summarize a trace: events, messages, collectives,
-  violation rates, optional ASCII timeline;
+  violation rates, optional ASCII timeline; or render a telemetry
+  export (``--telemetry``);
 * ``figures``  — regenerate paper figures/tables through the parallel
   runner (``--jobs N``) with on-disk result caching (``--no-cache`` to
   disable, ``--cache-dir`` to relocate);
@@ -16,6 +17,11 @@ Six subcommands cover the tool loop without writing Python:
   (``--campaign``, repeatable), serialize shrunken failures into the
   corpus (``--corpus-dir``), or replay the committed corpus
   (``--replay``); see docs/testing.md.
+
+``simulate``, ``sync``, ``figures`` and ``verify`` accept
+``--telemetry PATH`` to record run-wide spans/counters and write them
+as JSONL (render with ``repro report --telemetry PATH``); see
+docs/observability.md.
 
 Examples
 --------
@@ -26,7 +32,8 @@ Examples
     python -m repro.cli scan pop.npz
     python -m repro.cli sync pop.npz --clc -o pop_fixed.npz
     python -m repro.cli report pop_fixed.npz --timeline
-    python -m repro.cli figures fig7 fig8 --jobs 4
+    python -m repro.cli figures fig7 fig8 --jobs 4 --telemetry figs.tele.jsonl
+    python -m repro.cli report --telemetry figs.tele.jsonl
     python -m repro.cli verify --campaign smoke --max-examples 25
     python -m repro.cli verify --replay
 """
@@ -34,11 +41,7 @@ Examples
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from pathlib import Path
-
-import numpy as np
 
 from repro.analysis.timeline import render_message_arrows, render_timeline
 from repro.cluster.jitter import OsJitterModel
@@ -46,6 +49,7 @@ from repro.cluster.pinning import inter_node, scheduler_default
 from repro.core.api import PLATFORMS
 from repro.errors import ReproError
 from repro.mpi.runtime import MpiWorld
+from repro.options import ENGINES, RunOptions
 from repro.rng import RngFabric
 from repro.sync.clc import ControlledLogicalClock
 from repro.sync.interpolation import align_offsets, linear_interpolation
@@ -53,11 +57,19 @@ from repro.sync.offset import OffsetMeasurement
 from repro.sync.violations import scan_collectives, scan_messages
 from repro.tracing.reader import read_trace
 from repro.tracing.writer import write_trace
+from repro.workloads import WORKLOADS, build_workload
 
 __all__ = ["main", "build_parser", "FIGURE_TARGETS"]
 
 #: ``figures`` subcommand targets -> renderer (defined below).
 FIGURE_TARGETS = ("table2", "fig4", "fig7", "fig8", "waitstates")
+
+
+def _add_telemetry_arg(sub) -> None:
+    sub.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="record run telemetry (spans/counters) and write JSONL here",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,19 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="run a workload and write its trace")
-    sim.add_argument("--workload", choices=["pop", "smg2000", "sparse"], default="sparse")
+    sim.add_argument("--workload", choices=sorted(WORKLOADS), default="sparse")
     sim.add_argument("--platform", choices=sorted(PLATFORMS), default="xeon")
     sim.add_argument("--nprocs", type=int, default=8)
     sim.add_argument("--timer", default=None, help="timer technology (default: platform's)")
     sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--scale", type=float, default=0.02, help="workload scale (pop/smg)")
+    sim.add_argument("--scale", type=float, default=0.02, help="workload scale knob")
     sim.add_argument("--placement", choices=["spread", "scheduler"], default="scheduler")
     sim.add_argument(
-        "--engine", choices=["reference", "batch"], default="reference",
+        "--engine", choices=list(ENGINES), default="reference",
         help="simulation path: the discrete-event engine, or the "
         "vectorized batch fast path (bit-identical; falls back to the "
         "engine when the workload's structure is dynamic)",
     )
+    _add_telemetry_arg(sim)
     sim.add_argument("-o", "--output", required=True, help=".npz or .jsonl trace path")
 
     scan = sub.add_parser("scan", help="count clock-condition violations")
@@ -101,11 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--clc", action="store_true", help="apply the controlled logical clock")
     sync.add_argument("--gamma", type=float, default=0.99)
     sync.add_argument("--lmin", type=float, default=0.0)
+    _add_telemetry_arg(sync)
 
-    rep = sub.add_parser("report", help="summarize a trace")
-    rep.add_argument("trace", help="trace file")
+    rep = sub.add_parser("report", help="summarize a trace or a telemetry export")
+    rep.add_argument("trace", nargs="?", default=None, help="trace file")
     rep.add_argument("--timeline", action="store_true", help="render an ASCII timeline")
     rep.add_argument("--arrows", type=int, default=0, help="list up to N messages")
+    rep.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="render a telemetry JSONL export (span tree + counters)",
+    )
 
     figs = sub.add_parser(
         "figures",
@@ -136,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     figs.add_argument(
         "--runs", type=int, default=3, help="repetitions for fig7/fig8 (default 3)"
     )
+    figs.add_argument(
+        "--engine", choices=list(ENGINES), default="reference",
+        help="simulation path for the underlying runs (bit-identical)",
+    )
+    _add_telemetry_arg(figs)
 
     ver = sub.add_parser(
         "verify",
@@ -162,11 +185,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", dest="list_catalog",
         help="list campaigns and oracles, then exit",
     )
+    _add_telemetry_arg(ver)
 
     return parser
 
 
 # ----------------------------------------------------------------------
+def _telemetry_for(args):
+    """A live recorder when ``--telemetry PATH`` was given, else None."""
+    if getattr(args, "telemetry", None) is None:
+        return None
+    from repro.telemetry import TelemetryRecorder
+
+    return TelemetryRecorder()
+
+
+def _flush_telemetry(args, recorder) -> None:
+    if recorder is None:
+        return
+    from repro.telemetry import write_jsonl
+
+    path = write_jsonl(recorder, args.telemetry)
+    print(f"telemetry: wrote {path}")
+
+
 def _cmd_simulate(args) -> int:
     preset = PLATFORMS[args.platform]()
     if args.placement == "spread":
@@ -176,50 +218,31 @@ def _cmd_simulate(args) -> int:
             preset.machine, args.nprocs, RngFabric(args.seed).generator("placement")
         )
 
-    if args.workload == "pop":
-        from repro.analysis.experiments import _grid_for
-        from repro.workloads.pop import PopConfig, pop_worker
-
-        steps = max(int(9000 * args.scale), 20)
-        cfg = PopConfig(
-            steps=steps,
-            step_time=0.165 * 9000 / steps,
-            trace_window=(int(steps * 3500 / 9000), int(steps * 5500 / 9000)),
-            grid=_grid_for(args.nprocs),
-        )
-        worker = pop_worker(cfg, seed=args.seed)
-        duration_hint = cfg.steps * cfg.step_time * 1.2 + 60.0
-        tracing_initially = False
-    elif args.workload == "smg2000":
-        from repro.workloads.smg2000 import Smg2000Config, smg2000_worker
-
-        cfg = Smg2000Config(cycles=max(int(5 * max(args.scale * 10, 0.2)), 1))
-        worker = smg2000_worker(cfg, seed=args.seed)
-        duration_hint = cfg.pre_sleep + cfg.post_sleep + 240.0
-        tracing_initially = False
-    else:
-        from repro.workloads.sparse import SparseConfig, sparse_worker
-
-        worker = sparse_worker(SparseConfig(rounds=max(int(100 * args.scale), 5)),
-                               seed=args.seed)
-        duration_hint = 120.0
-        tracing_initially = True
-
+    built = build_workload(args.workload, args.nprocs, args.scale, args.seed)
+    recorder = _telemetry_for(args)
     world = MpiWorld(
         preset,
         pinning,
         timer=args.timer,
         seed=args.seed,
-        duration_hint=duration_hint,
+        duration_hint=built.duration_hint,
         jitter=OsJitterModel(rate=10.0, mean_delay=5e-6),
     )
-    run = world.run(worker, tracing_initially=tracing_initially, engine=args.engine)
+    run = world.run(
+        built.worker,
+        tracing_initially=built.tracing_initially,
+        options=RunOptions(engine=args.engine, telemetry=recorder),
+    )
     path = write_trace(run.trace, args.output)
+    engine_note = run.engine
+    if run.fallback_reason:
+        engine_note += f", fell back: {run.fallback_reason}"
     print(
         f"wrote {path}: {run.trace.total_events()} events, "
-        f"{run.duration:.3f} s simulated ({run.engine} engine), "
+        f"{run.duration:.3f} s simulated ({engine_note}), "
         "offsets measured at init+finalize"
     )
+    _flush_telemetry(args, recorder)
     return 0
 
 
@@ -249,6 +272,7 @@ def _cmd_scan(args) -> int:
 
 
 def _cmd_sync(args) -> int:
+    recorder = _telemetry_for(args)
     trace = read_trace(args.trace)
     if args.interpolation in ("hull", "regression", "minmax"):
         from repro.sync.error_estimation import synchronize_by_spanning_tree
@@ -280,7 +304,9 @@ def _cmd_sync(args) -> int:
         trace = correction.apply(trace)
         print(f"applied {args.interpolation} interpolation")
     if args.clc:
-        result = ControlledLogicalClock(gamma=args.gamma).correct(trace, lmin=args.lmin)
+        result = ControlledLogicalClock(
+            gamma=args.gamma, telemetry=recorder
+        ).correct(trace, lmin=args.lmin)
         trace = result.trace
         print(
             f"applied CLC: {result.jumps} jumps, max shift "
@@ -288,10 +314,21 @@ def _cmd_sync(args) -> int:
         )
     path = write_trace(trace, args.output)
     print(f"wrote {path}")
+    _flush_telemetry(args, recorder)
     return 0
 
 
 def _cmd_report(args) -> int:
+    if args.telemetry is not None:
+        from repro.telemetry import load_jsonl, render_report
+
+        print(render_report(load_jsonl(args.telemetry)), end="")
+        if args.trace is None:
+            return 0
+        print()
+    if args.trace is None:
+        print("error: give a trace file and/or --telemetry PATH", file=sys.stderr)
+        return 2
     trace = read_trace(args.trace)
     counts = trace.event_counts()
     msgs = trace.messages(strict=False)
@@ -315,21 +352,19 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _fig_table2(args, jobs, cache) -> None:
+def _fig_table2(args, options) -> None:
     from repro.analysis.experiments import table2_latencies
 
-    seed = 0 if args.seed is None else args.seed
-    result = table2_latencies(seed=seed, jobs=jobs, cache=cache)
+    result = table2_latencies(options=options)
     print("Table II — measured latencies per placement")
     for row in result.rows:
         print(f"  {row}")
 
 
-def _fig_fig4(args, jobs, cache) -> None:
+def _fig_fig4(args, options) -> None:
     from repro.analysis.experiments import fig4_all_panels
 
-    seed = 0 if args.seed is None else args.seed
-    results = fig4_all_panels(seed=seed, jobs=jobs, cache=cache)
+    results = fig4_all_panels(options=options)
     print("Fig. 4 — deviation after initial offset alignment")
     for panel, res in results.items():
         print(
@@ -339,13 +374,12 @@ def _fig_fig4(args, jobs, cache) -> None:
         )
 
 
-def _fig_fig7(args, jobs, cache) -> None:
+def _fig_fig7(args, options) -> None:
     from repro.analysis.experiments import fig7_app_violations
 
-    seed = 0 if args.seed is None else args.seed
     for app in ("pop", "smg2000"):
         result = fig7_app_violations(
-            app=app, seed=seed, runs=args.runs, scale=args.scale, jobs=jobs, cache=cache
+            app=app, runs=args.runs, scale=args.scale, options=options
         )
         print(f"Fig. 7 — {app}: {args.runs} runs")
         for i, run in enumerate(result.runs):
@@ -359,22 +393,20 @@ def _fig_fig7(args, jobs, cache) -> None:
         )
 
 
-def _fig_fig8(args, jobs, cache) -> None:
+def _fig_fig8(args, options) -> None:
     from repro.analysis.experiments import fig8_openmp_violations
 
-    seed = 1 if args.seed is None else args.seed
-    result = fig8_openmp_violations(seed=seed, runs=args.runs, jobs=jobs, cache=cache)
+    result = fig8_openmp_violations(runs=args.runs, options=options)
     print("Fig. 8 — POMP violations vs thread count (mean % of regions)")
     print("  threads     any   entry    exit barrier")
     for n, any_, entry, exit_, barr in result.rows():
         print(f"  {n:7d} {any_:7.2f} {entry:7.2f} {exit_:7.2f} {barr:7.2f}")
 
 
-def _fig_waitstates(args, jobs, cache) -> None:
+def _fig_waitstates(args, options) -> None:
     from repro.analysis.experiments import ext_waitstate_accuracy
 
-    seed = 11 if args.seed is None else args.seed
-    result = ext_waitstate_accuracy(seed=seed, jobs=jobs, cache=cache)
+    result = ext_waitstate_accuracy(options=options)
     print("Wait-state accuracy — Late Sender totals vs ground truth")
     print(f"  truth: {result.truth_total * 1e3:.3f} ms")
     for scheme in ("raw", "linear", "clc"):
@@ -400,14 +432,20 @@ def _cmd_figures(args) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    recorder = _telemetry_for(args)
+    options = RunOptions(
+        engine=args.engine, jobs=args.jobs, cache=cache,
+        seed=args.seed, telemetry=recorder,
+    )
     targets = list(FIGURE_TARGETS) if "all" in args.targets else args.targets
     for target in dict.fromkeys(targets):  # dedupe, keep order
-        _FIGURE_RENDERERS[target](args, args.jobs, cache)
+        _FIGURE_RENDERERS[target](args, options)
     if cache is not None:
         print(
             f"cache: {cache.hits} hits, {cache.misses} misses "
             f"({cache.root})"
         )
+    _flush_telemetry(args, recorder)
     return 0
 
 
@@ -437,6 +475,7 @@ def _cmd_verify(args) -> int:
         print(f"corpus {corpus_dir}: {len(results)} entries, {failed} failures")
         return 1 if failed else 0
 
+    recorder = _telemetry_for(args)
     names = args.campaign or ["smoke"]
     rc = 0
     for name in dict.fromkeys(names):  # dedupe, keep order
@@ -445,6 +484,7 @@ def _cmd_verify(args) -> int:
             max_examples=args.max_examples,
             corpus_dir=args.corpus_dir,
             seed=args.seed,
+            telemetry=recorder,
         )
         print(result.summary())
         for failure in result.failures:
@@ -453,6 +493,7 @@ def _cmd_verify(args) -> int:
             print(f"       spec: {failure.spec.to_json()}")
             if failure.corpus_path:
                 print(f"       saved: {failure.corpus_path}")
+    _flush_telemetry(args, recorder)
     return rc
 
 

@@ -3,10 +3,11 @@
 Bundles platform selection, placement, timer choice, tracing, and
 synchronization behind a handful of calls::
 
-    from repro import TracingSession
+    from repro import RunOptions, TracingSession
     from repro.workloads import PopConfig, pop_worker
 
-    session = TracingSession(platform="xeon", nprocs=8, timer="tsc", seed=42)
+    session = TracingSession(platform="xeon", nprocs=8, timer="tsc",
+                             options=RunOptions(seed=42))
     run = session.trace(pop_worker(PopConfig(steps=100, step_time=1e-3,
                                              trace_window=None, grid=(4, 2))))
     report = session.synchronize(run)
@@ -35,6 +36,7 @@ from repro.cluster.pinning import Pinning, inter_node, scheduler_default
 from repro.core.pipeline import PipelineReport, SyncPipeline
 from repro.errors import ConfigurationError
 from repro.mpi.runtime import MpiWorld, RunResult
+from repro.options import _UNSET, RunOptions, resolve_options
 from repro.rng import RngFabric
 from repro.sync.violations import lmin_matrix_from_trace
 
@@ -66,11 +68,18 @@ class TracingSession:
     timer:
         Timer technology; ``None`` uses the platform's paper default.
     seed:
-        Root seed for all randomness.
+        Deprecated — pass ``options=RunOptions(seed=...)``.  Root seed
+        for all randomness.
     duration_hint:
         Upper bound on the run's true-time length, seconds.
     jitter:
         OS-noise model; defaults to a modest compute-node profile.
+    options:
+        A :class:`repro.options.RunOptions`; ``seed``, ``engine``, and
+        ``telemetry`` configure every :meth:`trace` run of the session.
+    telemetry:
+        A :class:`repro.telemetry.TelemetryRecorder`; overrides
+        ``options.telemetry`` when both are given.
     """
 
     def __init__(
@@ -79,10 +88,18 @@ class TracingSession:
         nprocs: int = 4,
         placement: str | Pinning = "spread",
         timer: Optional[str] = None,
-        seed: int = 0,
+        seed: int = _UNSET,
         duration_hint: float = 3700.0,
         jitter: Optional[OsJitterModel] = None,
+        *,
+        options: Optional[RunOptions] = None,
+        telemetry=None,
     ) -> None:
+        options = resolve_options(options, caller="TracingSession", seed=seed)
+        if telemetry is not None:
+            options = options.replace(telemetry=telemetry)
+        self.options = options
+        seed = options.resolved_seed(0)
         if isinstance(platform, str):
             if platform not in PLATFORMS:
                 raise ConfigurationError(
@@ -118,7 +135,15 @@ class TracingSession:
         return self.world.pinning
 
     def trace(self, worker, **run_kwargs) -> RunResult:
-        """Run ``worker`` under tracing with offset measurements."""
+        """Run ``worker`` under tracing with offset measurements.
+
+        The session's :class:`~repro.options.RunOptions` (engine,
+        telemetry) apply unless ``run_kwargs`` overrides ``options=``
+        (or the deprecated ``engine=``, which then warns in
+        ``world.run``).
+        """
+        if "engine" not in run_kwargs:
+            run_kwargs.setdefault("options", self.options)
         return self.world.run(worker, tracing=True, measure_offsets=True, **run_kwargs)
 
     def lmin_matrix(self, trace=None) -> np.ndarray:
@@ -139,6 +164,7 @@ class TracingSession:
         **pipeline_kwargs,
     ) -> PipelineReport:
         """Correct and verify a traced run with the standard pipeline."""
+        pipeline_kwargs.setdefault("telemetry", self.options.telemetry)
         pipeline = SyncPipeline(
             interpolation=interpolation, apply_clc=apply_clc, **pipeline_kwargs
         )

@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.errors import SynchronizationError
 from repro.mpi.runtime import RunResult
+from repro.options import RunOptions
+from repro.telemetry import ensure_telemetry
 from repro.sync.clc import ClcResult, ControlledLogicalClock
 from repro.sync.interpolation import (
     ClockCorrection,
@@ -112,6 +114,13 @@ class SyncPipeline:
         Run the controlled logical clock after interpolation.
     gamma / amortization_window:
         CLC knobs (see :class:`ControlledLogicalClock`).
+    options:
+        A :class:`repro.options.RunOptions`; only ``telemetry`` is
+        consulted here.
+    telemetry:
+        A :class:`repro.telemetry.TelemetryRecorder` recording per-pass
+        spans (``sync.interpolate``, ``sync.clc``, ``sync.scan``);
+        overrides ``options.telemetry`` when both are given.
     """
 
     def __init__(
@@ -120,6 +129,9 @@ class SyncPipeline:
         apply_clc: bool = True,
         gamma: float = 0.99,
         amortization_window: Optional[float] = None,
+        *,
+        options: Optional[RunOptions] = None,
+        telemetry=None,
     ) -> None:
         valid = ("none", "align", "linear", "piecewise") + TRACE_ONLY_MODES
         if interpolation not in valid:
@@ -128,6 +140,9 @@ class SyncPipeline:
         self.apply_clc = apply_clc
         self.gamma = gamma
         self.amortization_window = amortization_window
+        if telemetry is None and options is not None:
+            telemetry = options.telemetry
+        self.telemetry = ensure_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     def run(self, result: RunResult, lmin: LminSpec = 0.0) -> PipelineReport:
@@ -138,57 +153,70 @@ class SyncPipeline:
         """
         if result.trace is None:
             raise SynchronizationError("run result has no trace (tracing disabled?)")
+        tele = self.telemetry
         trace = result.trace
-        stages = [self._scan("raw", trace, lmin)]
+        with tele.span(
+            "sync.pipeline", interpolation=self.interpolation, clc=self.apply_clc
+        ):
+            stages = [self._scan("raw", trace, lmin)]
 
-        if self.interpolation == "none":
-            correction = identity_correction()
-        elif self.interpolation == "align":
-            if result.init_offsets is None:
-                raise SynchronizationError("alignment requested but no init offsets measured")
-            correction = align_offsets(result.init_offsets)
-        elif self.interpolation == "piecewise":
-            sets = result.all_measurement_sets()
-            if len(sets) < 2:
-                raise SynchronizationError(
-                    "piecewise interpolation needs >= 2 measurement sets "
-                    "(enable periodic_sync_every on the world)"
-                )
-            correction = piecewise_interpolation(sets)
-        elif self.interpolation in ("regression", "hull", "minmax"):
-            from repro.sync.error_estimation import synchronize_by_spanning_tree
+            with tele.span("sync.interpolate", mode=self.interpolation):
+                if self.interpolation == "none":
+                    correction = identity_correction()
+                elif self.interpolation == "align":
+                    if result.init_offsets is None:
+                        raise SynchronizationError(
+                            "alignment requested but no init offsets measured"
+                        )
+                    correction = align_offsets(result.init_offsets)
+                elif self.interpolation == "piecewise":
+                    sets = result.all_measurement_sets()
+                    if len(sets) < 2:
+                        raise SynchronizationError(
+                            "piecewise interpolation needs >= 2 measurement sets "
+                            "(enable periodic_sync_every on the world)"
+                        )
+                    correction = piecewise_interpolation(sets)
+                elif self.interpolation in ("regression", "hull", "minmax"):
+                    from repro.sync.error_estimation import synchronize_by_spanning_tree
 
-            correction = synchronize_by_spanning_tree(
-                trace, lmin=lmin, method=self.interpolation
-            )
-        elif self.interpolation == "exchange":
-            from repro.sync.exchange import exchange_correction
+                    correction = synchronize_by_spanning_tree(
+                        trace, lmin=lmin, method=self.interpolation
+                    )
+                elif self.interpolation == "exchange":
+                    from repro.sync.exchange import exchange_correction
 
-            correction = exchange_correction(trace)
-        else:
-            if result.init_offsets is None or result.final_offsets is None:
-                raise SynchronizationError(
-                    "linear interpolation needs offset measurements at init and finalize"
-                )
-            correction = linear_interpolation(result.init_offsets, result.final_offsets)
-        trace = correction.apply(trace)
-        stages.append(self._scan(self.interpolation, trace, lmin))
+                    correction = exchange_correction(trace)
+                else:
+                    if result.init_offsets is None or result.final_offsets is None:
+                        raise SynchronizationError(
+                            "linear interpolation needs offset measurements at init "
+                            "and finalize"
+                        )
+                    correction = linear_interpolation(
+                        result.init_offsets, result.final_offsets
+                    )
+                trace = correction.apply(trace)
+            stages.append(self._scan(self.interpolation, trace, lmin))
 
-        clc_result = None
-        if self.apply_clc:
-            clc = ControlledLogicalClock(
-                gamma=self.gamma, amortization_window=self.amortization_window
-            )
-            clc_result = clc.correct(trace, lmin=lmin)
-            trace = clc_result.trace
-            stages.append(self._scan("clc", trace, lmin))
+            clc_result = None
+            if self.apply_clc:
+                with tele.span("sync.clc", gamma=self.gamma):
+                    clc = ControlledLogicalClock(
+                        gamma=self.gamma,
+                        amortization_window=self.amortization_window,
+                        telemetry=tele,
+                    )
+                    clc_result = clc.correct(trace, lmin=lmin)
+                trace = clc_result.trace
+                stages.append(self._scan("clc", trace, lmin))
 
         return PipelineReport(
             trace=trace, stages=stages, correction=correction, clc=clc_result
         )
 
-    @staticmethod
-    def _scan(stage: str, trace: Trace, lmin: LminSpec) -> StageReport:
-        p2p = scan_messages(trace.messages(strict=False), lmin)
-        coll, _ = scan_collectives(trace, lmin)
+    def _scan(self, stage: str, trace: Trace, lmin: LminSpec) -> StageReport:
+        with self.telemetry.span("sync.scan", stage=stage):
+            p2p = scan_messages(trace.messages(strict=False), lmin)
+            coll, _ = scan_collectives(trace, lmin)
         return StageReport(stage=stage, p2p=p2p, collective=coll)

@@ -25,6 +25,7 @@ from repro.cluster.machines import ClusterPreset
 from repro.cluster.pinning import Pinning
 from repro.errors import ConfigurationError
 from repro.mpi.comm import MpiContext
+from repro.options import _UNSET, RunOptions, resolve_options
 from repro.rng import RngFabric
 from repro.sim.engine import Engine, Transport
 from repro.sync.offset import OffsetMeasurement, measurement_protocol
@@ -61,6 +62,13 @@ class RunResult:
     #: ``batch_matches_engine`` oracle compares these to prove the fast
     #: path consumed every stream exactly as far as the engine did.
     rng_states: dict = field(default_factory=dict)
+    #: When ``engine="batch"`` was requested but the vectorized fast path
+    #: declined the workload, the machine-readable reason code from
+    #: :class:`repro.sim.batch.BatchFallback` (e.g. ``"wildcard_recv"``,
+    #: ``"congestion"``).  ``None`` when the fast path engaged or the
+    #: reference engine was requested directly.  Recorded even with
+    #: telemetry off, and round-trips through the runner and cache.
+    fallback_reason: Optional[str] = None
 
     def all_measurement_sets(self) -> list[dict[int, OffsetMeasurement]]:
         """init + periodic + final, in run order (piecewise-ready)."""
@@ -151,7 +159,10 @@ class MpiWorld:
         sync_repeats: int = 10,
         tracing_initially: bool = True,
         until: Optional[float] = None,
-        engine: str = "reference",
+        engine: str = _UNSET,
+        *,
+        options: Optional[RunOptions] = None,
+        telemetry=None,
     ) -> RunResult:
         """Execute ``worker`` on every rank.
 
@@ -172,30 +183,48 @@ class MpiWorld:
         until:
             Optional true-time cap for the event loop.
         engine:
-            ``"reference"`` runs the discrete-event engine;
-            ``"batch"`` tries the vectorized fast path of
-            :mod:`repro.sim.batch` and falls back to the reference
-            engine whenever bit-identity cannot be guaranteed.  Both
-            produce identical results; check ``RunResult.engine`` for
-            the path actually taken.
+            Deprecated — pass ``options=RunOptions(engine=...)``.
+            ``"reference"`` runs the discrete-event engine; ``"batch"``
+            tries the vectorized fast path of :mod:`repro.sim.batch`
+            and falls back to the reference engine whenever
+            bit-identity cannot be guaranteed.  Both produce identical
+            results; check ``RunResult.engine`` for the path actually
+            taken and ``RunResult.fallback_reason`` for why a fallback
+            happened.
+        options:
+            A :class:`repro.options.RunOptions`; only ``engine`` and
+            ``telemetry`` are consulted here (seeding is fixed at world
+            construction).
+        telemetry:
+            A :class:`repro.telemetry.TelemetryRecorder`; overrides
+            ``options.telemetry`` when both are given.
         """
-        if engine not in ("reference", "batch"):
-            raise ConfigurationError(f"unknown engine {engine!r}")
-        if engine == "batch":
+        options = resolve_options(options, caller="MpiWorld.run", engine=engine)
+        tele = telemetry if telemetry is not None else options.telemetry_or_null
+        fallback_reason = None
+        if options.engine == "batch":
             from repro.sim.batch import BatchFallback, run_batch
 
             try:
-                return run_batch(
-                    self,
-                    worker,
-                    tracing=tracing,
-                    measure_offsets=measure_offsets,
-                    sync_repeats=sync_repeats,
-                    tracing_initially=tracing_initially,
-                    until=until,
-                )
-            except BatchFallback:
-                pass  # run the reference engine below; results identical
+                with tele.span("sim.batch.run", nranks=self.pinning.nranks):
+                    result = run_batch(
+                        self,
+                        worker,
+                        tracing=tracing,
+                        measure_offsets=measure_offsets,
+                        sync_repeats=sync_repeats,
+                        tracing_initially=tracing_initially,
+                        until=until,
+                    )
+                if tele.enabled:
+                    tele.count("sim.batch.engaged")
+                    tele.count("sim.batch.events", result.events_processed)
+                return result
+            except BatchFallback as fb:
+                # Run the reference engine below; results identical.  The
+                # reason survives on the result even with telemetry off.
+                fallback_reason = fb.code
+                tele.count(f"sim.batch.fallback.{fb.code}")
         engine = Engine(
             Transport(
                 self.preset.latency,
@@ -240,7 +269,15 @@ class MpiWorld:
                 loc,
                 self.ensemble.clock_for(loc),
             )
-        final_time = engine.run(until=until)
+        with tele.span("sim.engine.run", nranks=nranks):
+            final_time = engine.run(until=until)
+        if tele.enabled:
+            # Aggregate once per run — never per event — so the loop
+            # itself stays telemetry-free.
+            tele.count("sim.engine.events", engine.events_processed)
+            tele.count("sim.engine.messages_matched", engine._next_match_id)
+            tele.gauge_max("sim.engine.queue_depth_high_water", engine.queue_high_water)
+            tele.gauge_max("sim.engine.peak_in_flight", engine.transport.peak_in_flight)
 
         init_offsets = final_offsets = None
         results: dict[int, Any] = {}
@@ -291,6 +328,7 @@ class MpiWorld:
             periodic_offsets=list(master_ctx.periodic_series),
             engine="reference",
             rng_states=rng_states,
+            fallback_reason=fallback_reason,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,124 @@
+"""Unified run configuration: the frozen :class:`RunOptions` dataclass.
+
+Historically every entry point grew its own scattered kwargs —
+``TracingSession(seed=...)``, ``run_grid(jobs=..., cache=...)``,
+``table2_latencies(seed=..., jobs=..., cache=..., engine=...)`` — and
+new concerns (telemetry) would have meant touching every signature
+again.  ``RunOptions`` is now the one way to configure a run:
+
+>>> from repro import RunOptions, TracingSession
+>>> opts = RunOptions(engine="batch", seed=7)
+>>> session = TracingSession(nprocs=4, options=opts)
+
+The old kwargs still work but emit :class:`DeprecationWarning` and
+forward into an equivalent ``RunOptions`` (see :func:`resolve_options`).
+Passing both ``options=`` and a deprecated kwarg is a
+:class:`~repro.errors.ConfigurationError` — there must be exactly one
+source of truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.telemetry import NULL_TELEMETRY
+
+__all__ = ["ENGINES", "RunOptions", "resolve_options"]
+
+#: Engines accepted by ``RunOptions.engine`` / ``world.run``.
+ENGINES = ("reference", "batch")
+
+
+class _Unset:
+    """Sentinel distinguishing 'kwarg not supplied' from explicit None."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything that configures *how* a run executes.
+
+    Parameters
+    ----------
+    engine:
+        ``"reference"`` (generator event loop) or ``"batch"`` (vectorized
+        fast path with automatic fallback; see ``RunResult.fallback_reason``).
+    jobs:
+        Worker processes for grid fan-out (``None`` = serial).
+    cache:
+        A :class:`repro.cache.ResultCache`, or ``None`` to disable caching.
+    seed:
+        Master seed.  ``None`` means "use the entry point's historical
+        default" (0 for sessions and most figures, 1 for fig8, 11 for the
+        waitstate study), so a bare ``RunOptions()`` changes nothing.
+    telemetry:
+        A :class:`repro.telemetry.TelemetryRecorder`, or ``None`` for the
+        shared zero-overhead null sink.
+
+    Instances are frozen; derive variants with :meth:`replace`.
+    """
+
+    engine: str = "reference"
+    jobs: Optional[int] = None
+    cache: Any = None
+    seed: Optional[int] = None
+    telemetry: Any = None
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of {', '.join(ENGINES)}"
+            )
+        if self.jobs is not None and (not isinstance(self.jobs, int) or self.jobs < 1):
+            raise ConfigurationError(f"jobs must be a positive int or None, got {self.jobs!r}")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ConfigurationError(f"seed must be an int or None, got {self.seed!r}")
+
+    def replace(self, **changes) -> "RunOptions":
+        """Return a copy with ``changes`` applied (frozen-safe)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def telemetry_or_null(self):
+        """The telemetry handle, with ``None`` mapped to the null sink."""
+        return NULL_TELEMETRY if self.telemetry is None else self.telemetry
+
+    def resolved_seed(self, default: int = 0) -> int:
+        """The seed to use, falling back to the caller's historical default."""
+        return default if self.seed is None else self.seed
+
+
+def resolve_options(options: Optional[RunOptions], *, caller: str, **legacy) -> RunOptions:
+    """Fold deprecated per-call kwargs into a single :class:`RunOptions`.
+
+    ``legacy`` maps option-field names to the values the caller received;
+    the :data:`_UNSET` sentinel marks "not supplied".  Supplying any
+    legacy kwarg emits one :class:`DeprecationWarning` naming the fields;
+    supplying both ``options=`` and a legacy kwarg raises.
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if supplied:
+        if options is not None:
+            raise ConfigurationError(
+                f"{caller}: pass options=RunOptions(...) or the deprecated "
+                f"keyword(s) {', '.join(sorted(supplied))}, not both"
+            )
+        warnings.warn(
+            f"{caller}: the {', '.join(sorted(supplied))} keyword(s) are deprecated; "
+            f"pass options=repro.RunOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return RunOptions(**supplied)
+    return options if options is not None else RunOptions()

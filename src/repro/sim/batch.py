@@ -79,7 +79,19 @@ _SMALL_SEGMENT = 24
 
 
 class BatchFallback(Exception):
-    """The batch fast path cannot guarantee bit-identity; use the engine."""
+    """The batch fast path cannot guarantee bit-identity; use the engine.
+
+    ``code`` is a stable, machine-readable snake_case identifier for the
+    reason (``"wildcard_recv"``, ``"congestion"``, ...).  ``world.run``
+    copies it onto ``RunResult.fallback_reason`` and telemetry counts it
+    under ``sim.batch.fallback.<code>``; ``detail`` is the human-readable
+    explanation shown by ``str(exc)``.
+    """
+
+    def __init__(self, code: str, detail: Optional[str] = None):
+        super().__init__(detail or code)
+        self.code = code
+        self.detail = detail or code
 
 
 # ----------------------------------------------------------------------
@@ -235,7 +247,7 @@ class _RankPlan:
         if src < 0 or tag == -1:
             # ANY_SOURCE / ANY_TAG need dynamic mailbox scans (tags < -1
             # are collective/sync tags and remain fully static).
-            raise BatchFallback("wildcard receive needs the engine's matching")
+            raise BatchFallback("wildcard_recv", "wildcard receive needs the engine's matching")
         self.recvs.append((src, tag))
         self._close_segment((src, self.rank, tag))
 
@@ -280,7 +292,7 @@ class _RankPlan:
         self.recv(src, recvtag)
 
     def split(self, color, key=None):
-        raise BatchFallback("communicator splits need the engine")
+        raise BatchFallback("comm_split", "communicator splits need the engine")
 
     # -- collectives ---------------------------------------------------
     def _collective(self, op, root, algo, **kwargs) -> None:
@@ -641,13 +653,15 @@ def _compile(world, plan_fn: Callable, key: tuple, *, tracing, tracing_initially
             ci = channel_index.get(boundary)
             if ci is None:
                 raise BatchFallback(
-                    f"rank {r} receives on channel {boundary} with no sender"
+                    "unmatched_recv",
+                    f"rank {r} receives on channel {boundary} with no sender",
                 )
             bounds.append(ci)
             q = fifo[ci]
             if not q:
                 raise BatchFallback(
-                    f"rank {r} posts more receives than sends on {boundary}"
+                    "missing_send",
+                    f"rank {r} posts more receives than sends on {boundary}",
                 )
             matches.append(q.popleft())
         plan.rank_boundaries.append(bounds)
@@ -838,7 +852,9 @@ def _solve(plan: _CompiledPlan, world, locations, rng):
         if t_send <= prev:
             # Two sends at exactly the same true time: the engine breaks
             # the tie on scheduling order, which the solver cannot see.
-            raise BatchFallback("simultaneous sends; tie order is engine-defined")
+            raise BatchFallback(
+                "simultaneous_sends", "simultaneous sends; tie order is engine-defined"
+            )
         prev = t_send
         # Local send serial -> global: segments store per-rank local
         # indices; translate lazily via the rank base is avoided by
@@ -879,7 +895,9 @@ def _solve(plan: _CompiledPlan, world, locations, rng):
 
     blocked = [r for r in range(nranks) if done_t[r] is None]
     if blocked:
-        raise BatchFallback(f"ranks {blocked} blocked; engine reports the deadlock")
+        raise BatchFallback(
+            "deadlock", f"ranks {blocked} blocked; engine reports the deadlock"
+        )
     duration = max(done_t)
     if max_arrival > duration:
         duration = max_arrival
@@ -917,7 +935,7 @@ def _evaluate_clocks(read_times, clocks):
                 np.diff(times) == 0.0
             ):
                 raise BatchFallback(
-                    "simultaneous reads on a shared jittered clock"
+                    "shared_clock_tie", "simultaneous reads on a shared jittered clock"
                 )
         prepared.append((clock, ranks, times, order))
 
@@ -956,7 +974,7 @@ def _build_result(spec, values: np.ndarray):
         v1 = values[np.asarray(t1_slots, dtype=np.int64)]
         v2 = values[np.asarray(t2_slots, dtype=np.int64)]
         return (v2 - v1) / 2.0 if halve else v2 - v1
-    raise BatchFallback(f"unknown result spec {kind!r}")
+    raise BatchFallback("result_spec", f"unknown result spec {kind!r}")
 
 
 def _build_offsets(master_spec, worker_specs, read_values, repeats, master=0):
@@ -997,15 +1015,15 @@ def run_batch(world, worker, *, tracing=True, measure_offsets=True,
     from repro.mpi.runtime import RunResult
 
     if until is not None:
-        raise BatchFallback("run horizons need the event loop")
+        raise BatchFallback("until", "run horizons need the event loop")
     if world.periodic_sync_every > 0:
-        raise BatchFallback("periodic sync piggybacks on live collectives")
+        raise BatchFallback("periodic_sync", "periodic sync piggybacks on live collectives")
     if world.congestion_alpha > 0.0:
-        raise BatchFallback("congestion couples latency to live queue state")
+        raise BatchFallback("congestion", "congestion couples latency to live queue state")
     plan_fn = getattr(worker, "batch_plan", None)
     batch_key = getattr(worker, "batch_key", None)
     if plan_fn is None or batch_key is None:
-        raise BatchFallback("worker does not publish a batch plan")
+        raise BatchFallback("no_plan", "worker does not publish a batch plan")
 
     key = (
         batch_key, world.pinning.nranks, bool(tracing), bool(tracing_initially),

@@ -142,6 +142,10 @@ class Engine:
         # Non-overtaking guard: last delivery time per (src, dst).
         self._last_delivery: dict[tuple[int, int], float] = {}
         self.events_processed = 0
+        # Deepest the event heap ever got; a single int compare per push
+        # keeps this cheap enough for the always-on path (telemetry reads
+        # it once, after the run).
+        self.queue_high_water = 0
         # Active run() horizon; gates the inline resume fast path.
         self._until: Optional[float] = None
 
@@ -177,12 +181,16 @@ class Engine:
             raise SimulationError(f"cannot schedule into the past ({at} < {self.now})")
         heapq.heappush(self._queue, (at, self._seq, 0, proc, value))
         self._seq += 1
+        if len(self._queue) > self.queue_high_water:
+            self.queue_high_water = len(self._queue)
 
     def _schedule_delivery(self, at: float, dst: "_Proc", msg: Message) -> None:
         if at < self.now:
             raise SimulationError(f"cannot schedule into the past ({at} < {self.now})")
         heapq.heappush(self._queue, (at, self._seq, 1, dst, msg))
         self._seq += 1
+        if len(self._queue) > self.queue_high_water:
+            self.queue_high_water = len(self._queue)
 
     def run(self, until: Optional[float] = None) -> float:
         """Process events until completion (or true time ``until``).

@@ -62,6 +62,7 @@ import numpy as np
 
 from repro.errors import SynchronizationError
 from repro.sync.order import build_dependencies, replay_schedule
+from repro.telemetry import ensure_telemetry
 from repro.sync.schedule import CompiledSchedule, clc_forward, send_caps_kernel
 from repro.sync.violations import LminSpec
 from repro.tracing.trace import Trace
@@ -160,6 +161,10 @@ class ControlledLogicalClock:
     include_collectives:
         Also enforce the logical clock conditions of collective
         operations (the [30] extension).
+    telemetry:
+        A :class:`repro.telemetry.TelemetryRecorder` recording per-pass
+        spans (``sync.clc.compile``, ``sync.clc.forward``,
+        ``sync.clc.amortize``) and jump counters, or ``None``.
     """
 
     def __init__(
@@ -167,6 +172,7 @@ class ControlledLogicalClock:
         gamma: float = 0.99,
         amortization_window: Optional[float] = None,
         include_collectives: bool = True,
+        telemetry=None,
     ) -> None:
         if not 0.0 < gamma <= 1.0:
             raise SynchronizationError(f"gamma must be in (0, 1], got {gamma}")
@@ -175,11 +181,13 @@ class ControlledLogicalClock:
         self.gamma = gamma
         self.amortization_window = amortization_window
         self.include_collectives = include_collectives
+        self.telemetry = ensure_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     def correct(self, trace: Trace, lmin: LminSpec = 0.0) -> ClcResult:
         """Apply the CLC to ``trace``; returns the corrected trace + stats."""
-        schedule = trace.compiled_schedule(self.include_collectives)
+        with self.telemetry.span("sync.clc.compile"):
+            schedule = trace.compiled_schedule(self.include_collectives)
         return self.correct_with_schedule(trace, schedule, lmin)
 
     def correct_with_dependencies(
@@ -202,25 +210,31 @@ class ControlledLogicalClock:
         self, trace: Trace, schedule: CompiledSchedule, lmin: LminSpec = 0.0
     ) -> ClcResult:
         """Apply the CLC on a pre-compiled happened-before schedule."""
+        tele = self.telemetry
         edge_lmin = schedule.edge_lmin(lmin)
         original = {rank: trace.logs[rank].timestamps for rank in trace.ranks}
         orig_flat = schedule.flatten(original)
 
-        corr_flat, jumps, njumps, max_jump = clc_forward(
-            schedule, orig_flat, edge_lmin, self.gamma
-        )
+        with tele.span("sync.clc.forward", events=orig_flat.size):
+            corr_flat, jumps, njumps, max_jump = clc_forward(
+                schedule, orig_flat, edge_lmin, self.gamma
+            )
         corrected = schedule.split(corr_flat)
+        if tele.enabled:
+            tele.count("sync.clc.events", orig_flat.size)
+            tele.count("sync.clc.jumps", njumps)
 
         window = self.amortization_window
         if window is None:
             window = self._auto_window(jumps)
         if window > 0:
-            caps = schedule.split(send_caps_kernel(schedule, corr_flat, edge_lmin))
-            for rank in trace.ranks:
-                if jumps[rank]:
-                    corrected[rank] = _amortize_backward(
-                        corrected[rank], jumps[rank], window, caps.get(rank)
-                    )
+            with tele.span("sync.clc.amortize", window=window):
+                caps = schedule.split(send_caps_kernel(schedule, corr_flat, edge_lmin))
+                for rank in trace.ranks:
+                    if jumps[rank]:
+                        corrected[rank] = _amortize_backward(
+                            corrected[rank], jumps[rank], window, caps.get(rank)
+                        )
 
         return compute_clc_stats(
             trace,

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.sync.clc import ClcResult, ControlledLogicalClock
 from repro.sync.schedule import bsp_rounds
 from repro.sync.violations import LminSpec
+from repro.telemetry import ensure_telemetry
 from repro.tracing.trace import Trace
 
 __all__ = ["ReplayResult", "replay_correct"]
@@ -48,15 +49,23 @@ def replay_correct(
     gamma: float = 0.99,
     amortization_window: float | None = None,
     include_collectives: bool = True,
+    telemetry=None,
 ) -> ReplayResult:
     """Forward-pass CLC organized as a parallel replay; see module docs."""
+    tele = ensure_telemetry(telemetry)
     corrector = ControlledLogicalClock(
         gamma=gamma,
         amortization_window=amortization_window,
         include_collectives=include_collectives,
+        telemetry=tele,
     )
-    schedule = trace.compiled_schedule(include_collectives)
-    rounds, max_queue = bsp_rounds(schedule)
+    with tele.span("sync.replay.schedule"):
+        schedule = trace.compiled_schedule(include_collectives)
+    with tele.span("sync.replay.rounds"):
+        rounds, max_queue = bsp_rounds(schedule)
+    if tele.enabled:
+        tele.gauge("sync.replay.rounds", rounds)
+        tele.gauge_max("sync.replay.max_queue", max_queue)
     clc_result = corrector.correct_with_schedule(trace, schedule, lmin)
     clc_result.trace.meta["clc"]["replay"] = True
     return ReplayResult(clc=clc_result, rounds=rounds, max_queue=max_queue)

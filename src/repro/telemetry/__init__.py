@@ -1,0 +1,35 @@
+"""Run-wide telemetry: spans, counters, gauges, and their exports.
+
+See ``docs/observability.md`` for the instrumented layers, the naming
+scheme, and the inertness contract.
+"""
+
+from repro.telemetry.export import (
+    load_jsonl,
+    render_report,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.telemetry.recorder import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    SpanRecord,
+    TelemetryRecorder,
+    TimingStats,
+    ensure_telemetry,
+)
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanRecord",
+    "TelemetryRecorder",
+    "TimingStats",
+    "ensure_telemetry",
+    "load_jsonl",
+    "render_report",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+]

@@ -1,0 +1,195 @@
+"""Telemetry serialization: JSONL, Prometheus text, and a terminal report.
+
+JSONL is the interchange format (``--telemetry PATH`` on the CLI): one
+object per line, first a header, then every span in start order, then
+counters, gauges, and timings sorted by name.  Prometheus text follows
+the exposition format so the same snapshot can be dropped into a
+node-exporter textfile collector.  Both exports are pure functions of a
+snapshot, so a deterministic recorder clock yields byte-identical files
+(the golden-file tests rely on this).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = [
+    "load_jsonl",
+    "render_report",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+]
+
+FORMAT_VERSION = 1
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _snapshot_of(telemetry_or_snapshot) -> dict:
+    if hasattr(telemetry_or_snapshot, "snapshot"):
+        return telemetry_or_snapshot.snapshot()
+    return telemetry_or_snapshot
+
+
+def to_jsonl(telemetry_or_snapshot) -> str:
+    """Serialize a recorder (or snapshot dict) to JSONL text."""
+    snap = _snapshot_of(telemetry_or_snapshot)
+    lines = [json.dumps({"kind": "telemetry", "format": FORMAT_VERSION}, sort_keys=True)]
+    for span in snap["spans"]:
+        lines.append(json.dumps({"kind": "span", **span}, sort_keys=True))
+    for name, value in snap["counters"].items():
+        lines.append(json.dumps({"kind": "counter", "name": name, "value": value}, sort_keys=True))
+    for name, value in snap["gauges"].items():
+        lines.append(json.dumps({"kind": "gauge", "name": name, "value": value}, sort_keys=True))
+    for name, stats in snap["timings"].items():
+        lines.append(json.dumps({"kind": "timing", "name": name, **stats}, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(telemetry_or_snapshot, path) -> Path:
+    """Write the JSONL export to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_jsonl(telemetry_or_snapshot), encoding="utf-8")
+    return path
+
+
+def load_jsonl(path) -> dict:
+    """Read a JSONL export back into snapshot form."""
+    spans: List[dict] = []
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    timings: Dict[str, dict] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        kind = obj.get("kind")
+        if kind == "telemetry":
+            continue
+        if kind == "span":
+            spans.append({k: v for k, v in obj.items() if k != "kind"})
+        elif kind == "counter":
+            counters[obj["name"]] = obj["value"]
+        elif kind == "gauge":
+            gauges[obj["name"]] = obj["value"]
+        elif kind == "timing":
+            timings[obj["name"]] = {
+                k: v for k, v in obj.items() if k not in ("kind", "name")
+            }
+    return {"spans": spans, "counters": counters, "gauges": gauges, "timings": timings}
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_NAME_RE.sub("_", name)
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and value != int(value):
+        return repr(value)
+    return str(int(value))
+
+
+def to_prometheus(telemetry_or_snapshot) -> str:
+    """Render counters, gauges, timings, and span totals as Prometheus text.
+
+    Timings (and per-name span aggregates, exposed as
+    ``repro_span_<name>_*``) become a count plus a seconds total with
+    min/max gauges — enough for rate() and mean-latency queries without
+    histogram buckets.
+    """
+    snap = _snapshot_of(telemetry_or_snapshot)
+    lines: List[str] = []
+
+    for name, value in snap["counters"].items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in snap["gauges"].items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+
+    # Aggregate spans by name so repeated phases show up as one series.
+    span_stats: Dict[str, dict] = {}
+    for span in snap["spans"]:
+        agg = span_stats.setdefault(span["name"], {"count": 0, "total": 0.0})
+        agg["count"] += 1
+        agg["total"] += span.get("duration") or 0.0
+
+    def emit_summary(metric: str, stats: dict) -> None:
+        lines.append(f"# TYPE {metric}_count counter")
+        lines.append(f"{metric}_count {stats['count']}")
+        lines.append(f"# TYPE {metric}_seconds_total counter")
+        lines.append(f"{metric}_seconds_total {repr(float(stats['total']))}")
+        for bound in ("min", "max"):
+            if bound in stats:
+                lines.append(f"# TYPE {metric}_seconds_{bound} gauge")
+                lines.append(f"{metric}_seconds_{bound} {repr(float(stats[bound]))}")
+
+    for name, stats in snap["timings"].items():
+        emit_summary(_prom_name(name), stats)
+    for name in sorted(span_stats):
+        emit_summary(_prom_name("span." + name), span_stats[name])
+    return "\n".join(lines) + "\n"
+
+
+def render_report(telemetry_or_snapshot) -> str:
+    """Human-readable span tree + scalar tables for ``repro report``."""
+    snap = _snapshot_of(telemetry_or_snapshot)
+    lines: List[str] = []
+
+    spans = snap["spans"]
+    if spans:
+        lines.append("spans")
+        children: Dict[int, List[dict]] = {}
+        for span in spans:
+            children.setdefault(span["parent"], []).append(span)
+
+        def walk(parent: int, depth: int) -> None:
+            for span in children.get(parent, ()):
+                attrs = span.get("attrs") or {}
+                attr_text = (
+                    " [" + ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs)) + "]"
+                    if attrs
+                    else ""
+                )
+                duration = span.get("duration") or 0.0
+                lines.append(
+                    f"  {'  ' * depth}{span['name']:<{max(40 - 2 * depth, 8)}} "
+                    f"{duration * 1e3:10.3f} ms{attr_text}"
+                )
+                walk(span["index"], depth + 1)
+
+        walk(-1, 0)
+
+    for section, fmt in (("counters", "g"), ("gauges", "g")):
+        table = snap[section]
+        if table:
+            lines.append(section)
+            for name, value in table.items():
+                lines.append(f"  {name:<44} {value:>14{fmt}}")
+
+    timings = snap["timings"]
+    if timings:
+        lines.append("timings")
+        lines.append(
+            f"  {'name':<36} {'count':>7} {'total ms':>10} {'mean ms':>9} "
+            f"{'min ms':>9} {'max ms':>9}"
+        )
+        for name, stats in timings.items():
+            count = stats["count"] or 1
+            lines.append(
+                f"  {name:<36} {stats['count']:>7} {stats['total'] * 1e3:>10.3f} "
+                f"{stats['total'] / count * 1e3:>9.3f} {stats['min'] * 1e3:>9.3f} "
+                f"{stats['max'] * 1e3:>9.3f}"
+            )
+
+    if not lines:
+        return "telemetry: nothing recorded\n"
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,250 @@
+"""In-memory telemetry recorder: spans, counters, gauges, timings.
+
+The subsystem has two implementations of one protocol:
+
+* :class:`TelemetryRecorder` — records everything in memory, cheaply;
+* :class:`NullTelemetry` — the shared no-op used when telemetry is off.
+
+Instrumented code holds a single handle (``tele``) and never branches on
+configuration beyond ``tele.enabled``.  The contract for hot paths is:
+
+* never record per-event telemetry inside the discrete-event loop —
+  aggregate once per run (``world.run`` publishes engine counters after
+  the loop finishes);
+* wrap any ``perf_counter()`` bookkeeping in ``if tele.enabled:`` so the
+  disabled mode does literally nothing;
+* telemetry must be *inert*: it may read simulation state but never
+  touches an RNG stream or any value that feeds back into the
+  simulation.  The ``telemetry_is_inert`` verify oracle enforces this
+  bit-for-bit.
+
+The recorder takes an injectable ``clock`` so tests can produce
+byte-identical exports (see ``tests/data/telemetry_golden.*``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanRecord",
+    "TelemetryRecorder",
+    "TimingStats",
+    "ensure_telemetry",
+]
+
+
+class _NullSpan:
+    """Reusable no-op context manager (one shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Telemetry sink that records nothing.
+
+    Every method is a no-op returning as fast as Python allows; the
+    module-level :data:`NULL_TELEMETRY` singleton is what disabled runs
+    share, so instrumented code never needs a ``None`` check.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name, /, **attrs):
+        return _NULL_SPAN
+
+    def count(self, name, value=1):
+        pass
+
+    def gauge(self, name, value):
+        pass
+
+    def gauge_max(self, name, value):
+        pass
+
+    def observe(self, name, seconds):
+        pass
+
+    def snapshot(self):
+        return {"spans": [], "counters": {}, "gauges": {}, "timings": {}}
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span.
+
+    ``parent`` is the index of the enclosing span in the recorder's
+    ``spans`` list, or ``-1`` for a root span.  ``end`` stays ``None``
+    while the span is open.
+    """
+
+    index: int
+    parent: int
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+@dataclass
+class TimingStats:
+    """Aggregate of ``observe()`` calls under one name."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+
+class _Span:
+    """Context manager created by :meth:`TelemetryRecorder.span`."""
+
+    __slots__ = ("_recorder", "_record")
+
+    def __init__(self, recorder: "TelemetryRecorder", record: SpanRecord):
+        self._recorder = recorder
+        self._record = record
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        rec = self._record
+        rec.end = self._recorder._clock()
+        if exc_type is not None:
+            rec.attrs.setdefault("error", exc_type.__name__)
+        stack = self._recorder._stack
+        if stack and stack[-1] == rec.index:
+            stack.pop()
+        return False
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes discovered mid-span (e.g. counts)."""
+        self._record.attrs.update(attrs)
+        return self
+
+
+class TelemetryRecorder:
+    """Record spans, counters, gauges, and timing observations in memory.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source used for span start/end stamps.  Defaults
+        to :func:`time.perf_counter`; tests inject a deterministic fake
+        so exports are byte-identical.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timings: Dict[str, TimingStats] = {}
+        self._stack: List[int] = []
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, /, **attrs) -> _Span:
+        """Open a nested timed phase; use as a context manager."""
+        index = len(self.spans)
+        parent = self._stack[-1] if self._stack else -1
+        record = SpanRecord(
+            index=index, parent=parent, name=name, start=self._clock(), attrs=dict(attrs)
+        )
+        self.spans.append(record)
+        self._stack.append(index)
+        return _Span(self, record)
+
+    # -- scalars --------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to a monotonically increasing counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (last write wins)."""
+        self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Set a high-water gauge (keeps the maximum seen)."""
+        prev = self.gauges.get(name)
+        if prev is None or value > prev:
+            self.gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one timing sample under ``name`` (count/total/min/max)."""
+        stats = self.timings.get(name)
+        if stats is None:
+            stats = self.timings[name] = TimingStats()
+        stats.add(seconds)
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data view of everything recorded so far.
+
+        Scalar sections are sorted by name so exports are deterministic
+        for a deterministic clock.
+        """
+        return {
+            "spans": [
+                {
+                    "index": s.index,
+                    "parent": s.parent,
+                    "name": s.name,
+                    "start": s.start,
+                    "end": s.end,
+                    "duration": s.duration,
+                    "attrs": dict(s.attrs),
+                }
+                for s in self.spans
+            ],
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "timings": {
+                k: {
+                    "count": t.count,
+                    "total": t.total,
+                    "min": t.min if t.count else 0.0,
+                    "max": t.max,
+                }
+                for k, t in sorted(self.timings.items())
+            },
+        }
+
+
+def ensure_telemetry(telemetry) -> "TelemetryRecorder | NullTelemetry":
+    """Map ``None`` to the shared null sink; pass recorders through."""
+    return NULL_TELEMETRY if telemetry is None else telemetry

@@ -108,6 +108,13 @@ _campaign(
     example_cap=25,
 )
 _campaign(
+    "telemetry",
+    "telemetry inertness: recording on vs off is bit-identical",
+    (("batch", "telemetry_is_inert"),),
+    # Two full simulator runs per example, like the batch campaign.
+    example_cap=25,
+)
+_campaign(
     "runner",
     "serial == parallel run_grid identity and typing resolution",
     (("unit", "run_grid_identity"), ("unit", "module_type_hints")),
@@ -215,12 +222,19 @@ def run_campaign(
     max_examples: int = 50,
     corpus_dir: Union[str, None] = None,
     seed: int = 0,
+    telemetry=None,
 ) -> CampaignResult:
     """Fuzz every probe of campaign ``name``.
 
     Failures are shrunk by hypothesis and, when ``corpus_dir`` is given,
-    serialized there for permanent replay.
+    serialized there for permanent replay.  A
+    :class:`repro.telemetry.TelemetryRecorder` collects per-probe spans
+    plus ``verify.examples`` / ``verify.checks`` / ``verify.failures``
+    counters.
     """
+    from repro.telemetry import ensure_telemetry
+
+    tele = ensure_telemetry(telemetry)
     try:
         campaign = CAMPAIGNS[name]
     except KeyError:
@@ -232,20 +246,26 @@ def run_campaign(
 
     result = CampaignResult(name=name)
     examples = min(max_examples, campaign.example_cap)
-    for index, (strategy_name, oracle_name) in enumerate(campaign.probes):
-        result.probes_run += 1
-        failure = _fuzz_probe(
-            strategy_name, oracle_name, examples, seed + index, result
-        )
-        if failure is None:
-            continue
-        spec, message = failure
-        record = ProbeFailure(
-            campaign=name, strategy=strategy_name, oracle=oracle_name,
-            spec=spec, message=message,
-        )
-        if corpus_dir is not None:
-            entry = save_failure(corpus_dir, oracle_name, spec, message)
-            record.corpus_path = str(entry.path)
-        result.failures.append(record)
+    with tele.span("verify.campaign", name=name, probes=len(campaign.probes)):
+        for index, (strategy_name, oracle_name) in enumerate(campaign.probes):
+            result.probes_run += 1
+            with tele.span("verify.probe", strategy=strategy_name, oracle=oracle_name):
+                failure = _fuzz_probe(
+                    strategy_name, oracle_name, examples, seed + index, result
+                )
+            if failure is None:
+                continue
+            spec, message = failure
+            record = ProbeFailure(
+                campaign=name, strategy=strategy_name, oracle=oracle_name,
+                spec=spec, message=message,
+            )
+            if corpus_dir is not None:
+                entry = save_failure(corpus_dir, oracle_name, spec, message)
+                record.corpus_path = str(entry.path)
+            result.failures.append(record)
+    if tele.enabled:
+        tele.count("verify.examples", result.examples)
+        tele.count("verify.checks", result.checks)
+        tele.count("verify.failures", len(result.failures))
     return result

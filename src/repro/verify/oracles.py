@@ -507,7 +507,12 @@ def _clock_quantization(case: TraceCase) -> None:
              f"quantized reading exceeds the ideal reading by {float(over.max()):g}s "
              "(floor overshoot)")
     under = ideal - scalar
-    _require(float(under.max(initial=0.0)) <= resolution * (1.0 + 1e-9),
+    # An exactly-floored reading sits < resolution below the ideal in
+    # real arithmetic; in floats the reading itself carries a few ulps
+    # of representation error (e.g. 17.0 at 1e-9 resolution), so the
+    # bound must leave ulp-scale slack at the magnitude of the reading.
+    slack = 4.0 * float(np.spacing(np.abs(ideal).max(initial=1.0)))
+    _require(float(under.max(initial=0.0)) <= resolution * (1.0 + 1e-9) + slack,
              f"quantized reading more than one grid step low "
              f"({float(under.max()):g}s at resolution {resolution:g})")
     if scalar.size > 1:
@@ -678,33 +683,50 @@ def assert_batch_matches_engine(params: dict) -> str:
     far as the engine did).  Returns the path the batch run actually
     took (``"batch"``, or ``"reference"`` after a fallback).
     """
+    from repro.options import RunOptions
+
     kwargs = dict(
         tracing=bool(params.get("tracing", True)),
         measure_offsets=bool(params.get("measure_offsets", True)),
         sync_repeats=int(params.get("sync_repeats", 3)),
         tracing_initially=bool(params.get("tracing_initially", True)),
     )
-    ref = _batch_world(params).run(_batch_worker(params), engine="reference", **kwargs)
-    bat = _batch_world(params).run(_batch_worker(params), engine="batch", **kwargs)
+    ref = _batch_world(params).run(
+        _batch_worker(params), options=RunOptions(engine="reference"), **kwargs
+    )
+    bat = _batch_world(params).run(
+        _batch_worker(params), options=RunOptions(engine="batch"), **kwargs
+    )
 
-    _require(bat.events_processed == ref.events_processed,
-             f"events_processed: {bat.events_processed} vs {ref.events_processed}")
-    _require(bat.duration == ref.duration,
-             f"duration differs by {abs(bat.duration - ref.duration):g}s")
-    if ref.trace is None or bat.trace is None:
-        _require(ref.trace is None and bat.trace is None,
+    _require_runs_identical(ref, bat, context="batch-vs-engine")
+    if bat.engine == "batch":
+        _require(bat.fallback_reason is None,
+                 f"engaged fast path carries fallback_reason {bat.fallback_reason!r}")
+    else:
+        _require(isinstance(bat.fallback_reason, str) and bat.fallback_reason,
+                 "fallback produced no machine-readable reason code")
+    return bat.engine
+
+
+def _require_runs_identical(ref, other, context: str) -> None:
+    """Demand two :class:`RunResult`\\ s are observably bit-identical."""
+    _require(other.events_processed == ref.events_processed,
+             f"events_processed: {other.events_processed} vs {ref.events_processed}")
+    _require(other.duration == ref.duration,
+             f"duration differs by {abs(other.duration - ref.duration):g}s")
+    if ref.trace is None or other.trace is None:
+        _require(ref.trace is None and other.trace is None,
                  "trace present on one path only")
     else:
-        _assert_traces_equal_bitwise(ref.trace, bat.trace, context="batch-vs-engine")
-        _require(ref.trace.meta == bat.trace.meta, "trace meta differs")
-    _require_equal_results(ref.results, bat.results)
-    _require_equal_offsets(ref.init_offsets, bat.init_offsets, "init")
-    _require_equal_offsets(ref.final_offsets, bat.final_offsets, "final")
-    _require(ref.periodic_offsets == bat.periodic_offsets,
+        _assert_traces_equal_bitwise(ref.trace, other.trace, context=context)
+        _require(ref.trace.meta == other.trace.meta, "trace meta differs")
+    _require_equal_results(ref.results, other.results)
+    _require_equal_offsets(ref.init_offsets, other.init_offsets, "init")
+    _require_equal_offsets(ref.final_offsets, other.final_offsets, "final")
+    _require(ref.periodic_offsets == other.periodic_offsets,
              "periodic offset sets differ")
-    _require(ref.rng_states == bat.rng_states,
+    _require(ref.rng_states == other.rng_states,
              "post-run RNG stream positions differ (stream consumption mismatch)")
-    return bat.engine
 
 
 @oracle(
@@ -720,3 +742,58 @@ def _batch_matches_engine(case: TraceCase) -> None:
         _require(taken == "batch",
                  "batch fast path fell back to the reference engine on a "
                  "spec expected to engage it")
+
+
+def assert_telemetry_inert(params: dict, engine=None) -> None:
+    """Run one scenario with telemetry off and on; demand bit-identity.
+
+    Telemetry may observe a run but never influence it: traces, worker
+    results, offsets, duration, event counts, the execution path taken,
+    and the post-run RNG stream positions must all be byte-for-byte what
+    the un-instrumented run produced.  Checks both engines unless
+    ``engine`` (or ``params["engine"]``) picks one.  Also demands the
+    recorder actually captured something, so a silently disconnected
+    instrumentation layer cannot pass as "inert".
+    """
+    from repro.options import RunOptions
+    from repro.telemetry import TelemetryRecorder
+
+    chosen = engine or params.get("engine")
+    engines = (chosen,) if chosen else ("reference", "batch")
+    kwargs = dict(
+        tracing=bool(params.get("tracing", True)),
+        measure_offsets=bool(params.get("measure_offsets", True)),
+        sync_repeats=int(params.get("sync_repeats", 3)),
+        tracing_initially=bool(params.get("tracing_initially", True)),
+    )
+    for eng in engines:
+        plain = _batch_world(params).run(
+            _batch_worker(params), options=RunOptions(engine=eng), **kwargs
+        )
+        recorder = TelemetryRecorder()
+        recorded = _batch_world(params).run(
+            _batch_worker(params),
+            options=RunOptions(engine=eng, telemetry=recorder),
+            **kwargs,
+        )
+        _require_runs_identical(plain, recorded, context=f"telemetry-inert[{eng}]")
+        _require(recorded.engine == plain.engine,
+                 f"execution path changed under telemetry "
+                 f"({recorded.engine} vs {plain.engine})")
+        _require(recorded.fallback_reason == plain.fallback_reason,
+                 f"fallback reason changed under telemetry "
+                 f"({recorded.fallback_reason!r} vs {plain.fallback_reason!r})")
+        _require(bool(recorder.spans) and bool(recorder.counters),
+                 "recorder captured nothing — instrumentation disconnected")
+
+
+@oracle(
+    "telemetry_is_inert",
+    "Telemetry recording is provably inert: traces, results, offsets, "
+    "duration, event counts, execution path, and RNG stream positions "
+    "are bit-identical with a recorder attached vs detached, on both "
+    "engines.",
+    {"batch"},
+)
+def _telemetry_is_inert(case: TraceCase) -> None:
+    assert_telemetry_inert(case.spec.params)

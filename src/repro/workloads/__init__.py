@@ -17,8 +17,20 @@ study depends on — the *communication pattern* and run length:
 
 All builders return a ``worker(ctx)`` generator suitable for
 :meth:`repro.mpi.runtime.MpiWorld.run`.
+
+The :data:`WORKLOADS` registry maps each workload name to a builder
+with the uniform signature ``(nprocs, scale, seed) -> BuiltWorkload``;
+:func:`build_workload` is the dispatching front door the CLI uses, so
+adding a workload here makes it runnable via ``repro simulate
+--workload <name>`` without touching the CLI.
 """
 
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
 from repro.workloads.pingpong import collective_timing_worker, pingpong_worker
 from repro.workloads.pop import PopConfig, pop_worker
 from repro.workloads.smg2000 import Smg2000Config, smg2000_worker
@@ -36,4 +48,113 @@ __all__ = [
     "sparse_worker",
     "Sweep3dConfig",
     "sweep3d_worker",
+    "BuiltWorkload",
+    "WORKLOADS",
+    "build_workload",
+    "most_square_grid",
 ]
+
+
+def most_square_grid(nprocs: int) -> tuple[int, int]:
+    """Most-square 2-D factorization ``px * py == nprocs``, ``px >= py``."""
+    if nprocs < 1:
+        raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
+    py = int(nprocs**0.5)
+    while nprocs % py:
+        py -= 1
+    return (nprocs // py, py)
+
+
+@dataclass(frozen=True)
+class BuiltWorkload:
+    """A ready-to-run workload plus the run knobs it wants.
+
+    ``duration_hint`` is the true-time horizon the drift paths must
+    cover; ``tracing_initially`` is False for workloads that open their
+    own tracing window mid-run (POP, SMG2000).
+    """
+
+    name: str
+    worker: Callable
+    duration_hint: float
+    tracing_initially: bool = True
+
+
+def _build_sparse(nprocs: int, scale: float, seed: int) -> BuiltWorkload:
+    cfg = SparseConfig(rounds=max(int(100 * scale), 5))
+    return BuiltWorkload("sparse", sparse_worker(cfg, seed=seed), 120.0)
+
+
+def _build_pop(nprocs: int, scale: float, seed: int) -> BuiltWorkload:
+    steps = max(int(9000 * scale), 20)
+    cfg = PopConfig(
+        steps=steps,
+        step_time=0.165 * 9000 / steps,
+        trace_window=(int(steps * 3500 / 9000), int(steps * 5500 / 9000)),
+        grid=most_square_grid(nprocs),
+    )
+    return BuiltWorkload(
+        "pop",
+        pop_worker(cfg, seed=seed),
+        cfg.steps * cfg.step_time * 1.2 + 60.0,
+        tracing_initially=False,
+    )
+
+
+def _build_smg2000(nprocs: int, scale: float, seed: int) -> BuiltWorkload:
+    cfg = Smg2000Config(cycles=max(int(5 * max(scale * 10, 0.2)), 1))
+    return BuiltWorkload(
+        "smg2000",
+        smg2000_worker(cfg, seed=seed),
+        cfg.pre_sleep + cfg.post_sleep + 240.0,
+        tracing_initially=False,
+    )
+
+
+def _build_sweep3d(nprocs: int, scale: float, seed: int) -> BuiltWorkload:
+    cfg = Sweep3dConfig(
+        iterations=max(int(200 * scale), 2), grid=most_square_grid(nprocs)
+    )
+    px, py = cfg.grid
+    hint = cfg.iterations * 4 * (px + py) * cfg.cell_time * 20.0 + 60.0
+    return BuiltWorkload("sweep3d", sweep3d_worker(cfg, seed=seed), hint)
+
+
+def _build_pingpong(nprocs: int, scale: float, seed: int) -> BuiltWorkload:
+    repeats = max(int(5000 * scale), 10)
+    return BuiltWorkload(
+        "pingpong", pingpong_worker(repeats=repeats), max(repeats * 1e-4, 10.0)
+    )
+
+
+def _build_collective_timing(nprocs: int, scale: float, seed: int) -> BuiltWorkload:
+    repeats = max(int(1000 * scale), 5)
+    return BuiltWorkload(
+        "collective_timing",
+        collective_timing_worker(repeats=repeats),
+        max(repeats * 1e-3, 10.0),
+    )
+
+
+#: Workload name -> builder ``(nprocs, scale, seed) -> BuiltWorkload``.
+WORKLOADS: dict[str, Callable[[int, float, int], BuiltWorkload]] = {
+    "sparse": _build_sparse,
+    "pop": _build_pop,
+    "smg2000": _build_smg2000,
+    "sweep3d": _build_sweep3d,
+    "pingpong": _build_pingpong,
+    "collective_timing": _build_collective_timing,
+}
+
+
+def build_workload(
+    name: str, nprocs: int = 8, scale: float = 0.02, seed: int = 0
+) -> BuiltWorkload:
+    """Build workload ``name`` at ``scale`` for a ``nprocs``-rank job."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+    return builder(nprocs, scale, seed)

@@ -145,3 +145,76 @@ class TestFallbacks:
         assert after.duration == pristine.duration
         assert after.events_processed == pristine.events_processed
         assert after.rng_states == pristine.rng_states
+
+
+def _fallback_job(rounds: int, engine: str):
+    """A run that falls back (``until`` is unsupported by the fast path)."""
+    from repro.options import RunOptions
+    from repro.workloads import SparseConfig, sparse_worker
+
+    world = _world()
+    return world.run(
+        sparse_worker(SparseConfig(rounds=rounds)), until=1e9,
+        options=RunOptions(engine=engine),
+    )
+
+
+class TestFallbackReasons:
+    """Every fallback carries a machine-readable reason code, telemetry
+    on or off, and the code survives the runner's result cache."""
+
+    def test_reason_code_attached_without_telemetry(self):
+        from repro.options import RunOptions
+        from repro.workloads import SparseConfig, sparse_worker
+
+        result = _world().run(
+            sparse_worker(SparseConfig(rounds=2)), until=1e9,
+            options=RunOptions(engine="batch"),
+        )
+        assert result.engine == "reference"
+        assert result.fallback_reason == "until"
+
+    def test_no_plan_reason(self):
+        from repro.options import RunOptions
+
+        def adhoc(ctx):
+            yield from ctx.compute(1e-4)
+            return None
+
+        result = _world().run(adhoc, options=RunOptions(engine="batch"))
+        assert result.engine == "reference"
+        assert result.fallback_reason == "no_plan"
+
+    def test_engaged_and_reference_paths_have_no_reason(self):
+        from repro.options import RunOptions
+        from repro.workloads import SparseConfig, sparse_worker
+
+        engaged = _world().run(
+            sparse_worker(SparseConfig(rounds=2)), options=RunOptions(engine="batch")
+        )
+        assert engaged.engine == "batch"
+        assert engaged.fallback_reason is None
+
+        reference = _world().run(
+            sparse_worker(SparseConfig(rounds=2)),
+            options=RunOptions(engine="reference"),
+        )
+        assert reference.fallback_reason is None
+
+    def test_reason_survives_runner_cache_round_trip(self, tmp_path):
+        from repro.analysis.runner import run_grid
+        from repro.cache import ResultCache
+        from repro.options import RunOptions
+
+        grid = [dict(rounds=2, engine="batch")]
+        cold = run_grid(
+            _fallback_job, grid, options=RunOptions(cache=ResultCache(tmp_path))
+        )
+        warm_cache = ResultCache(tmp_path)
+        warm = run_grid(
+            _fallback_job, grid, options=RunOptions(cache=warm_cache)
+        )
+        assert warm_cache.hits == 1
+        assert cold[0].fallback_reason == "until"
+        assert warm[0].fallback_reason == "until"
+        assert warm[0].rng_states == cold[0].rng_states

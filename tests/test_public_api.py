@@ -1,0 +1,150 @@
+"""The public API surface: exports, RunOptions, and deprecation shims.
+
+This module is run in CI with ``-W error::DeprecationWarning``, so any
+deprecated usage that slips into the package itself (not just into user
+code) fails loudly.  The export snapshot below is deliberate friction:
+adding or removing a top-level name is an API decision and must update
+this list in the same change.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import RunOptions, RunResult, TelemetryRecorder, TracingSession
+from repro.cluster import inter_node, xeon_cluster
+from repro.errors import ConfigurationError
+from repro.mpi import MpiWorld
+from repro.options import resolve_options
+
+#: The one and only list of top-level exports.  Update deliberately.
+EXPECTED_EXPORTS = [
+    "PipelineReport",
+    "ReproError",
+    "RunOptions",
+    "RunResult",
+    "SyncPipeline",
+    "TelemetryRecorder",
+    "TracingSession",
+    "__version__",
+]
+
+
+def _worker(ctx):
+    yield from ctx.compute(1e-4)
+    return ctx.rank
+
+
+def _world(seed: int = 0) -> MpiWorld:
+    preset = xeon_cluster()
+    return MpiWorld(
+        preset, inter_node(preset.machine, 2), timer="tsc", seed=seed,
+        duration_hint=10.0,
+    )
+
+
+class TestExports:
+    def test_all_snapshot(self):
+        assert sorted(repro.__all__) == EXPECTED_EXPORTS
+
+    def test_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_canonical_identities(self):
+        from repro.mpi.runtime import RunResult as inner_result
+        from repro.options import RunOptions as inner_options
+        from repro.telemetry import TelemetryRecorder as inner_recorder
+
+        assert RunOptions is inner_options
+        assert RunResult is inner_result
+        assert TelemetryRecorder is inner_recorder
+
+
+class TestRunOptions:
+    def test_defaults(self):
+        opts = RunOptions()
+        assert opts.engine == "reference"
+        assert opts.jobs is None and opts.cache is None
+        assert opts.seed is None and opts.telemetry is None
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RunOptions().engine = "batch"
+
+    def test_replace(self):
+        opts = RunOptions(seed=3).replace(engine="batch")
+        assert (opts.engine, opts.seed) == ("batch", 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunOptions(engine="warp")
+        with pytest.raises(ConfigurationError):
+            RunOptions(jobs=-1)
+        with pytest.raises(ConfigurationError):
+            RunOptions(seed="zero")
+
+    def test_resolved_seed(self):
+        assert RunOptions().resolved_seed(9) == 9
+        assert RunOptions(seed=4).resolved_seed(9) == 4
+
+    def test_telemetry_or_null(self):
+        assert not RunOptions().telemetry_or_null.enabled
+        recorder = TelemetryRecorder()
+        assert RunOptions(telemetry=recorder).telemetry_or_null is recorder
+
+
+class TestDeprecationShims:
+    def test_legacy_engine_kwarg_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="engine"):
+            run = _world().run(_worker, engine="reference")
+        assert isinstance(run, RunResult)
+
+    def test_options_path_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run = _world().run(_worker, options=RunOptions(engine="reference"))
+        assert isinstance(run, RunResult)
+
+    def test_options_plus_legacy_conflict(self):
+        with pytest.raises(ConfigurationError):
+            resolve_options(RunOptions(), caller="test", engine="batch")
+
+    def test_resolve_names_the_caller(self):
+        with pytest.warns(DeprecationWarning, match="somewhere"):
+            resolve_options(None, caller="somewhere", seed=1)
+
+    def test_legacy_run_grid_jobs_warns(self):
+        from repro.analysis.runner import run_grid
+
+        with pytest.warns(DeprecationWarning, match="run_grid"):
+            out = run_grid(_square, [dict(x=2), dict(x=3)], jobs=None)
+        assert out == [4, 9]
+
+    def test_legacy_session_seed_warns(self):
+        with pytest.warns(DeprecationWarning, match="TracingSession"):
+            session = TracingSession(nprocs=2, duration_hint=10.0, seed=5)
+        assert session.seed == 5
+
+    def test_session_options_path_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = TracingSession(
+                nprocs=2, duration_hint=10.0, options=RunOptions(seed=5)
+            )
+            run = session.trace(_worker)
+        assert session.seed == 5
+        assert run.results == {0: 0, 1: 1}
+
+    def test_legacy_experiment_kwargs_warn(self):
+        from repro.analysis.experiments import table2_latencies
+
+        with pytest.warns(DeprecationWarning, match="table2_latencies"):
+            table2_latencies(seed=0, repeats=5, coll_repeats=5)
+
+
+def _square(x):
+    return x * x
