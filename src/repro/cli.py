@@ -242,6 +242,12 @@ def _cmd_simulate(args) -> int:
         f"{run.duration:.3f} s simulated ({engine_note}), "
         "offsets measured at init+finalize"
     )
+    if recorder is not None:
+        from repro.telemetry import render_fallback_table
+
+        table = render_fallback_table(recorder.counters)
+        if table:
+            print(table)
     _flush_telemetry(args, recorder)
     return 0
 

@@ -41,7 +41,22 @@ __all__ = [
     "COLL_TAG_BASE",
     "MPI_SEND_REGION",
     "MPI_RECV_REGION",
+    "periodic_sync_due",
 ]
+
+
+def periodic_sync_due(every: int, instance: int) -> bool:
+    """Does the piggybacked offset measurement fire on this collective?
+
+    The protocol runs after every ``every``-th collective instance
+    (``instance % every == 0``; disabled when ``every <= 0``).  Single
+    source of truth for the schedule: the live path
+    (:meth:`MpiContext._collective_impl`) and the batch plan compiler
+    (:mod:`repro.sim.batch`) both consult it, so the statically compiled
+    timelines fire the protocol at exactly the instances the engine
+    would.
+    """
+    return every > 0 and instance % every == 0
 
 #: Application tags must stay below this; collectives use the space above.
 COLL_TAG_BASE: int = 1 << 20
@@ -367,10 +382,7 @@ class MpiContext:
             if cost > 0:
                 yield Compute(cost)
         result = yield from algo(self, instance, **kwargs)
-        if (
-            self.periodic_sync_every > 0
-            and instance % self.periodic_sync_every == 0
-        ):
+        if periodic_sync_due(self.periodic_sync_every, instance):
             # All ranks have completed the algorithm and sit at the same
             # program point — the window [17] exploits to measure
             # offsets without extra global synchronization.  The

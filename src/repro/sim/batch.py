@@ -39,9 +39,15 @@ timeline kernels and then *solves* for the event times:
 
 The contract is **bit-for-bit identity** with the generator engine:
 same timestamps, same event order, same ``events_processed``, same
-duration, and the same RNG stream positions afterwards.  Whenever the
-fast path cannot *guarantee* that (dynamic matching ambiguity,
-simultaneous sends, congestion coupling, run horizons, …) it raises
+duration, same ``periodic_series`` measurements, and the same RNG
+stream positions afterwards.  Periodic (piggybacked) offset
+synchronization is compiled into the timelines — the protocol fires at
+statically known collective instances (see
+:func:`repro.mpi.comm.periodic_sync_due`) — and congestion-coupled
+latency is replayed by tracking the engine's in-flight counter from
+the solver's time-ordered send pass.  Whenever the fast path cannot
+*guarantee* identity (dynamic matching ambiguity, simultaneous sends,
+exact send/delivery ties under congestion, run horizons, …) it raises
 :class:`BatchFallback` before mutating any shared state and the caller
 falls back to the reference engine.  The ``batch_matches_engine``
 oracle in :mod:`repro.verify.oracles` fuzzes this contract.
@@ -59,6 +65,7 @@ import numpy as np
 from repro.cluster.network import HierarchicalLatency, TorusLatency
 from repro.cluster.topology import distance_class
 from repro.errors import ConfigurationError
+from repro.sim.engine import congested_delay
 from repro.sync.offset import SYNC_TAG, OffsetMeasurement, cristian_offset
 from repro.tracing.events import CollectiveOp, EventLog, EventType
 from repro.tracing.trace import Trace
@@ -132,7 +139,8 @@ class _RankPlan:
 
     def __init__(self, rank, size, *, tracing, tracing_initially, mpi_regions,
                  jitter_model, jitter_rng, record_cost, flush_cost, capacity,
-                 read_overhead, send_overhead):
+                 read_overhead, send_overhead,
+                 periodic_sync_every=0, periodic_sync_repeats=3):
         self.rank = rank
         self.size = size
         self.tracing = tracing
@@ -145,6 +153,11 @@ class _RankPlan:
         self.capacity = capacity
         self.read_overhead = read_overhead
         self.send_overhead = send_overhead
+        self.periodic_sync_every = periodic_sync_every
+        self.periodic_sync_repeats = periodic_sync_repeats
+        #: Slot bookkeeping of each fired periodic measurement, in
+        #: firing order (same protocol spec shape as init/final).
+        self.periodic_specs: list = []
         self._since_flush = 0
         self._coll_instance = 0
         self.n_reads = 0
@@ -296,6 +309,8 @@ class _RankPlan:
 
     # -- collectives ---------------------------------------------------
     def _collective(self, op, root, algo, **kwargs) -> None:
+        from repro.mpi.comm import periodic_sync_due
+
         instance = self._coll_instance
         self._coll_instance += 1
         traced = self.traced
@@ -303,6 +318,13 @@ class _RankPlan:
             slot = self._read()
             self._record(slot, EventType.COLL_ENTER, int(op), root, self.size, instance)
         algo(self, instance, **kwargs)
+        if periodic_sync_due(self.periodic_sync_every, instance):
+            # Mirrors MpiContext._collective_impl: the piggybacked
+            # Cristian protocol runs between the algorithm and the
+            # COLL_EXIT record, as raw (untraced) tool traffic.
+            self.periodic_specs.append(
+                _plan_measurement(self, self.periodic_sync_repeats)
+            )
         if traced:
             slot = self._read()
             self._record(slot, EventType.COLL_EXIT, int(op), root, self.size, instance)
@@ -546,7 +568,8 @@ class _CompiledPlan:
         "nranks", "rank_segments", "rank_boundaries", "rank_nreads",
         "channels", "n_sends", "send_src", "send_dst", "send_nbytes",
         "send_chan", "send_pair", "events_processed", "rank_events",
-        "result_specs", "init_specs", "final_specs", "latency_cache",
+        "result_specs", "init_specs", "final_specs", "periodic_specs",
+        "latency_cache",
     )
 
 
@@ -577,6 +600,8 @@ def _compile(world, plan_fn: Callable, key: tuple, *, tracing, tracing_initially
             capacity=world.trace_buffer_capacity,
             read_overhead=world.spec.read_overhead,
             send_overhead=world.send_overhead,
+            periodic_sync_every=world.periodic_sync_every,
+            periodic_sync_repeats=world.periodic_sync_repeats,
         )
         init_specs.append(_plan_measurement(rp, sync_repeats) if measure else None)
         result_specs.append(plan_fn(rp))
@@ -590,6 +615,20 @@ def _compile(world, plan_fn: Callable, key: tuple, *, tracing, tracing_initially
     plan.result_specs = result_specs
     plan.init_specs = init_specs
     plan.final_specs = final_specs
+    # Group the piggybacked measurements per firing: collectives issue
+    # in the same order on every rank (an MPI requirement the instance
+    # counter relies on), so the k-th fired protocol on one rank pairs
+    # with the k-th on every other.
+    n_fired = {len(rp.periodic_specs) for rp in rank_plans}
+    if len(n_fired) > 1:
+        raise BatchFallback(
+            "periodic_sync",
+            "ranks disagree on the periodic measurement schedule",
+        )
+    plan.periodic_specs = [
+        [rp.periodic_specs[k] for rp in rank_plans]
+        for k in range(n_fired.pop())
+    ]
     plan.latency_cache = {}
 
     # Global send serials and channel table.
@@ -773,6 +812,15 @@ def _solve(plan: _CompiledPlan, world, locations, rng):
         floors, scales, shape, n_noisy = static
         noise = rng.standard_gamma(shape, size=n_noisy).tolist() if n_noisy else []
     ni = 0
+    # Congestion state, mirrored from repro.sim.engine.Transport: the
+    # send heap already pops in strictly increasing true time — the
+    # exact order in which the engine executes sends — so the engine's
+    # in-flight counter can be replayed from an arrival min-heap.
+    alpha = world.congestion_alpha
+    congested = alpha > 0.0
+    capacity = max(int(world.congestion_capacity), 1)
+    in_flight = 0
+    pending: list[float] = []  # scheduled deliveries not yet processed
 
     read_times = [np.empty(n, dtype=np.float64) for n in plan.rank_nreads]
     seg_idx = [0] * nranks
@@ -856,6 +904,21 @@ def _solve(plan: _CompiledPlan, world, locations, rng):
                 "simultaneous_sends", "simultaneous sends; tie order is engine-defined"
             )
         prev = t_send
+        if congested:
+            # The engine decrements in_flight when the delivery event is
+            # processed.  A delivery strictly before this send always
+            # pops first (the inline resume fast path requires
+            # ``at < queue[0][0]``, so a queued delivery blocks it); an
+            # *exact* tie breaks on heap insertion order, which the
+            # solver cannot reconstruct.
+            while pending and pending[0] < t_send:
+                heappop(pending)
+                in_flight -= 1
+            if pending and pending[0] == t_send:
+                raise BatchFallback(
+                    "congestion_tie",
+                    "send coincides with a delivery; load is tie-order-defined",
+                )
         # Local send serial -> global: segments store per-rank local
         # indices; translate lazily via the rank base is avoided by
         # storing globals at compile time — `serial` is already global.
@@ -873,12 +936,29 @@ def _solve(plan: _CompiledPlan, world, locations, rng):
                 int(plan.send_nbytes[serial]),
                 rng,
             )
+        if congested:
+            if in_flight > 0:
+                # Transport.delivery_delay's scaling, with the same
+                # floor: the static decomposition's per-send floor *is*
+                # model.min_latency for every supported model.
+                lat_floor = (
+                    floors[serial] if static is not None
+                    else model.min_latency(
+                        locations[plan.send_src[serial]],
+                        locations[plan.send_dst[serial]],
+                        int(plan.send_nbytes[serial]),
+                    )
+                )
+                delay = congested_delay(delay, lat_floor, alpha, in_flight, capacity)
+            in_flight += 1  # this message, counted after its own delay
         arrival = t_send + delay
         pi = send_pair[serial]
         floor = last_delivery[pi]
         if arrival <= floor:
             arrival = math.nextafter(floor, math.inf)
         last_delivery[pi] = arrival
+        if congested:
+            heappush(pending, arrival)
         match_ids[serial] = next_mid
         next_mid += 1
         if arrival > max_arrival:
@@ -913,7 +993,13 @@ def _evaluate_clocks(read_times, clocks):
     Raises :class:`BatchFallback` — before consuming any clock RNG or
     touching monotonicity state — if reads of *different* ranks sharing
     a jittered clock coincide in true time (the engine breaks such ties
-    on scheduling order).
+    on scheduling order).  Ties between reads of the *same* rank are
+    fine: per-rank read times are nondecreasing in program order, the
+    stable argsort keeps equal-time runs in concatenation (= rank,
+    then program) order, and the engine evaluates a rank's reads in
+    program order too — so the RNG pairing is unambiguous.  Single-rank
+    groups (private clocks — the common case) skip the concatenate /
+    argsort / tie scan entirely.
     """
     groups: dict[int, list[int]] = {}
     clock_of: dict[int, Any] = {}
@@ -931,12 +1017,20 @@ def _evaluate_clocks(read_times, clocks):
             times = np.concatenate([read_times[r] for r in ranks])
             order = np.argsort(times, kind="stable")
             times = times[order]
-            if clock.read_jitter > 0.0 and times.size > 1 and np.any(
-                np.diff(times) == 0.0
-            ):
-                raise BatchFallback(
-                    "shared_clock_tie", "simultaneous reads on a shared jittered clock"
-                )
+            if clock.read_jitter > 0.0 and times.size > 1:
+                tied = np.diff(times) == 0.0
+                if np.any(tied):
+                    # Only *cross-rank* ties are ambiguous.  Stable sort
+                    # keeps an equal-time run grouped by owner, so one
+                    # adjacent owner-change check over the tied pairs
+                    # decides it.
+                    sizes = [read_times[r].size for r in ranks]
+                    owner = np.repeat(np.arange(len(ranks)), sizes)[order]
+                    if np.any(tied & (owner[1:] != owner[:-1])):
+                        raise BatchFallback(
+                            "shared_clock_tie",
+                            "simultaneous cross-rank reads on a shared jittered clock",
+                        )
         prepared.append((clock, ranks, times, order))
 
     read_values = [None] * len(clocks)
@@ -1016,10 +1110,6 @@ def run_batch(world, worker, *, tracing=True, measure_offsets=True,
 
     if until is not None:
         raise BatchFallback("until", "run horizons need the event loop")
-    if world.periodic_sync_every > 0:
-        raise BatchFallback("periodic_sync", "periodic sync piggybacks on live collectives")
-    if world.congestion_alpha > 0.0:
-        raise BatchFallback("congestion", "congestion couples latency to live queue state")
     plan_fn = getattr(worker, "batch_plan", None)
     batch_key = getattr(worker, "batch_key", None)
     if plan_fn is None or batch_key is None:
@@ -1031,6 +1121,7 @@ def run_batch(world, worker, *, tracing=True, measure_offsets=True,
         world.record_cost, world.flush_cost, world.trace_buffer_capacity,
         world.send_overhead, world.recv_overhead, world.spec.read_overhead,
         world.jitter, world.fabric.seed,
+        world.periodic_sync_every, world.periodic_sync_repeats,
     )
     plan = _compile(
         world, plan_fn, key,
@@ -1059,6 +1150,10 @@ def run_batch(world, worker, *, tracing=True, measure_offsets=True,
         final_offsets = _build_offsets(
             plan.final_specs[0], plan.final_specs, read_values, sync_repeats
         )
+    periodic_offsets = [
+        _build_offsets(specs[0], specs, read_values, world.periodic_sync_repeats)
+        for specs in plan.periodic_specs
+    ]
 
     trace = None
     if tracing:
@@ -1106,7 +1201,7 @@ def run_batch(world, worker, *, tracing=True, measure_offsets=True,
         results=results,
         duration=duration,
         events_processed=plan.events_processed,
-        periodic_offsets=[],
+        periodic_offsets=periodic_offsets,
         engine="batch",
         rng_states=rng_states,
     )

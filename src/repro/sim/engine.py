@@ -30,9 +30,27 @@ from repro.cluster.topology import Location
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.primitives import ANY_SOURCE, ANY_TAG, Compute, Message, ReadClock, Recv, Send
 
-__all__ = ["Engine", "Transport"]
+__all__ = ["Engine", "Transport", "congested_delay"]
 
 ProcessGen = Generator[Any, Any, Any]
+
+
+def congested_delay(
+    delay: float, floor: float, alpha: float, in_flight: int, capacity: int
+) -> float:
+    """Scale the noise-above-floor part of ``delay`` by the current load.
+
+    Section III.c's load model: ``floor + (delay - floor) *
+    (1 + alpha * in_flight / capacity)``.  The floor never moves, so
+    congestion cannot create causality violations.  This is the single
+    definition of the scaling — :class:`Transport` applies it per
+    message in event order, and the batch solver
+    (:mod:`repro.sim.batch`) replays the identical arithmetic from its
+    event-ordered arrival pass, which is what keeps the two paths
+    bit-identical.
+    """
+    load = in_flight / capacity
+    return floor + (delay - floor) * (1.0 + alpha * load)
 
 
 class Transport:
@@ -88,8 +106,10 @@ class Transport:
         delay = self.latency_model.sample(src, dst, nbytes, self.rng)
         if self.congestion_alpha > 0.0 and self.in_flight > 0:
             floor = self.latency_model.min_latency(src, dst, nbytes)
-            load = self.in_flight / self.congestion_capacity
-            delay = floor + (delay - floor) * (1.0 + self.congestion_alpha * load)
+            delay = congested_delay(
+                delay, floor, self.congestion_alpha,
+                self.in_flight, self.congestion_capacity,
+            )
         return delay
 
     def min_latency(self, src: Location, dst: Location, nbytes: int = 0) -> float:

@@ -6,6 +6,7 @@ scheme, and the inertness contract.
 
 from repro.telemetry.export import (
     load_jsonl,
+    render_fallback_table,
     render_report,
     to_jsonl,
     to_prometheus,
@@ -28,6 +29,7 @@ __all__ = [
     "TimingStats",
     "ensure_telemetry",
     "load_jsonl",
+    "render_fallback_table",
     "render_report",
     "to_jsonl",
     "to_prometheus",

@@ -18,11 +18,16 @@ from typing import Dict, List
 
 __all__ = [
     "load_jsonl",
+    "render_fallback_table",
     "render_report",
     "to_jsonl",
     "to_prometheus",
     "write_jsonl",
 ]
+
+#: Counter namespace the batch engine uses for per-reason fallbacks
+#: (``sim.batch.fallback.<code>``; see docs/observability.md).
+FALLBACK_PREFIX = "sim.batch.fallback."
 
 FORMAT_VERSION = 1
 
@@ -139,6 +144,30 @@ def to_prometheus(telemetry_or_snapshot) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_fallback_table(counters: Dict[str, float]) -> str:
+    """Per-reason batch-fallback table (reason → count) from counters.
+
+    Returns ``""`` when no batch engine activity was recorded, so
+    callers can print it unconditionally.  The engaged count rides
+    along when present — coverage progress is the ratio the ROADMAP
+    tracks (vectorize the dominant reasons one by one).
+    """
+    reasons = {
+        name[len(FALLBACK_PREFIX):]: value
+        for name, value in counters.items()
+        if name.startswith(FALLBACK_PREFIX)
+    }
+    engaged = counters.get("sim.batch.engaged")
+    if not reasons and engaged is None:
+        return ""
+    lines = ["batch engine (reason -> count)"]
+    if engaged is not None:
+        lines.append(f"  {'engaged':<28} {int(engaged):>8}")
+    for reason in sorted(reasons):
+        lines.append(f"  fallback: {reason:<18} {int(reasons[reason]):>8}")
+    return "\n".join(lines)
+
+
 def render_report(telemetry_or_snapshot) -> str:
     """Human-readable span tree + scalar tables for ``repro report``."""
     snap = _snapshot_of(telemetry_or_snapshot)
@@ -174,6 +203,10 @@ def render_report(telemetry_or_snapshot) -> str:
             lines.append(section)
             for name, value in table.items():
                 lines.append(f"  {name:<44} {value:>14{fmt}}")
+
+    fallbacks = render_fallback_table(snap["counters"])
+    if fallbacks:
+        lines.append(fallbacks)
 
     timings = snap["timings"]
     if timings:

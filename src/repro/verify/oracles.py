@@ -585,6 +585,10 @@ def _batch_world(params: dict):
         duration_hint=float(params.get("duration_hint", 60.0)),
         trace_buffer_capacity=int(params.get("trace_buffer_capacity", 0)),
         mpi_regions=bool(params.get("mpi_regions", False)),
+        periodic_sync_every=int(params.get("periodic_sync_every", 0)),
+        periodic_sync_repeats=int(params.get("periodic_sync_repeats", 3)),
+        congestion_alpha=float(params.get("congestion_alpha", 0.0)),
+        congestion_capacity=int(params.get("congestion_capacity", 16)),
     )
 
 

@@ -278,6 +278,13 @@ def batch_specs(draw):
         "sync_repeats": draw(st.integers(1, 4)),
         "mpi_regions": draw(st.booleans()),
         "trace_buffer_capacity": draw(st.sampled_from([0, 4])),
+        # Piggybacked periodic synchronization (fires on the workloads
+        # that issue collectives) and congestion-coupled latency — both
+        # run batched end-to-end and must stay bit-identical.
+        "periodic_sync_every": draw(st.sampled_from([0, 1, 2, 3])),
+        "periodic_sync_repeats": draw(st.integers(1, 3)),
+        "congestion_alpha": draw(st.sampled_from([0.0, 0.25, 1.0])),
+        "congestion_capacity": draw(st.sampled_from([1, 4, 16])),
         "shape": shape,
         "expect_engaged": measure_offsets,
     })

@@ -80,6 +80,74 @@ def test_batch_fuzz_lite(spec):
         assert taken == "batch"
 
 
+@pytest.mark.parametrize("workload", ["sparse", "pop", "smg2000"])
+def test_periodic_sync_engages_and_matches(workload):
+    """Piggybacked periodic sync runs batched end-to-end, bit-identical
+    (including the periodic_series measurements and RNG states)."""
+    for every in (1, 2):
+        taken = assert_batch_matches_engine(_params(
+            workload, "tsc", periodic_sync_every=every, periodic_sync_repeats=2,
+        ))
+        assert taken == "batch", f"{workload} (every={every}) fell back"
+
+
+@pytest.mark.parametrize("workload", ["sparse", "pop", "smg2000"])
+def test_congestion_engages_and_matches(workload):
+    """Congestion-coupled latency runs batched end-to-end, bit-identical
+    (the solver replays the engine's in-flight counter exactly)."""
+    for alpha, capacity in ((0.5, 16), (1.0, 1)):
+        taken = assert_batch_matches_engine(_params(
+            workload, "tsc", congestion_alpha=alpha,
+            congestion_capacity=capacity,
+        ))
+        assert taken == "batch", f"{workload} (alpha={alpha}) fell back"
+
+
+def test_periodic_and_congestion_together():
+    taken = assert_batch_matches_engine(_params(
+        "sparse", "mpi_wtime", periodic_sync_every=1, congestion_alpha=0.5,
+    ))
+    assert taken == "batch"
+
+
+# ----------------------------------------------------------------------
+# Fallback-coverage matrix: one explicit expectation per workload x
+# feature, so vectorizing a fallback reason (or regressing one) flips a
+# pinned assertion instead of silently changing the execution path.
+# ----------------------------------------------------------------------
+#: feature -> (world kwargs, run kwargs, expected fallback_reason;
+#: None means the fast path must engage).
+FALLBACK_COVERAGE = {
+    "plain": ({}, {}, None),
+    "periodic_sync": ({"periodic_sync_every": 2}, {}, None),
+    "congestion": ({"congestion_alpha": 0.5}, {}, None),
+    "until": ({}, {"until": 1e9}, "until"),
+}
+
+
+@pytest.mark.parametrize("feature", sorted(FALLBACK_COVERAGE))
+@pytest.mark.parametrize("workload", sorted(BATCH_WORKLOADS))
+def test_fallback_coverage_matrix(workload, feature):
+    from repro.options import RunOptions
+    from repro.verify.oracles import _batch_worker
+
+    world_kw, run_kw, expected_reason = FALLBACK_COVERAGE[feature]
+    worker = _batch_worker(
+        {"workload": workload, "nranks": 4, "workload_seed": 3, "shape": {}}
+    )
+    result = _world(**world_kw).run(
+        worker, options=RunOptions(engine="batch"), **run_kw
+    )
+    if expected_reason is None:
+        assert result.engine == "batch", (
+            f"{workload}/{feature} fell back: {result.fallback_reason}"
+        )
+        assert result.fallback_reason is None
+    else:
+        assert result.engine == "reference"
+        assert result.fallback_reason == expected_reason
+
+
 def _world(**kwargs) -> MpiWorld:
     preset = xeon_cluster()
     return MpiWorld(
@@ -103,13 +171,6 @@ class TestFallbacks:
         result = _world().run(
             sparse_worker(SparseConfig(rounds=2)), until=1e9, engine="batch"
         )
-        assert result.engine == "reference"
-
-    def test_congestion_falls_back(self):
-        from repro.workloads import SparseConfig, sparse_worker
-
-        world = _world(congestion_alpha=0.5)
-        result = world.run(sparse_worker(SparseConfig(rounds=2)), engine="batch")
         assert result.engine == "reference"
 
     def test_subcommunicator_falls_back_identically(self):
@@ -145,6 +206,78 @@ class TestFallbacks:
         assert after.duration == pristine.duration
         assert after.events_processed == pristine.events_processed
         assert after.rng_states == pristine.rng_states
+
+
+class TestSharedClockTies:
+    """``_evaluate_clocks`` tie handling: only *cross-rank* ties on a
+    shared jittered clock are ambiguous (the engine breaks them on
+    scheduling order); same-rank ties evaluate in program order on both
+    paths, and private per-rank clocks never merge at all."""
+
+    def _jittered_clock(self, seed=5):
+        import numpy as np
+
+        from repro.clocks.base import Clock
+        from repro.clocks.drift import ConstantDrift
+
+        return Clock(
+            ConstantDrift(1e-6, 0.0), read_jitter=1e-8,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_cross_rank_tie_falls_back(self):
+        import numpy as np
+
+        from repro.sim.batch import _evaluate_clocks
+
+        clock = self._jittered_clock()
+        with pytest.raises(BatchFallback) as exc:
+            _evaluate_clocks(
+                [np.array([1.0, 2.0]), np.array([2.0, 3.0])], [clock, clock]
+            )
+        assert exc.value.code == "shared_clock_tie"
+
+    def test_same_rank_tie_matches_scalar_reads(self):
+        import numpy as np
+
+        from repro.sim.batch import _evaluate_clocks
+
+        clock = self._jittered_clock()
+        values = _evaluate_clocks(
+            [np.array([1.0, 2.0, 2.0]), np.array([3.0])], [clock, clock]
+        )
+        # The engine would evaluate these four reads sequentially in
+        # true-time (= program) order on the shared clock.
+        scalar = self._jittered_clock()
+        expect = [scalar.read(t) for t in (1.0, 2.0, 2.0, 3.0)]
+        assert values[0].tolist() == expect[:3]
+        assert values[1].tolist() == expect[3:]
+
+    def test_private_clocks_never_merge(self):
+        import numpy as np
+
+        from repro.sim.batch import _evaluate_clocks
+
+        a, b = self._jittered_clock(1), self._jittered_clock(2)
+        values = _evaluate_clocks(
+            [np.array([1.0, 2.0]), np.array([2.0, 3.0])], [a, b]
+        )
+        sa, sb = self._jittered_clock(1), self._jittered_clock(2)
+        assert values[0].tolist() == [sa.read(1.0), sa.read(2.0)]
+        assert values[1].tolist() == [sb.read(2.0), sb.read(3.0)]
+
+    def test_unjittered_shared_clock_tie_is_fine(self):
+        import numpy as np
+
+        from repro.clocks.base import Clock
+        from repro.clocks.drift import ConstantDrift
+        from repro.sim.batch import _evaluate_clocks
+
+        clock = Clock(ConstantDrift(1e-6, 0.0))
+        values = _evaluate_clocks(
+            [np.array([1.0, 2.0]), np.array([2.0, 3.0])], [clock, clock]
+        )
+        assert values[0].size == 2 and values[1].size == 2
 
 
 def _fallback_job(rounds: int, engine: str):
