@@ -32,7 +32,7 @@ from repro.mpi.runtime import RunResult
 from repro.options import RunOptions
 from repro.telemetry import TelemetryRecorder
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "TracingSession",

@@ -3,10 +3,14 @@
 Six subcommands cover the tool loop without writing Python:
 
 * ``simulate`` — run a workload on a simulated platform, write the
-  trace (and its offset measurements) to a ``.npz``/``.jsonl`` file;
-* ``scan``     — count clock-condition violations in a trace file;
+  trace (and its offset measurements) to a ``.npz``/``.jsonl`` file, or
+  spill it out-of-core to a sharded directory (``--trace-out DIR
+  --shard-events N``);
+* ``scan``     — count clock-condition violations in a trace file or
+  shard directory (the latter streams one shard at a time);
 * ``sync``     — correct a trace file (interpolation and/or CLC) and
-  write the result;
+  write the result; shard directories stream through the bounded-memory
+  kernels and write a sharded output;
 * ``report``   — summarize a trace: events, messages, collectives,
   violation rates, optional ASCII timeline; or render a telemetry
   export (``--telemetry``);
@@ -31,6 +35,9 @@ Examples
         --timer tsc --seed 3 -o pop.npz
     python -m repro.cli scan pop.npz
     python -m repro.cli sync pop.npz --clc -o pop_fixed.npz
+    python -m repro.cli simulate --workload pop --nprocs 16 --seed 3 \\
+        --trace-out pop_shards --shard-events 65536
+    python -m repro.cli sync pop_shards --clc -o pop_fixed_shards
     python -m repro.cli report pop_fixed.npz --timeline
     python -m repro.cli figures fig7 fig8 --jobs 4 --telemetry figs.tele.jsonl
     python -m repro.cli report --telemetry figs.tele.jsonl
@@ -56,6 +63,7 @@ from repro.sync.interpolation import align_offsets, linear_interpolation
 from repro.sync.offset import OffsetMeasurement
 from repro.sync.violations import scan_collectives, scan_messages
 from repro.tracing.reader import read_trace
+from repro.tracing.store import ChunkedTrace, is_sharded_trace_dir
 from repro.tracing.writer import write_trace
 from repro.workloads import WORKLOADS, build_workload
 
@@ -94,15 +102,27 @@ def build_parser() -> argparse.ArgumentParser:
         "engine when the workload's structure is dynamic)",
     )
     _add_telemetry_arg(sim)
-    sim.add_argument("-o", "--output", required=True, help=".npz or .jsonl trace path")
+    sim.add_argument("-o", "--output", default=None, help=".npz or .jsonl trace path")
+    sim.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="spill the trace out-of-core to a sharded directory instead "
+             "of materializing it (see docs/performance.md)",
+    )
+    sim.add_argument(
+        "--shard-events", type=int, default=None, metavar="N",
+        help="events per shard for --trace-out (default 262144)",
+    )
 
     scan = sub.add_parser("scan", help="count clock-condition violations")
-    scan.add_argument("trace", help="trace file")
+    scan.add_argument("trace", help="trace file or shard directory")
     scan.add_argument("--lmin", type=float, default=0.0, help="latency floor [s]")
 
     sync = sub.add_parser("sync", help="correct a trace's timestamps")
-    sync.add_argument("trace", help="trace file")
-    sync.add_argument("-o", "--output", required=True, help="corrected trace path")
+    sync.add_argument("trace", help="trace file or shard directory")
+    sync.add_argument(
+        "-o", "--output", required=True,
+        help="corrected trace path (a directory for shard-directory input)",
+    )
     sync.add_argument(
         "--interpolation",
         choices=["none", "align", "linear", "hull", "regression", "minmax", "exchange"],
@@ -117,7 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_arg(sync)
 
     rep = sub.add_parser("report", help="summarize a trace or a telemetry export")
-    rep.add_argument("trace", nargs="?", default=None, help="trace file")
+    rep.add_argument("trace", nargs="?", default=None,
+                     help="trace file or shard directory")
     rep.add_argument("--timeline", action="store_true", help="render an ASCII timeline")
     rep.add_argument("--arrows", type=int, default=0, help="list up to N messages")
     rep.add_argument(
@@ -210,6 +231,13 @@ def _flush_telemetry(args, recorder) -> None:
 
 
 def _cmd_simulate(args) -> int:
+    if (args.output is None) == (args.trace_out is None):
+        print("error: give exactly one of -o/--output or --trace-out",
+              file=sys.stderr)
+        return 2
+    if args.shard_events is not None and args.trace_out is None:
+        print("error: --shard-events requires --trace-out", file=sys.stderr)
+        return 2
     preset = PLATFORMS[args.platform]()
     if args.placement == "spread":
         pinning = inter_node(preset.machine, args.nprocs)
@@ -231,17 +259,30 @@ def _cmd_simulate(args) -> int:
     run = world.run(
         built.worker,
         tracing_initially=built.tracing_initially,
-        options=RunOptions(engine=args.engine, telemetry=recorder),
+        options=RunOptions(
+            engine=args.engine, telemetry=recorder,
+            trace_dir=args.trace_out, shard_events=args.shard_events,
+        ),
     )
-    path = write_trace(run.trace, args.output)
     engine_note = run.engine
     if run.fallback_reason:
         engine_note += f", fell back: {run.fallback_reason}"
-    print(
-        f"wrote {path}: {run.trace.total_events()} events, "
-        f"{run.duration:.3f} s simulated ({engine_note}), "
-        "offsets measured at init+finalize"
-    )
+    if args.trace_out is not None:
+        reader = run.trace.reader
+        print(
+            f"wrote {args.trace_out}: {run.trace.total_events()} events "
+            f"in {reader.shard_count()} shards "
+            f"({reader.shard_events} events/shard), "
+            f"{run.duration:.3f} s simulated ({engine_note}), "
+            "offsets measured at init+finalize"
+        )
+    else:
+        path = write_trace(run.trace, args.output)
+        print(
+            f"wrote {path}: {run.trace.total_events()} events, "
+            f"{run.duration:.3f} s simulated ({engine_note}), "
+            "offsets measured at init+finalize"
+        )
     if recorder is not None:
         from repro.telemetry import render_fallback_table
 
@@ -265,10 +306,22 @@ def _measurements_from_meta(meta: dict, key: str):
 
 
 def _cmd_scan(args) -> int:
-    trace = read_trace(args.trace)
-    p2p = scan_messages(trace.messages(strict=False), args.lmin)
-    coll, _ = scan_collectives(trace, args.lmin)
-    print(f"{args.trace}: {trace.nranks} ranks, {trace.total_events()} events")
+    if is_sharded_trace_dir(args.trace):
+        from repro.sync.streaming import streaming_scan_trace
+
+        chunked = ChunkedTrace(args.trace)
+        reports = streaming_scan_trace(chunked, lmin=args.lmin)
+        p2p, coll = reports["p2p"], reports["collective"]
+        print(
+            f"{args.trace}: {chunked.nranks} ranks, "
+            f"{chunked.total_events()} events "
+            f"({chunked.reader.shard_count()} shards, streamed)"
+        )
+    else:
+        trace = read_trace(args.trace)
+        p2p = scan_messages(trace.messages(strict=False), args.lmin)
+        coll, _ = scan_collectives(trace, args.lmin)
+        print(f"{args.trace}: {trace.nranks} ranks, {trace.total_events()} events")
     print(f"  p2p:        {p2p.violated}/{p2p.checked} ({100 * p2p.rate:.3f} %) violations")
     print(
         f"  collective: {coll.violated}/{coll.checked} "
@@ -277,8 +330,66 @@ def _cmd_scan(args) -> int:
     return 0 if (p2p.violated + coll.violated) == 0 else 1
 
 
+def _cmd_sync_sharded(args, recorder) -> int:
+    """Stream a shard directory through the bounded-memory kernels."""
+    import tempfile
+
+    from repro.sync.streaming import streaming_apply_correction, streaming_clc_correct
+
+    if args.interpolation in ("hull", "regression", "minmax", "exchange"):
+        print(
+            f"error: --interpolation {args.interpolation} needs the whole "
+            "trace in memory; shard directories support align, linear or "
+            "none (materialize the trace first for the others)",
+            file=sys.stderr,
+        )
+        return 2
+    source = ChunkedTrace(args.trace)
+    correction = None
+    if args.interpolation != "none":
+        init = _measurements_from_meta(source.meta, "init_offsets")
+        final = _measurements_from_meta(source.meta, "final_offsets")
+        if init is None:
+            print("error: trace has no offset measurements in metadata", file=sys.stderr)
+            return 2
+        if args.interpolation == "align":
+            correction = align_offsets(init)
+        else:
+            if final is None:
+                print("error: trace has no final offsets; use --interpolation align",
+                      file=sys.stderr)
+                return 2
+            correction = linear_interpolation(init, final)
+    if correction is None and not args.clc:
+        print("error: nothing to apply (--interpolation none without --clc)",
+              file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="repro-sync-") as tmp:
+        if correction is not None:
+            dest = f"{tmp}/interp" if args.clc else args.output
+            source = streaming_apply_correction(
+                correction, source, dest, telemetry=recorder
+            )
+            print(f"applied {args.interpolation} interpolation (streamed)")
+        if args.clc:
+            result = streaming_clc_correct(
+                source, args.output, gamma=args.gamma, lmin=args.lmin,
+                telemetry=recorder,
+            )
+            print(
+                f"applied CLC (streamed): {result.jumps} jumps, max shift "
+                f"{result.max_shift * 1e6:.3f} us"
+            )
+    print(f"wrote {args.output}")
+    _flush_telemetry(args, recorder)
+    return 0
+
+
 def _cmd_sync(args) -> int:
     recorder = _telemetry_for(args)
+    if is_sharded_trace_dir(args.trace):
+        return _cmd_sync_sharded(args, recorder)
     trace = read_trace(args.trace)
     if args.interpolation in ("hull", "regression", "minmax"):
         from repro.sync.error_estimation import synchronize_by_spanning_tree
@@ -324,6 +435,40 @@ def _cmd_sync(args) -> int:
     return 0
 
 
+def _report_sharded(args) -> int:
+    """Summarize a shard directory one shard at a time (bounded memory)."""
+    import numpy as np
+
+    from repro.tracing.events import EventType
+
+    if args.timeline or args.arrows:
+        print("error: --timeline/--arrows need a materialized trace file",
+              file=sys.stderr)
+        return 2
+    chunked = ChunkedTrace(args.trace)
+    reader = chunked.reader
+    counts = np.zeros(len(EventType), dtype=np.int64)
+    sends = recvs = 0
+    for rank in chunked.ranks:
+        for rec, cols in chunked.iter_shards(rank):
+            counts += np.bincount(
+                np.asarray(cols[1]), minlength=len(EventType)
+            )[: len(EventType)]
+            sends += rec.sends
+            recvs += rec.recvs
+    print(f"{args.trace} (sharded)")
+    print(f"  ranks: {chunked.nranks}   events: {chunked.total_events()}   "
+          f"shards: {reader.shard_count()} ({reader.shard_events} events/shard)")
+    print("  by type: " + ", ".join(
+        f"{EventType(i).name}={int(n)}" for i, n in enumerate(counts) if n
+    ))
+    print(f"  send events: {sends}   recv events: {recvs}")
+    for key in ("machine", "timer", "duration"):
+        if key in chunked.meta:
+            print(f"  {key}: {chunked.meta[key]}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     if args.telemetry is not None:
         from repro.telemetry import load_jsonl, render_report
@@ -335,6 +480,8 @@ def _cmd_report(args) -> int:
     if args.trace is None:
         print("error: give a trace file and/or --telemetry PATH", file=sys.stderr)
         return 2
+    if is_sharded_trace_dir(args.trace):
+        return _report_sharded(args)
     trace = read_trace(args.trace)
     counts = trace.event_counts()
     msgs = trace.messages(strict=False)

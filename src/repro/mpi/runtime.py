@@ -163,6 +163,7 @@ class MpiWorld:
         *,
         options: Optional[RunOptions] = None,
         telemetry=None,
+        trace_sink=None,
     ) -> RunResult:
         """Execute ``worker`` on every rank.
 
@@ -198,11 +199,32 @@ class MpiWorld:
         telemetry:
             A :class:`repro.telemetry.TelemetryRecorder`; overrides
             ``options.telemetry`` when both are given.
+        trace_sink:
+            A :class:`repro.tracing.store.ShardedTraceWriter` to spill
+            trace events into as they are recorded (out-of-core
+            generation: no rank ever holds more than one shard).  The
+            sink is finalized by this call and ``RunResult.trace``
+            becomes a :class:`repro.tracing.store.ChunkedTrace` over
+            its directory.  ``options.trace_dir`` / ``shard_events``
+            construct one implicitly.
         """
         options = resolve_options(options, caller="MpiWorld.run", engine=engine)
         tele = telemetry if telemetry is not None else options.telemetry_or_null
+        if trace_sink is None and options.trace_dir is not None:
+            from repro.tracing.store import DEFAULT_SHARD_EVENTS, ShardedTraceWriter
+
+            trace_sink = ShardedTraceWriter(
+                options.trace_dir,
+                shard_events=options.shard_events or DEFAULT_SHARD_EVENTS,
+                run_id="run",
+            )
         fallback_reason = None
-        if options.engine == "batch":
+        if options.engine == "batch" and tracing and trace_sink is not None:
+            # The batch planner emits whole timelines at once; spilling
+            # per shard requires the incremental engine path.
+            fallback_reason = "trace_sink"
+            tele.count("sim.batch.fallback.trace_sink")
+        elif options.engine == "batch":
             from repro.sim.batch import BatchFallback, run_batch
 
             try:
@@ -241,14 +263,23 @@ class MpiWorld:
             loc = self.pinning[rank]
             tracer = None
             if tracing:
-                tracer = Tracer(
-                    TraceBuffer(
+                if trace_sink is not None:
+                    from repro.tracing.store import SpillingTraceBuffer
+
+                    buffer = SpillingTraceBuffer(
+                        trace_sink,
+                        rank,
                         capacity=self.trace_buffer_capacity,
                         record_cost=self.record_cost,
                         flush_cost=self.flush_cost,
-                    ),
-                    active=tracing_initially,
-                )
+                    )
+                else:
+                    buffer = TraceBuffer(
+                        capacity=self.trace_buffer_capacity,
+                        record_cost=self.record_cost,
+                        flush_cost=self.flush_cost,
+                    )
+                tracer = Tracer(buffer, active=tracing_initially)
                 tracers[rank] = tracer
             ctx = MpiContext(
                 rank=rank,
@@ -305,7 +336,15 @@ class MpiWorld:
                 meta["final_offsets"] = {
                     str(r): (m.worker_time, m.offset) for r, m in final_offsets.items()
                 }
-            trace = Trace({r: t.log for r, t in tracers.items()}, meta=meta)
+            if trace_sink is not None:
+                from repro.tracing.store import ChunkedTrace, ShardedTraceReader
+
+                for tracer in tracers.values():
+                    tracer.buffer.drain()
+                trace_sink.finish(meta=meta)
+                trace = ChunkedTrace(ShardedTraceReader(trace_sink.directory))
+            else:
+                trace = Trace({r: t.log for r, t in tracers.items()}, meta=meta)
 
         clocks = {rank: self.ensemble.clock_for(self.pinning[rank]) for rank in range(nranks)}
         rng_states = {

@@ -65,6 +65,15 @@ class RunOptions:
     telemetry:
         A :class:`repro.telemetry.TelemetryRecorder`, or ``None`` for the
         shared zero-overhead null sink.
+    trace_dir:
+        Directory for an out-of-core sharded trace.  When set, the run
+        spills events to a :class:`repro.tracing.store.ShardedTraceWriter`
+        instead of materializing the full log, and ``RunResult.trace``
+        is a :class:`repro.tracing.store.ChunkedTrace`.
+    shard_events:
+        Events per shard for ``trace_dir`` (default
+        :data:`repro.tracing.store.DEFAULT_SHARD_EVENTS`).  Requires
+        ``trace_dir``.
 
     Instances are frozen; derive variants with :meth:`replace`.
     """
@@ -74,6 +83,8 @@ class RunOptions:
     cache: Any = None
     seed: Optional[int] = None
     telemetry: Any = None
+    trace_dir: Any = None
+    shard_events: Optional[int] = None
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -84,6 +95,15 @@ class RunOptions:
             raise ConfigurationError(f"jobs must be a positive int or None, got {self.jobs!r}")
         if self.seed is not None and not isinstance(self.seed, int):
             raise ConfigurationError(f"seed must be an int or None, got {self.seed!r}")
+        if self.shard_events is not None:
+            if not isinstance(self.shard_events, int) or self.shard_events < 1:
+                raise ConfigurationError(
+                    f"shard_events must be a positive int or None, got {self.shard_events!r}"
+                )
+            if self.trace_dir is None:
+                raise ConfigurationError(
+                    "shard_events requires trace_dir (it sizes the on-disk shards)"
+                )
 
     def replace(self, **changes) -> "RunOptions":
         """Return a copy with ``changes`` applied (frozen-safe)."""

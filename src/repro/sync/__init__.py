@@ -16,7 +16,10 @@ This package implements the paper's Section III/V toolchain:
   estimation from message timestamps;
 * :mod:`repro.sync.replay` — replay-ordered (parallelizable) CLC;
 * :mod:`repro.sync.schedule` — compiled happened-before schedules and
-  the array kernels behind CLC, Lamport, vector, and replay.
+  the array kernels behind CLC, Lamport, vector, and replay;
+* :mod:`repro.sync.streaming` — out-of-core CLC / scan / interpolation
+  over sharded trace directories, bit-identical to the in-memory
+  kernels with the peak resident set bounded by one shard per rank.
 """
 
 from repro.sync.offset import OffsetMeasurement, cristian_offset, measurement_protocol
@@ -49,6 +52,11 @@ from repro.sync.error_estimation import (
 )
 from repro.sync.exchange import exchange_correction, offsets_from_exchanges
 from repro.sync.replay import ReplayResult, replay_correct
+from repro.sync.streaming import (
+    streaming_apply_correction,
+    streaming_clc_correct,
+    streaming_scan_trace,
+)
 
 __all__ = [
     "OffsetMeasurement",
@@ -80,4 +88,7 @@ __all__ = [
     "logical_messages",
     "estimate_pairwise_offsets",
     "synchronize_by_spanning_tree",
+    "streaming_apply_correction",
+    "streaming_clc_correct",
+    "streaming_scan_trace",
 ]

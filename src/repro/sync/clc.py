@@ -223,6 +223,9 @@ class ControlledLogicalClock:
         if tele.enabled:
             tele.count("sync.clc.events", orig_flat.size)
             tele.count("sync.clc.jumps", njumps)
+            # The in-memory kernel holds every event at once; the gauge
+            # makes the memory model comparable with the streaming path.
+            tele.gauge_max("sync.clc.peak_resident_events", orig_flat.size)
 
         window = self.amortization_window
         if window is None:

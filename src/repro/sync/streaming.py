@@ -1,0 +1,1012 @@
+"""Bounded-memory streaming CLC and violation scans over sharded traces.
+
+The in-memory kernels of :mod:`repro.sync.clc` and
+:mod:`repro.sync.violations` require the whole trace (and its
+:class:`~repro.sync.schedule.CompiledSchedule`) resident in RAM.  The
+functions here reproduce them **bit-identically** over a
+:class:`~repro.tracing.store.ChunkedTrace` while keeping the peak
+resident set at O(one shard per rank + carried boundary state):
+
+* :func:`streaming_clc_correct` — the controlled logical clock.  The
+  forward pass runs each rank's scalar recurrence (exactly the
+  reference/kernel formulation, including the gamma-compressed
+  follow-up rule and spontaneous-stretch positions) shard by shard,
+  round-robin across ranks; a rank blocks when it reaches a receive
+  whose matching send or a collective exit whose member enters have not
+  been published yet.  Send caps spill to per-shard bucket files; the
+  backward amortization is a single reverse pass over each flagged
+  rank's shards with three scalar carries (the next shard's first
+  advance, timestamp, and re-clamped output).  Statistics accumulate
+  with boundary carries, and the corrected trace is written back out as
+  a sharded store.
+* :func:`streaming_scan_trace` — Eq. 1 violation scan.  Point-to-point
+  matching streams with the same id/FIFO semantics as
+  :meth:`Trace.messages(strict=False) <repro.tracing.trace.Trace.messages>`
+  (unmatched ends dropped); collective instances accumulate and are
+  expanded through the in-memory logical-message mapping.
+* :func:`streaming_apply_correction` — per-shard offset interpolation.
+
+Boundary-state requirements: every receive's matching send must come
+from the rank named in its source field, and match ids must be unique.
+Simulator-written traces guarantee both.  A dependency cycle (corrupt
+trace) stalls every rank and raises
+:class:`~repro.errors.SynchronizationError`, mirroring the in-memory
+replay.  The ``streamed_matches_inmemory`` oracle in
+:mod:`repro.verify.oracles` enforces the bit-identity contract.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from bisect import bisect_left, bisect_right
+from collections import deque
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import SynchronizationError, TraceError
+from repro.sync.clc import ClcResult, ControlledLogicalClock
+from repro.sync.collectives_map import logical_messages
+from repro.sync.violations import LminSpec, ViolationReport, scan_messages
+from repro.telemetry import ensure_telemetry
+from repro.tracing.events import (
+    COLLECTIVE_FLAVORS,
+    CollectiveFlavor,
+    CollectiveOp,
+    EventType,
+)
+from repro.tracing.store import ChunkedTrace, ShardedTraceReader, ShardedTraceWriter
+from repro.tracing.trace import CollectiveRecord, CollectiveTable
+
+__all__ = [
+    "streaming_clc_correct",
+    "streaming_scan_trace",
+    "streaming_apply_correction",
+]
+
+_SEND = int(EventType.SEND)
+_RECV = int(EventType.RECV)
+_CENT = int(EventType.COLL_ENTER)
+_CEXIT = int(EventType.COLL_EXIT)
+
+#: Caps spill records: rank-local event index + cap value.
+_CAPS_DTYPE = np.dtype([("i", "<i8"), ("v", "<f8")])
+#: In-memory cap records buffered per bucket before hitting disk.
+_CAPS_BUFFER = 4096
+
+
+def _pair_lmin(lmin: LminSpec):
+    """Scalar ``l_min(src, dst)`` with per-pair memoization of callables."""
+    if callable(lmin):
+        cache: dict[tuple[int, int], float] = {}
+
+        def fn(s: int, d: int) -> float:
+            key = (s, d)
+            v = cache.get(key)
+            if v is None:
+                v = cache[key] = float(lmin(s, d))
+            return v
+
+        return fn
+    if isinstance(lmin, np.ndarray):
+        return lambda s, d: float(lmin[s, d])
+    value = float(lmin)
+    return lambda s, d: value
+
+
+def _source_is_chunked(source) -> ChunkedTrace:
+    if isinstance(source, ChunkedTrace):
+        return source
+    if isinstance(source, ShardedTraceReader):
+        return ChunkedTrace(source)
+    return ChunkedTrace(ShardedTraceReader(source))
+
+
+def _id_mode(reader: ShardedTraceReader) -> bool:
+    """Ground-truth match ids available?  (Same rule as ``Trace``.)"""
+    for rank in reader.ranks:
+        for rec in reader.rank_shards(rank):
+            if rec.neg_send_ids:
+                return False
+    return True
+
+
+class _Resident:
+    """Peak-resident-events accounting shared by all streaming passes."""
+
+    __slots__ = ("tele", "cur", "peak", "shards_read")
+
+    def __init__(self, tele) -> None:
+        self.tele = tele
+        self.cur = 0
+        self.peak = 0
+        self.shards_read = 0
+
+    def load(self, events: int) -> None:
+        self.cur += events
+        self.shards_read += 1
+        if self.cur > self.peak:
+            self.peak = self.cur
+        if self.tele.enabled:
+            self.tele.count("sync.stream.shards_read")
+            self.tele.gauge_max("sync.clc.peak_resident_events", self.cur)
+
+    def release(self, events: int) -> None:
+        self.cur -= events
+
+
+# ----------------------------------------------------------------------
+# Collective pre-scan
+# ----------------------------------------------------------------------
+def _accumulate_collectives(chunked: ChunkedTrace, resident: Optional[_Resident] = None):
+    """One streaming pass collecting per-rank collective enter/exit info.
+
+    Replicates ``Trace._extract_collectives`` exactly: for each rank all
+    ``COLL_ENTER`` records land in a last-wins dict first, then exits
+    pop in log order — including its duplicate-enter overwrite and
+    error semantics.  Returns ``{inst: {rank: [enter_ts, exit_ts,
+    enter_idx, exit_idx, op, root]}}``.
+    """
+    enters: dict[int, dict[int, tuple[int, float]]] = {}
+    exits: dict[int, list[tuple[int, float, int, int, int]]] = {}
+    for rank in chunked.ranks:
+        enters[rank] = {}
+        exits[rank] = []
+        for rec, cols in chunked.iter_shards(rank):
+            ts, et, a, b, _, d = cols
+            if resident is not None:
+                resident.load(rec.events)
+            sel = np.nonzero(et == _CENT)[0]
+            for i in sel:
+                enters[rank][int(d[i])] = (rec.start + int(i), float(ts[i]))
+            sel = np.nonzero(et == _CEXIT)[0]
+            for i in sel:
+                exits[rank].append(
+                    (rec.start + int(i), float(ts[i]), int(d[i]), int(a[i]), int(b[i]))
+                )
+            if resident is not None:
+                resident.release(rec.events)
+    per_instance: dict[int, dict[int, list]] = {}
+    for rank in chunked.ranks:
+        open_by_instance = dict(enters[rank])
+        for idx, ts_val, inst, op, root in exits[rank]:
+            if inst not in open_by_instance:
+                raise TraceError(
+                    f"rank {rank}: COLL_EXIT for instance {inst} without COLL_ENTER"
+                )
+            e_idx, e_ts = open_by_instance.pop(inst)
+            entry = per_instance.setdefault(inst, {})
+            entry[rank] = [e_ts, ts_val, e_idx, idx, op, root]
+        if open_by_instance:
+            raise TraceError(
+                f"rank {rank}: unclosed collective instances {sorted(open_by_instance)}"
+            )
+    return per_instance
+
+
+def _collective_table(per_instance) -> CollectiveTable:
+    """Assemble a :class:`CollectiveTable` exactly as the in-memory path."""
+    records = []
+    for inst in sorted(per_instance):
+        members = per_instance[inst]
+        ranks = np.array(sorted(members), dtype=np.int64)
+        records.append(
+            CollectiveRecord(
+                instance=inst,
+                op=CollectiveOp(members[int(ranks[0])][4]),
+                root=members[int(ranks[0])][5],
+                ranks=ranks,
+                enter_ts=np.array([members[r][0] for r in ranks], dtype=np.float64),
+                exit_ts=np.array([members[r][1] for r in ranks], dtype=np.float64),
+                enter_idx=np.array([members[r][2] for r in ranks], dtype=np.int64),
+                exit_idx=np.array([members[r][3] for r in ranks], dtype=np.int64),
+            )
+        )
+    return CollectiveTable(records)
+
+
+def _collective_deps(per_instance):
+    """Flavor-expanded collective dependencies for the streaming forward.
+
+    Returns ``(publish, exit_deps, consumers)``:
+
+    * ``publish[rank]`` — ``{local enter idx: instance}`` for enters some
+      other rank's exit depends on;
+    * ``exit_deps[rank]`` — ``{local exit idx: [(member rank, instance),
+      ...]}`` in the same sender order as ``build_dependencies``;
+    * ``consumers[(instance, rank)]`` — number of exits reading that
+      publication (for cleanup).
+    """
+    publish: dict[int, dict[int, int]] = {}
+    exit_deps: dict[int, dict[int, list[tuple[int, int]]]] = {}
+    consumers: dict[tuple[int, int], int] = {}
+    for inst in sorted(per_instance):
+        members = per_instance[inst]
+        ranks = sorted(members)
+        n = len(ranks)
+        if n < 2:
+            continue
+        op = CollectiveOp(members[ranks[0]][4])
+        root = members[ranks[0]][5]
+        flavor = COLLECTIVE_FLAVORS[op]
+        root_pos = -1
+        if flavor is not CollectiveFlavor.N_TO_N:
+            for j, r in enumerate(ranks):
+                if r == root:
+                    root_pos = j
+                    break
+        for i in range(n):
+            if flavor is CollectiveFlavor.ONE_TO_N:
+                senders = [root_pos] if i != root_pos else []
+            elif flavor is CollectiveFlavor.N_TO_ONE:
+                senders = [j for j in range(n) if j != i] if i == root_pos else []
+            elif flavor is CollectiveFlavor.PREFIX:
+                senders = list(range(i))
+            else:
+                senders = [j for j in range(n) if j != i]
+            if not senders:
+                continue
+            rank_i = ranks[i]
+            deps = [(ranks[j], inst) for j in senders]
+            exit_deps.setdefault(rank_i, {})[members[rank_i][3]] = deps
+            for j in senders:
+                rank_j = ranks[j]
+                publish.setdefault(rank_j, {})[members[rank_j][2]] = inst
+                consumers[(inst, rank_j)] = consumers.get((inst, rank_j), 0) + 1
+    return publish, exit_deps, consumers
+
+
+# ----------------------------------------------------------------------
+# Caps spill
+# ----------------------------------------------------------------------
+class _CapsSpill:
+    """Per-(rank, shard) bucket files of ``(event index, cap)`` records."""
+
+    def __init__(self, tmpdir: Path, shard_starts: dict[int, list[int]]) -> None:
+        self.tmpdir = tmpdir
+        self.starts = shard_starts
+        self.buffers: dict[tuple[int, int], list[tuple[int, float]]] = {}
+
+    def _path(self, rank: int, ordinal: int) -> Path:
+        return self.tmpdir / f"caps_r{rank}_s{ordinal}.bin"
+
+    def add(self, rank: int, idx: int, val: float) -> None:
+        ordinal = bisect_right(self.starts[rank], idx) - 1
+        key = (rank, ordinal)
+        buf = self.buffers.setdefault(key, [])
+        buf.append((idx, val))
+        if len(buf) >= _CAPS_BUFFER:
+            self._flush(key)
+
+    def _flush(self, key: tuple[int, int]) -> None:
+        buf = self.buffers.get(key)
+        if not buf:
+            return
+        arr = np.array(buf, dtype=_CAPS_DTYPE)
+        with self._path(*key).open("ab") as fh:
+            fh.write(arr.tobytes())
+        buf.clear()
+
+    def load(self, rank: int, ordinal: int) -> tuple[np.ndarray, np.ndarray]:
+        key = (rank, ordinal)
+        parts = []
+        path = self._path(rank, ordinal)
+        if path.exists():
+            parts.append(np.frombuffer(path.read_bytes(), dtype=_CAPS_DTYPE))
+        buf = self.buffers.get(key)
+        if buf:
+            parts.append(np.array(buf, dtype=_CAPS_DTYPE))
+        if not parts:
+            empty = np.empty(0, dtype=_CAPS_DTYPE)
+            return empty["i"], empty["v"]
+        arr = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return arr["i"].astype(np.int64, copy=False), arr["v"].astype(np.float64, copy=False)
+
+
+# ----------------------------------------------------------------------
+# Streaming forward pass
+# ----------------------------------------------------------------------
+class _RankForward:
+    """One rank's scalar CLC recurrence, advanced shard by shard.
+
+    The per-shard working lists carry a one-slot prefix holding the
+    previous shard's last original/corrected value, so the recurrence
+    indexes ``corr[q - 1]`` uniformly across shard boundaries.  The
+    stretch/spontaneous-position logic is the kernel's ``do_stretch`` /
+    ``run_tail`` verbatim; splitting a stretch at a shard or publication
+    boundary is bit-identical because the resume condition
+    (``corr[prev] > orig[prev]``) recovers exactly the kernel's running
+    tail state.
+    """
+
+    __slots__ = (
+        "rank", "recs", "reader", "gamma", "si", "rec", "cols",
+        "lo", "n_s", "origl", "corr", "gdl", "spont", "sp_ptr",
+        "stops", "stop_ptr", "pubs", "pub_ptr", "cur",
+        "prev_orig", "prev_corr", "finished", "jumps", "resident",
+        "fwd_paths", "tmpdir",
+    )
+
+    def __init__(self, rank, recs, reader, gamma, tmpdir, resident) -> None:
+        self.rank = rank
+        self.recs = recs
+        self.reader = reader
+        self.gamma = gamma
+        self.tmpdir = tmpdir
+        self.resident = resident
+        self.si = -1
+        self.cols = None
+        self.finished = not recs
+        self.prev_orig = 0.0
+        self.prev_corr = 0.0
+        self.jumps: list[tuple[int, float, float]] = []  # (local idx, jump, value)
+        self.fwd_paths: list[Path] = []
+
+    # -- shard management ------------------------------------------------
+    def load_next(self, publish, exit_deps) -> None:
+        self.si += 1
+        rec = self.recs[self.si]
+        self.rec = rec
+        cols = self.reader.load_shard(rec)
+        self.cols = cols
+        self.resident.load(rec.events)
+        ts = np.asarray(cols[0], dtype=np.float64)
+        n = rec.events
+        self.lo = rec.start
+        self.n_s = n
+        self.origl = [self.prev_orig] + ts.tolist()
+        self.corr = [self.prev_corr] + ts.tolist()
+        gd = np.empty(n, dtype=np.float64)
+        if n:
+            gd[0] = self.gamma * (ts[0] - self.prev_orig)
+            if n > 1:
+                gd[1:] = self.gamma * (ts[1:] - ts[:-1])
+        self.gdl = [0.0] + gd.tolist()
+        prev = np.empty(n, dtype=np.float64)
+        if n:
+            prev[0] = self.prev_orig
+            prev[1:] = ts[:-1]
+        mask = (prev + gd) > ts
+        if self.lo == 0 and n:
+            mask[0] = False
+        self.spont = (np.nonzero(mask)[0] + 1).tolist()
+        self.sp_ptr = 0
+        et = cols[1]
+        my_pub = publish.get(self.rank, {})
+        my_exits = exit_deps.get(self.rank, {})
+        stops = []  # (list index, code): 0 = recv, 1 = constrained coll exit
+        pubs = []   # list indices of sends and constraining enters
+        for i in np.nonzero(et == _RECV)[0]:
+            stops.append((int(i) + 1, 0))
+        for i in np.nonzero(et == _CEXIT)[0]:
+            if self.lo + int(i) in my_exits:
+                stops.append((int(i) + 1, 1))
+        for i in np.nonzero(et == _SEND)[0]:
+            pubs.append(int(i) + 1)
+        for i in np.nonzero(et == _CENT)[0]:
+            if self.lo + int(i) in my_pub:
+                pubs.append(int(i) + 1)
+        stops.sort()
+        pubs.sort()
+        self.stops = stops
+        self.stop_ptr = 0
+        self.pubs = pubs
+        self.pub_ptr = 0
+        self.cur = 1
+
+    def flush_shard(self) -> None:
+        path = self.tmpdir / f"fwd_r{self.rank}_s{self.si}.npy"
+        np.save(path, np.asarray(self.corr[1:], dtype=np.float64))
+        self.fwd_paths.append(path)
+        self.prev_orig = self.origl[self.n_s]
+        self.prev_corr = self.corr[self.n_s]
+        self.resident.release(self.n_s)
+        self.cols = None
+        self.origl = self.corr = self.gdl = None
+        if self.si + 1 >= len(self.recs):
+            self.finished = True
+
+    # -- the kernel's stretch logic, on shifted per-shard lists ---------
+    def _run_tail(self, i: int, stop: int) -> int:
+        corr = self.corr
+        origl = self.origl
+        gdl = self.gdl
+        while i < stop:
+            follow = corr[i - 1] + gdl[i]
+            if follow > origl[i]:
+                corr[i] = follow
+                i += 1
+            else:
+                break
+        return i
+
+    def _do_stretch(self, cur: int, stop: int) -> None:
+        if cur >= stop:
+            return
+        corr = self.corr
+        origl = self.origl
+        if (self.lo + cur - 1) > 0 and corr[cur - 1] > origl[cur - 1]:
+            cur = self._run_tail(cur, stop)
+        sp = self.spont
+        k = self.sp_ptr
+        nsp = len(sp)
+        gdl = self.gdl
+        while k < nsp and sp[k] < stop:
+            s = sp[k]
+            k += 1
+            if s < cur:
+                continue
+            corr[s] = corr[s - 1] + gdl[s]
+            cur = self._run_tail(s + 1, stop)
+        self.sp_ptr = k
+
+
+def _forward_pass(
+    chunked, reader, gamma, lmin_fn, id_mode, publish, exit_deps,
+    consumers, caps, tmpdir, resident,
+):
+    """Round-robin streaming forward pass over every rank's shards.
+
+    Returns per-rank forward state (temp file paths, jump lists) plus
+    the global jump count and maximum jump.
+    """
+    ranks = chunked.ranks
+    states = {r: _RankForward(r, reader.rank_shards(r), reader, gamma, tmpdir, resident)
+              for r in ranks}
+    pending_sends: dict[int, tuple[float, int, int]] = {}  # mid -> (corr, rank, idx)
+    fifo_sends: dict[tuple[int, int, int], deque] = {}     # (src, dst, tag) -> deque
+    coll_pubs: dict[tuple[int, int], tuple[float, int]] = {}  # (inst, rank) -> (corr, idx)
+    njumps = 0
+    max_jump = 0.0
+
+    def publish_upto(st: _RankForward) -> None:
+        """Publish sends / constraining enters the cursor moved past."""
+        pubs = st.pubs
+        k = st.pub_ptr
+        npub = len(pubs)
+        cols = st.cols
+        my_pub = publish.get(st.rank, {})
+        while k < npub and pubs[k] < st.cur:
+            q = pubs[k]
+            k += 1
+            i = q - 1
+            value = st.corr[q]
+            gidx = st.lo + i
+            if int(cols[1][i]) == _SEND:
+                if id_mode:
+                    pending_sends[int(cols[5][i])] = (value, st.rank, gidx)
+                else:
+                    key = (st.rank, int(cols[2][i]), int(cols[3][i]))
+                    fifo_sends.setdefault(key, deque()).append((value, gidx))
+            else:
+                coll_pubs[(my_pub[gidx], st.rank)] = (value, gidx)
+        st.pub_ptr = k
+
+    def resolve_recv(st: _RankForward, i: int):
+        """The receive's dependency edge, ``None`` for no dep, or 'block'."""
+        cols = st.cols
+        if id_mode:
+            mid = int(cols[5][i])
+            if mid < 0:
+                return None
+            edge = pending_sends.pop(mid, None)
+            if edge is not None:
+                return edge
+            src = int(cols[2][i])
+            if src not in states or states[src].finished:
+                return None
+            return "block"
+        key = (int(cols[2][i]), st.rank, int(cols[3][i]))
+        q = fifo_sends.get(key)
+        if q:
+            return q.popleft() + (key[0],)  # (corr, idx, src)
+        src = key[0]
+        if src not in states or states[src].finished:
+            return None
+        return "block"
+
+    def advance(st: _RankForward) -> bool:
+        nonlocal njumps, max_jump
+        progress = False
+        if st.cols is None:
+            if st.finished:
+                return False
+            st.load_next(publish, exit_deps)
+            progress = True
+        my_exits = exit_deps.get(st.rank, {})
+        while True:
+            if st.cur > st.n_s:
+                publish_upto(st)
+                st.flush_shard()
+                return True
+            while st.stop_ptr < len(st.stops) and st.stops[st.stop_ptr][0] < st.cur:
+                st.stop_ptr += 1
+            if st.stop_ptr >= len(st.stops):
+                st._do_stretch(st.cur, st.n_s + 1)
+                st.cur = st.n_s + 1
+                publish_upto(st)
+                progress = True
+                continue
+            q, code = st.stops[st.stop_ptr]
+            i = q - 1
+            gidx = st.lo + i
+            # Stretch up to the stop and publish the sends/enters this
+            # passes over BEFORE resolving the stop's own dependency —
+            # a peer may be blocked waiting for exactly those values.
+            if st.cur < q:
+                st._do_stretch(st.cur, q)
+                st.cur = q
+                publish_upto(st)
+                progress = True
+            # Gather this event's dependency edges (or block).
+            if code == 0:
+                edge = resolve_recv(st, i)
+                if edge == "block":
+                    publish_upto(st)
+                    return progress
+                if edge is None:
+                    edges = []
+                else:
+                    if id_mode:
+                        s_corr, s_rank, s_idx = edge
+                    else:
+                        s_corr, s_idx, s_rank = edge
+                    edges = [(s_corr, s_rank, s_idx)]
+            else:
+                needed = my_exits[gidx]
+                edges = []
+                blocked = False
+                for m_rank, inst in needed:
+                    pub = coll_pubs.get((inst, m_rank))
+                    if pub is None:
+                        blocked = True
+                        break
+                    edges.append((pub[0], m_rank, pub[1]))
+                if blocked:
+                    publish_upto(st)
+                    return progress
+                for m_rank, inst in needed:
+                    key = (inst, m_rank)
+                    consumers[key] -= 1
+                    if consumers[key] == 0:
+                        del coll_pubs[key]
+            # The kernel's dependency-event update.
+            value = st.origl[q]
+            if gidx > 0:
+                follow = st.corr[q - 1] + st.gdl[q]
+                if follow > value:
+                    value = follow
+            remote_floor = -np.inf
+            lms = []
+            for s_corr, s_rank, s_idx in edges:
+                lm = lmin_fn(s_rank, st.rank)
+                lms.append(lm)
+                floor = s_corr + lm
+                if floor > remote_floor:
+                    remote_floor = floor
+            if remote_floor > value:
+                jump = remote_floor - value
+                value = remote_floor
+                st.jumps.append((gidx, jump, value))
+                njumps += 1
+                if jump > max_jump:
+                    max_jump = jump
+            st.corr[q] = value
+            st.cur = q + 1
+            st.stop_ptr += 1
+            # Send caps for every consumed edge (reference nudge loop).
+            for (s_corr, s_rank, s_idx), lm in zip(edges, lms):
+                cap = value - lm
+                while cap + lm > value:
+                    cap = float(np.nextafter(cap, -np.inf))
+                caps.add(s_rank, s_idx, cap)
+            publish_upto(st)
+            progress = True
+
+    unfinished = set(r for r in ranks if not states[r].finished)
+    while unfinished:
+        any_progress = False
+        for rank in ranks:
+            st = states[rank]
+            if st.finished and st.cols is None:
+                unfinished.discard(rank)
+                continue
+            if advance(st):
+                any_progress = True
+            if st.finished and st.cols is None:
+                unfinished.discard(rank)
+        if unfinished and not any_progress:
+            raise SynchronizationError(
+                "streaming CLC stalled: every rank is blocked on an unpublished "
+                "dependency (dependency cycle, or a receive whose matching send "
+                "is recorded under a different source rank)"
+            )
+    return states, njumps, max_jump
+
+
+# ----------------------------------------------------------------------
+# Streaming backward amortization
+# ----------------------------------------------------------------------
+def _backward_pass(st: _RankForward, window: float, caps: _CapsSpill, resident) -> None:
+    """Single reverse pass over one rank's forward temp files.
+
+    Reproduces ``_amortize_backward`` exactly: the desired-advance ramps
+    fold per shard (rows whose jump lies at or below the shard are
+    all-zero and skipped), and the two reverse scalar scans cross shard
+    boundaries through three carried values.  The early all-zero-desired
+    return of the in-memory code is skipped — with ``desired`` all zero
+    every subsequent step is the identity under ``==`` comparison.
+    """
+    jumps = st.jumps
+    recs = st.recs
+    al_carry: Optional[tuple[float, float]] = None  # (al[first], t[first]) of later shard
+    ol_carry: Optional[float] = None  # re-clamped out[first] of later shard
+    for si in range(len(recs) - 1, -1, -1):
+        rec = recs[si]
+        lo, n_s = rec.start, rec.events
+        times = np.load(st.fwd_paths[si])
+        resident.load(n_s)
+        desired = np.zeros(n_s, dtype=np.float64)
+        for k, j, v in jumps:
+            if k <= lo:
+                continue
+            anchor = v - j
+            ramp = j * (1.0 - (anchor - times) / window)
+            np.maximum(ramp, 0.0, out=ramp)
+            np.minimum(ramp, j, out=ramp)
+            if k < lo + n_s:
+                ramp[k - lo:] = 0.0
+            np.maximum(desired, ramp, out=desired)
+        allowed = desired
+        caps_shard = np.full(n_s, np.inf, dtype=np.float64)
+        idx, vals = caps.load(st.rank, si)
+        if idx.size:
+            np.minimum.at(caps_shard, idx - lo, vals)
+        headroom = caps_shard - times
+        np.minimum(allowed, np.maximum(headroom, 0.0), out=allowed)
+        tl = times.tolist()
+        al = allowed.tolist()
+        if al_carry is not None:
+            limit = al_carry[0] + (al_carry[1] - tl[n_s - 1])
+            if al[n_s - 1] > limit:
+                al[n_s - 1] = limit
+            if al[n_s - 1] < 0.0:
+                al[n_s - 1] = 0.0
+        for i in range(n_s - 2, -1, -1):
+            limit = al[i + 1] + (tl[i + 1] - tl[i])
+            if al[i] > limit:
+                al[i] = limit
+            if al[i] < 0.0:
+                al[i] = 0.0
+        out = times + np.asarray(al, dtype=np.float64)
+        np.minimum(out, np.maximum(caps_shard, times), out=out)
+        ol = out.tolist()
+        if ol_carry is not None:
+            if ol[n_s - 1] > ol_carry >= tl[n_s - 1]:
+                ol[n_s - 1] = ol_carry
+        for i in range(n_s - 2, -1, -1):
+            if ol[i] > ol[i + 1] >= tl[i]:
+                ol[i] = ol[i + 1]
+        al_carry = (al[0], tl[0])
+        ol_carry = ol[0]
+        np.save(st.fwd_paths[si], np.asarray(ol, dtype=np.float64))
+        resident.release(n_s)
+
+
+# ----------------------------------------------------------------------
+# Entry point: streaming CLC
+# ----------------------------------------------------------------------
+def streaming_clc_correct(
+    source: Union[ChunkedTrace, ShardedTraceReader, str, Path],
+    out_dir: Union[str, Path],
+    gamma: float = 0.99,
+    amortization_window: Optional[float] = None,
+    include_collectives: bool = True,
+    lmin: LminSpec = 0.0,
+    telemetry=None,
+    shard_events: Optional[int] = None,
+) -> ClcResult:
+    """Apply the CLC to a sharded trace, writing a sharded corrected trace.
+
+    Bit-identical to
+    :meth:`ControlledLogicalClock.correct <repro.sync.clc.ControlledLogicalClock.correct>`
+    on the materialized trace (same ``gamma`` / window / lmin), with the
+    peak resident set bounded by one shard per rank plus carried
+    boundary state.  The returned :class:`~repro.sync.clc.ClcResult`
+    carries a :class:`~repro.tracing.store.ChunkedTrace` over
+    ``out_dir``.
+    """
+    # Parameter validation shared with the in-memory corrector.
+    ControlledLogicalClock(gamma=gamma, amortization_window=amortization_window)
+    chunked = _source_is_chunked(source)
+    reader = chunked.reader
+    tele = ensure_telemetry(telemetry)
+    resident = _Resident(tele)
+    lmin_fn = _pair_lmin(lmin)
+    id_mode = _id_mode(reader)
+    out_dir = Path(out_dir)
+
+    with tempfile.TemporaryDirectory(prefix="repro-stream-") as tmp:
+        tmpdir = Path(tmp)
+        with tele.span("sync.stream.prescan"):
+            if include_collectives:
+                per_instance = _accumulate_collectives(chunked, resident)
+                publish, exit_deps, consumers = _collective_deps(per_instance)
+            else:
+                publish, exit_deps, consumers = {}, {}, {}
+        shard_starts = {
+            r: [rec.start for rec in reader.rank_shards(r)] for r in chunked.ranks
+        }
+        caps = _CapsSpill(tmpdir, shard_starts)
+        with tele.span("sync.stream.forward", events=chunked.total_events()):
+            states, njumps, max_jump = _forward_pass(
+                chunked, reader, gamma, lmin_fn, id_mode, publish, exit_deps,
+                consumers, caps, tmpdir, resident,
+            )
+        if tele.enabled:
+            tele.count("sync.clc.events", chunked.total_events())
+            tele.count("sync.clc.jumps", njumps)
+
+        window = amortization_window
+        if window is None:
+            window = 50.0 * max_jump if max_jump > 0 else 0.0
+        if window > 0:
+            with tele.span("sync.stream.amortize", window=window):
+                for rank in chunked.ranks:
+                    if states[rank].jumps:
+                        _backward_pass(states[rank], window, caps, resident)
+
+        # Finalize: statistics with boundary carries + sharded output.
+        corrected_events = 0
+        max_shift = 0.0
+        distortion = 0.0
+        growth = 0.0
+        out_meta = dict(chunked.meta)
+        out_meta["clc"] = {"gamma": gamma, "window": window, "jumps": njumps}
+        writer = ShardedTraceWriter(
+            out_dir,
+            shard_events=shard_events or reader.shard_events,
+            run_id=reader.run_id or "clc",
+        )
+        with tele.span("sync.stream.finalize"), writer:
+            for rank in chunked.ranks:
+                writer.register_rank(rank)
+                st = states[rank]
+                prev_orig_last = prev_corr_last = None
+                for si, (rec, cols) in enumerate(chunked.iter_shards(rank)):
+                    resident.load(rec.events)
+                    orig = np.asarray(cols[0], dtype=np.float64)
+                    corr = np.load(st.fwd_paths[si])
+                    shift = corr - orig
+                    corrected_events += int(np.count_nonzero(shift > 1e-15))
+                    if shift.size:
+                        max_shift = max(max_shift, float(shift.max()))
+                    if prev_orig_last is not None and rec.events:
+                        d_o = orig[0] - prev_orig_last
+                        d_c = corr[0] - prev_corr_last
+                        change = abs(d_c - d_o)
+                        growth = max(growth, float(change))
+                        distortion = max(distortion, float(change / max(d_o, 1.0e-6)))
+                    if rec.events > 1:
+                        d_orig = np.diff(orig)
+                        change = np.abs(np.diff(corr) - d_orig)
+                        growth = max(growth, float(change.max()))
+                        rel = change / np.maximum(d_orig, 1.0e-6)
+                        distortion = max(distortion, float(rel.max()))
+                    if rec.events:
+                        prev_orig_last = orig[-1]
+                        prev_corr_last = corr[-1]
+                    writer.append_batch(
+                        rank, corr, cols[1], cols[2], cols[3], cols[4], cols[5]
+                    )
+                    resident.release(rec.events)
+            writer.finish(meta=out_meta)
+        if tele.enabled:
+            tele.count("sync.stream.shards_written", writer._seq)
+
+    out = ChunkedTrace(ShardedTraceReader(out_dir))
+    return ClcResult(
+        trace=out,
+        corrected_events=corrected_events,
+        total_events=chunked.total_events(),
+        jumps=njumps,
+        max_jump=max_jump,
+        max_shift=max_shift,
+        interval_distortion=distortion,
+        max_interval_growth=growth,
+    )
+
+
+# ----------------------------------------------------------------------
+# Streaming violation scan
+# ----------------------------------------------------------------------
+def streaming_scan_trace(
+    source: Union[ChunkedTrace, ShardedTraceReader, str, Path],
+    lmin: LminSpec = 0.0,
+    include_collectives: bool = True,
+    telemetry=None,
+) -> dict[str, ViolationReport]:
+    """Eq. 1 scan over a sharded trace, one shard resident at a time.
+
+    Matches :func:`repro.sync.violations.scan_trace` on the
+    materialized trace exactly (counts, violation indices in message-
+    table order, worst magnitude); unmatched transfer ends are dropped
+    as with ``strict=False`` matching.
+    """
+    chunked = _source_is_chunked(source)
+    reader = chunked.reader
+    tele = ensure_telemetry(telemetry)
+    resident = _Resident(tele)
+    lmin_fn = _pair_lmin(lmin)
+    id_mode = _id_mode(reader)
+    ranks = chunked.ranks
+
+    pending_sends: dict[int, tuple[float, int]] = {}   # mid -> (ts, src rank)
+    pending_recvs: dict[int, tuple[float, int, int]] = {}  # mid -> (ts, rank, r_ord)
+    fifo_sends: dict[tuple[int, int, int], deque] = {}
+    fifo_parked: dict[tuple[int, int, int], deque] = {}
+    recv_seen: dict[int, int] = {r: 0 for r in ranks}
+    unmatched: dict[int, list[int]] = {r: [] for r in ranks}
+    violators: list[tuple[int, int]] = []  # (dst rank, recv ordinal in rank)
+    worst = 0.0
+    enters: dict[int, dict[int, tuple[int, float]]] = {r: {} for r in ranks}
+    exits: dict[int, list[tuple[int, float, int, int, int]]] = {r: [] for r in ranks}
+
+    def emit(sts: float, src: int, rts: float, dst: int, r_ord: int) -> None:
+        nonlocal worst
+        slack = rts - (sts + lmin_fn(src, dst))
+        if slack < 0:
+            violators.append((dst, r_ord))
+            if -slack > worst:
+                worst = -slack
+
+    per_rank = {r: reader.rank_shards(r) for r in ranks}
+    max_shards = max((len(v) for v in per_rank.values()), default=0)
+    with tele.span("sync.stream.scan", events=chunked.total_events()):
+        for si in range(max_shards):
+            for rank in ranks:
+                if si >= len(per_rank[rank]):
+                    continue
+                rec = per_rank[rank][si]
+                ts, et, a, b, _, d = reader.load_shard(rec)
+                resident.load(rec.events)
+                et_arr = np.asarray(et)
+                msg_pos = np.nonzero(
+                    (et_arr == _SEND) | (et_arr == _RECV)
+                    | (et_arr == _CENT) | (et_arr == _CEXIT)
+                )[0]
+                r_ord = recv_seen[rank]
+                for i in msg_pos:
+                    code = int(et_arr[i])
+                    if code == _SEND:
+                        t_i = float(ts[i])
+                        if id_mode:
+                            mid = int(d[i])
+                            hit = pending_recvs.pop(mid, None)
+                            if hit is not None:
+                                emit(t_i, rank, hit[0], hit[1], hit[2])
+                            else:
+                                pending_sends[mid] = (t_i, rank)
+                        else:
+                            key = (rank, int(a[i]), int(b[i]))
+                            parked = fifo_parked.get(key)
+                            if parked:
+                                rts, ro = parked.popleft()
+                                emit(t_i, rank, rts, key[1], ro)
+                            else:
+                                fifo_sends.setdefault(key, deque()).append(t_i)
+                    elif code == _RECV:
+                        t_i = float(ts[i])
+                        if id_mode:
+                            mid = int(d[i])
+                            if mid < 0:
+                                unmatched[rank].append(r_ord)
+                            else:
+                                hit = pending_sends.pop(mid, None)
+                                if hit is not None:
+                                    emit(hit[0], hit[1], t_i, rank, r_ord)
+                                else:
+                                    pending_recvs[mid] = (t_i, rank, r_ord)
+                        else:
+                            key = (int(a[i]), rank, int(b[i]))
+                            q = fifo_sends.get(key)
+                            parked = fifo_parked.get(key)
+                            if q and not parked:
+                                emit(q.popleft(), key[0], t_i, rank, r_ord)
+                            else:
+                                fifo_parked.setdefault(key, deque()).append((t_i, r_ord))
+                        r_ord += 1
+                    elif code == _CENT:
+                        if include_collectives:
+                            enters[rank][int(d[i])] = (rec.start + int(i), float(ts[i]))
+                    else:
+                        if include_collectives:
+                            exits[rank].append(
+                                (rec.start + int(i), float(ts[i]), int(d[i]),
+                                 int(a[i]), int(b[i]))
+                            )
+                recv_seen[rank] = r_ord
+                resident.release(rec.events)
+
+    # Leftover pending receives are unmatched (strict=False semantics).
+    for mid, (_, rank, r_ord) in pending_recvs.items():
+        unmatched[rank].append(r_ord)
+    for key, parked in fifo_parked.items():
+        for _, r_ord in parked:
+            unmatched[key[1]].append(r_ord)
+
+    matched_per_rank = {
+        r: recv_seen[r] - len(unmatched[r]) for r in ranks
+    }
+    offsets: dict[int, int] = {}
+    total = 0
+    for r in ranks:
+        offsets[r] = total
+        total += matched_per_rank[r]
+    for r in ranks:
+        unmatched[r].sort()
+    ordinals = sorted(
+        offsets[r] + ro - bisect_left(unmatched[r], ro) for r, ro in violators
+    )
+    p2p = ViolationReport(
+        "p2p", total, len(ordinals), np.asarray(ordinals, dtype=np.int64), worst
+    )
+    out = {"p2p": p2p}
+    if include_collectives:
+        per_instance: dict[int, dict[int, list]] = {}
+        for rank in ranks:
+            open_by_instance = dict(enters[rank])
+            for idx, ts_val, inst, op, root in exits[rank]:
+                if inst not in open_by_instance:
+                    raise TraceError(
+                        f"rank {rank}: COLL_EXIT for instance {inst} without COLL_ENTER"
+                    )
+                e_idx, e_ts = open_by_instance.pop(inst)
+                per_instance.setdefault(inst, {})[rank] = [e_ts, ts_val, e_idx, idx, op, root]
+            if open_by_instance:
+                raise TraceError(
+                    f"rank {rank}: unclosed collective instances {sorted(open_by_instance)}"
+                )
+        logical = logical_messages(_collective_table(per_instance))
+        report = scan_messages(logical, lmin)
+        out["collective"] = ViolationReport(
+            "collective", report.checked, report.violated, report.indices, report.worst
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Streaming offset interpolation
+# ----------------------------------------------------------------------
+def streaming_apply_correction(
+    correction,
+    source: Union[ChunkedTrace, ShardedTraceReader, str, Path],
+    out_dir: Union[str, Path],
+    telemetry=None,
+) -> ChunkedTrace:
+    """Apply a :class:`~repro.sync.interpolation.ClockCorrection` per shard.
+
+    The per-rank offset model is evaluated on one shard's timestamps at
+    a time — identical to ``correction.apply(trace)`` because the model
+    is elementwise.  Returns a :class:`ChunkedTrace` over ``out_dir``.
+    """
+    chunked = _source_is_chunked(source)
+    reader = chunked.reader
+    tele = ensure_telemetry(telemetry)
+    resident = _Resident(tele)
+    meta = dict(chunked.meta)
+    meta["correction"] = repr(correction)
+    writer = ShardedTraceWriter(
+        out_dir, shard_events=reader.shard_events, run_id=reader.run_id or "interp"
+    )
+    with tele.span("sync.stream.interpolate"), writer:
+        for rank in chunked.ranks:
+            writer.register_rank(rank)
+            for rec, cols in chunked.iter_shards(rank):
+                resident.load(rec.events)
+                new_ts = correction.apply_rank(rank, np.asarray(cols[0], dtype=np.float64))
+                writer.append_batch(rank, new_ts, cols[1], cols[2], cols[3], cols[4], cols[5])
+                resident.release(rec.events)
+        writer.finish(meta=meta)
+    return ChunkedTrace(ShardedTraceReader(Path(out_dir)))

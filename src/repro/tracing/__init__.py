@@ -20,6 +20,14 @@ from repro.tracing.trace import MessageRecord, CollectiveRecord, Trace
 from repro.tracing.buffer import TraceBuffer
 from repro.tracing.writer import write_trace, write_trace_dir
 from repro.tracing.reader import read_trace, read_trace_dir
+from repro.tracing.store import (
+    ChunkedTrace,
+    ShardedTraceReader,
+    ShardedTraceWriter,
+    SpillingTraceBuffer,
+    is_sharded_trace_dir,
+    write_sharded_trace,
+)
 
 __all__ = [
     "EventType",
@@ -36,4 +44,10 @@ __all__ = [
     "write_trace_dir",
     "read_trace",
     "read_trace_dir",
+    "ChunkedTrace",
+    "ShardedTraceReader",
+    "ShardedTraceWriter",
+    "SpillingTraceBuffer",
+    "is_sharded_trace_dir",
+    "write_sharded_trace",
 ]

@@ -25,6 +25,12 @@ def read_trace_dir(directory: Union[str, Path], ranks=None) -> Trace:
     directory = Path(directory)
     anchor_path = directory / "anchor.json"
     if not anchor_path.exists():
+        if (directory / "manifest.jsonl").exists():
+            raise TraceFormatError(
+                f"{directory} has no anchor.json but has a manifest.jsonl — "
+                "it is a sharded trace directory; open it with "
+                "repro.tracing.store.ShardedTraceReader"
+            )
         raise TraceFormatError(f"{directory} has no anchor.json (not a trace directory)")
     anchor = json.loads(anchor_path.read_text(encoding="utf-8"))
     _check_version(anchor, anchor_path)
@@ -55,6 +61,11 @@ def read_trace(path: Union[str, Path]) -> Trace:
         return _read_npz(path)
     if path.suffix == ".jsonl":
         return _read_jsonl(path)
+    if path.is_dir() and (path / "manifest.jsonl").exists():
+        raise TraceFormatError(
+            f"{path} is a sharded trace directory; open it with "
+            "repro.tracing.store.ShardedTraceReader"
+        )
     raise TraceFormatError(f"unknown trace extension {path.suffix!r} (use .npz or .jsonl)")
 
 
@@ -121,5 +132,8 @@ def _check_version(header: dict, path: Path) -> None:
     version = header.get("version")
     if version != FORMAT_VERSION:
         raise TraceFormatError(
-            f"{path}: format version {version} unsupported (expected {FORMAT_VERSION})"
+            f"{path}: format version {version} unsupported (expected "
+            f"{FORMAT_VERSION}; sharded trace directories carry their own "
+            "version in manifest.jsonl and are read by "
+            "repro.tracing.store.ShardedTraceReader)"
         )

@@ -38,7 +38,11 @@ def write_trace(trace: Trace, path: Union[str, Path]) -> Path:
     elif path.suffix == ".jsonl":
         _write_jsonl(trace, path)
     else:
-        raise TraceFormatError(f"unknown trace extension {path.suffix!r} (use .npz or .jsonl)")
+        raise TraceFormatError(
+            f"unknown trace extension {path.suffix!r} (use .npz or .jsonl; "
+            "for an out-of-core shard directory use "
+            "repro.tracing.store.write_sharded_trace)"
+        )
     return path
 
 

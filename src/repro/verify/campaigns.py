@@ -115,6 +115,16 @@ _campaign(
     example_cap=25,
 )
 _campaign(
+    "streaming",
+    "out-of-core sharded-trace kernels vs the in-memory kernels, bit "
+    "for bit, plus shard-store round-trips",
+    (("streaming", "streamed_matches_inmemory"),
+     ("streaming", "sharded_roundtrip")),
+    # Each example runs the CLC four times (two configs x two paths);
+    # keep the default commensurate with the batch campaign.
+    example_cap=50,
+)
+_campaign(
     "runner",
     "serial == parallel run_grid identity and typing resolution",
     (("unit", "run_grid_identity"), ("unit", "module_type_hints")),

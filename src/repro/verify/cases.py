@@ -277,6 +277,24 @@ def _build_stream_case(spec: CaseSpec) -> TraceCase:
     return _assemble(spec, stream, profiles, float(p.get("lmin", 0.0)), tags)
 
 
+def _build_streaming_case(spec: CaseSpec) -> TraceCase:
+    """Stream-content case; optionally strips match ids (FIFO matching)."""
+    case = _build_stream_case(spec)
+    if spec.params.get("strip_ids"):
+        logs = {}
+        for rank, log in case.trace.logs.items():
+            d = log.d.copy()
+            message = (log.etypes == int(EventType.SEND)) | (
+                log.etypes == int(EventType.RECV)
+            )
+            d[message] = -1
+            logs[rank] = EventLog.from_arrays(
+                log.timestamps, log.etypes, log.a, log.b, log.c, d
+            )
+        case.trace = Trace(logs, dict(case.trace.meta))
+    return case
+
+
 def _build_clock_quantization(spec: CaseSpec) -> TraceCase:
     p = spec.params
     if float(p.get("resolution", 0.0)) < 0:
@@ -328,6 +346,7 @@ BUILDERS: dict[str, Callable[[CaseSpec], TraceCase]] = {
     "collectives": _build_stream_case,
     "pomp": _build_stream_case,
     "mixed": _build_stream_case,
+    "streaming": _build_streaming_case,
     "clock_quantization": _build_clock_quantization,
     "module_hints": _build_module_hints,
     "grid": _build_grid,

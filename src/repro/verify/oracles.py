@@ -44,7 +44,7 @@ from repro.sync.offset import OffsetMeasurement
 from repro.sync.order import build_dependencies, replay_schedule
 from repro.sync.replay import replay_correct
 from repro.sync.vector import vector_clocks, vector_clocks_reference
-from repro.sync.violations import scan_collectives, scan_messages, scan_pomp
+from repro.sync.violations import scan_collectives, scan_messages, scan_pomp, scan_trace
 from repro.tracing.reader import read_trace, read_trace_dir
 from repro.tracing.trace import Trace
 from repro.tracing.writer import write_trace, write_trace_dir
@@ -64,6 +64,7 @@ __all__ = [
     "assert_replay_matches_direct",
     "assert_scalar_matches_vector",
     "assert_batch_matches_engine",
+    "assert_streamed_matches_inmemory",
 ]
 
 
@@ -479,6 +480,107 @@ def _trace_roundtrip(case: TraceCase) -> None:
         _assert_traces_equal_bitwise(
             trace, read_trace_dir(directory), context="trace_dir"
         )
+
+
+def assert_streamed_matches_inmemory(
+    trace: Trace, shard_events: int, lmin=0.0, gamma: float = 0.99, window=None
+) -> None:
+    """Out-of-core kernels over a sharded store == in-memory, bit for bit.
+
+    Writes ``trace`` into a shard directory at the given grain, then
+    demands the streaming CLC reproduce the in-memory correction
+    (timestamps, every statistic, the ``clc`` meta record) and the
+    streaming violation scan reproduce :func:`scan_trace` (checked /
+    violated counts, violation indices in message-table order, worst
+    magnitude).
+    """
+    import dataclasses
+
+    from repro.sync.streaming import streaming_clc_correct, streaming_scan_trace
+    from repro.tracing.store import write_sharded_trace
+
+    with tempfile.TemporaryDirectory(prefix="repro-verify-") as td:
+        src = Path(td) / "shards"
+        out = Path(td) / "clc"
+        write_sharded_trace(trace, src, shard_events=shard_events)
+        clc = ControlledLogicalClock(gamma=gamma, amortization_window=window)
+        ref = clc.correct(trace, lmin=lmin)
+        got = streaming_clc_correct(
+            src, out, gamma=gamma, amortization_window=window, lmin=lmin
+        )
+        materialized = got.trace.materialize()
+        assert_traces_identical(
+            ref,
+            dataclasses.replace(got, trace=materialized),
+            context=f"streaming-clc(shard_events={shard_events})",
+        )
+        _require(
+            materialized.meta.get("clc") == ref.trace.meta.get("clc"),
+            f"streaming clc meta differs: {materialized.meta.get('clc')} "
+            f"vs {ref.trace.meta.get('clc')}",
+        )
+        ref_scan = scan_trace(trace, lmin=lmin)
+        got_scan = streaming_scan_trace(src, lmin=lmin)
+        _require(
+            sorted(ref_scan) == sorted(got_scan),
+            f"streaming scan kinds differ: {sorted(got_scan)} vs {sorted(ref_scan)}",
+        )
+        for kind in ref_scan:
+            a, b = ref_scan[kind], got_scan[kind]
+            for field_ in ("checked", "violated", "worst"):
+                _require(
+                    getattr(a, field_) == getattr(b, field_),
+                    f"streaming scan[{kind}].{field_}: "
+                    f"{getattr(b, field_)!r} vs in-memory {getattr(a, field_)!r}",
+                )
+            _require(
+                np.array_equal(a.indices, b.indices),
+                f"streaming scan[{kind}] violation indices differ",
+            )
+
+
+@oracle(
+    "streamed_matches_inmemory",
+    "The out-of-core streaming CLC and violation scan over a sharded "
+    "trace store are bit-identical to the in-memory kernels: same "
+    "corrected timestamps, statistics, violation counts and indices.",
+    {"trace", "streaming"},
+)
+def _streamed_matches_inmemory(case: TraceCase) -> None:
+    shard_events = int(case.spec.params.get("shard_events", 2))
+    assert_streamed_matches_inmemory(case.trace, shard_events, lmin=case.lmin)
+    # A fixed window exercises the backward pass even when the auto
+    # window would be zero; gamma=1.0 exercises pure preservation.
+    assert_streamed_matches_inmemory(
+        case.trace, shard_events, lmin=case.lmin, gamma=1.0, window=0.5
+    )
+
+
+@oracle(
+    "sharded_roundtrip",
+    "write_sharded_trace -> ShardedTraceReader reproduces every event "
+    "column and the run metadata bit for bit, at any shard grain, with "
+    "content digests verifying.",
+    {"trace"},
+)
+def _sharded_roundtrip(case: TraceCase) -> None:
+    from repro.tracing.store import ShardedTraceReader, write_sharded_trace
+
+    trace = case.trace
+    with tempfile.TemporaryDirectory(prefix="repro-verify-") as td:
+        for shard_events in (3, 10_000):
+            directory = Path(td) / f"shards{shard_events}"
+            write_sharded_trace(trace, directory, shard_events=shard_events)
+            reader = ShardedTraceReader(directory, verify_digests=True)
+            back = reader.read_trace()
+            _assert_traces_equal_bitwise(
+                trace, back, context=f"sharded(shard_events={shard_events})"
+            )
+            _require(
+                back.meta == trace.meta,
+                f"sharded(shard_events={shard_events}): meta changed across "
+                "round-trip",
+            )
 
 
 @oracle(

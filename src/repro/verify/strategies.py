@@ -33,6 +33,7 @@ __all__ = [
     "mixed_specs",
     "quantization_specs",
     "batch_specs",
+    "streaming_specs",
     "unit_specs",
     "adversarial_specs",
     "STRATEGIES",
@@ -291,6 +292,31 @@ def batch_specs(draw):
 
 
 @st.composite
+def streaming_specs(draw, max_ranks: int = 4):
+    """Sharded-trace equivalence probes for the out-of-core kernels.
+
+    Draws mixed MPI traffic (messages + collectives + local events)
+    under adversarial clocks, a shard size covering the degenerate
+    grain (1), the smallest even/odd grains (2, 7) and the
+    single-shard case (100000 > any drawn trace), and whether to strip
+    match ids (forcing the FIFO matching path).  The oracle streams the
+    CLC and the violation scan over the sharded store and demands
+    bit-identity with the in-memory kernels.
+    """
+    nranks = draw(st.integers(2, max_ranks))
+    return CaseSpec("streaming", {
+        "nranks": nranks,
+        "profiles": _profile_list(draw, nranks, affine_bias=False),
+        "messages": _messages(draw, nranks, 8),
+        "collectives": _collective_entries(draw, nranks, 3),
+        "locals": _locals(draw, nranks),
+        "lmin": draw(_LMINS),
+        "shard_events": draw(st.sampled_from([1, 2, 7, 100_000])),
+        "strip_ids": draw(st.booleans()),
+    })
+
+
+@st.composite
 def unit_specs(draw):
     """Non-trace kinds: run_grid identity probes and typing resolution."""
     which = draw(st.sampled_from(["grid", "hints"]))
@@ -323,6 +349,7 @@ STRATEGIES: dict[str, object] = {
     "mixed": mixed_specs,
     "quantization": quantization_specs,
     "batch": batch_specs,
+    "streaming": streaming_specs,
     "unit": unit_specs,
     "adversarial": adversarial_specs,
 }
