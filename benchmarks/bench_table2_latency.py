@@ -16,7 +16,7 @@ collective landing at 2-3x the inter-node message latency.
 from conftest import emit
 
 from repro.analysis.experiments import table2_latencies
-from repro.analysis.reports import ascii_table
+from repro.analysis.reports import ascii_table, ci_cell
 
 PAPER = {
     "Inter node message latency": (4.29, 9.80e-4),
@@ -37,16 +37,18 @@ def test_table2_latencies(benchmark):
         rows.append(
             (
                 stats.label,
-                f"{stats.mean * 1e6:.2f}",
+                ci_cell(stats.summary),
                 f"{stats.std_of_mean * 1e6:.2e}",
                 f"{paper_mean:.2f}",
                 f"{paper_std:.2e}",
+                f"n={stats.summary.n}",
             )
         )
     emit("")
     emit(
         ascii_table(
-            ["measurement", "mean [us]", "std [us]", "paper mean", "paper std"],
+            ["measurement", "mean ± 95% CI [us]", "std [us]", "paper mean",
+             "paper std", "samples"],
             rows,
             title="Table II — Xeon cluster: measured message and collective latencies",
         )

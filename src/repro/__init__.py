@@ -30,9 +30,10 @@ from repro.core.pipeline import PipelineReport, SyncPipeline
 from repro.errors import ReproError
 from repro.mpi.runtime import RunResult
 from repro.options import RunOptions
+from repro.stats import SampleSummary, StoppingRule
 from repro.telemetry import TelemetryRecorder
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "TracingSession",
@@ -41,6 +42,8 @@ __all__ = [
     "ReproError",
     "RunOptions",
     "RunResult",
+    "SampleSummary",
+    "StoppingRule",
     "TelemetryRecorder",
     "__version__",
 ]

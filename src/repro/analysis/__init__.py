@@ -7,16 +7,19 @@
 * :mod:`repro.analysis.experiments` — one driver per paper table/figure,
   returning structured results;
 * :mod:`repro.analysis.runner` — parallel grid execution with
-  deterministic fan-out and result caching;
+  deterministic work stealing and result caching;
 * :mod:`repro.analysis.reports` — ASCII rendering shared by benches,
   examples, and EXPERIMENTS.md.
+
+Every measurement reports through :class:`repro.stats.SampleSummary`
+(confidence intervals, repetition counts); see ``docs/methodology.md``.
 """
 
 from repro.analysis.latency import LatencyStats, measure_collective_latency, measure_latency
 from repro.analysis.deviation import DeviationSeries, measure_deviation
 from repro.analysis.runner import derive_seed, run_grid, seed_grid
 from repro.analysis.profile import RegionProfile, region_profile
-from repro.analysis.reports import ascii_table, format_series
+from repro.analysis.reports import ascii_table, ci_cell, format_series, format_summary
 from repro.analysis.timeline import render_message_arrows, render_timeline
 from repro.analysis.waitstates import WaitStateReport, barrier_waits, late_sender
 
@@ -27,7 +30,9 @@ __all__ = [
     "DeviationSeries",
     "measure_deviation",
     "ascii_table",
+    "ci_cell",
     "format_series",
+    "format_summary",
     "RegionProfile",
     "region_profile",
     "render_timeline",

@@ -13,6 +13,7 @@ function call away.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,7 +24,7 @@ from repro.analysis.latency import (
     measure_collective_latency,
     measure_latency,
 )
-from repro.analysis.runner import run_grid
+from repro.analysis.runner import derive_seed, run_grid
 from repro.cache import ResultCache
 from repro.cluster.jitter import OsJitterModel
 from repro.cluster.machines import (
@@ -45,6 +46,7 @@ from repro.mpi.runtime import MpiWorld
 from repro.openmp.team import OmpTeamConfig, run_parallel_for_benchmark
 from repro.options import _UNSET, RunOptions, resolve_options
 from repro.rng import RngFabric
+from repro.stats import DEFAULT_LEVEL, SampleSummary, StoppingRule, summarize
 from repro.sync.clc import ControlledLogicalClock
 from repro.sync.interpolation import align_offsets, linear_interpolation
 from repro.sync.violations import (
@@ -109,30 +111,34 @@ class Table2Result:
 
 
 def _table2_row(
-    kind: str, seed: int, repeats: int, engine: str = "reference"
+    kind: str, seed: int, repeats: int, engine: str = "reference",
+    runs: int = 1, level: float = DEFAULT_LEVEL,
+    stopping: StoppingRule | None = None,
 ) -> LatencyStats:
     """One Table II measurement — a standalone job for :func:`run_grid`."""
     preset = xeon_cluster()
     machine = preset.machine
+    common = dict(repeats=repeats, seed=seed, engine=engine, runs=runs,
+                  level=level, stopping=stopping)
     if kind == "inter_node":
         return measure_latency(
-            preset, inter_node(machine, 4), repeats=repeats, seed=seed,
-            label="Inter node message latency", engine=engine,
+            preset, inter_node(machine, 4),
+            label="Inter node message latency", **common,
         )
     if kind == "inter_chip":
         return measure_latency(
-            preset, inter_chip(machine), repeats=repeats, seed=seed,
-            label="Inter chip message latency", engine=engine,
+            preset, inter_chip(machine),
+            label="Inter chip message latency", **common,
         )
     if kind == "inter_core":
         return measure_latency(
-            preset, inter_core(machine), repeats=repeats, seed=seed,
-            label="Inter core message latency", engine=engine,
+            preset, inter_core(machine),
+            label="Inter core message latency", **common,
         )
     if kind == "collective":
         return measure_collective_latency(
-            preset, inter_node(machine, 4), repeats=repeats, seed=seed,
-            label="Inter node collective latency", engine=engine,
+            preset, inter_node(machine, 4),
+            label="Inter node collective latency", **common,
         )
     raise ConfigurationError(f"unknown Table II row kind {kind!r}")
 
@@ -145,6 +151,8 @@ def table2_latencies(
     cache: ResultCache | None = _UNSET,
     engine: str = _UNSET,
     *,
+    runs: int = 1,
+    level: float = DEFAULT_LEVEL,
     options: RunOptions | None = None,
     telemetry=None,
 ) -> Table2Result:
@@ -154,19 +162,27 @@ def table2_latencies(
     ``options.cache`` fan them out / memoize them via
     :func:`repro.analysis.runner.run_grid`.  ``options.engine`` selects
     the simulation path; both are bit-identical, and cache keys ignore
-    it, so switching engines still hits prior entries.  The ``seed`` /
-    ``jobs`` / ``cache`` / ``engine`` keywords are deprecated shims.
+    it, so switching engines still hits prior entries.  Every row is a
+    :class:`~repro.analysis.latency.LatencyStats` carrying a
+    :class:`~repro.stats.SampleSummary` (CI at ``level``, repetition
+    counts); ``runs`` pools that many independent simulations per row,
+    and ``options.stopping`` instead adds runs per row until the rule's
+    relative CI-width target is met (see ``docs/methodology.md``).  The
+    ``seed`` / ``jobs`` / ``cache`` / ``engine`` keywords are deprecated
+    shims.
     """
     options = resolve_options(
         options, caller="table2_latencies",
         seed=seed, jobs=jobs, cache=cache, engine=engine,
     )
     seed = options.resolved_seed(0)
+    row = dict(seed=seed, repeats=repeats, engine=options.engine, runs=runs,
+               level=level, stopping=options.stopping)
     grid = [
-        dict(kind="inter_node", seed=seed, repeats=repeats, engine=options.engine),
-        dict(kind="inter_chip", seed=seed, repeats=repeats, engine=options.engine),
-        dict(kind="inter_core", seed=seed, repeats=repeats, engine=options.engine),
-        dict(kind="collective", seed=seed, repeats=coll_repeats, engine=options.engine),
+        dict(row, kind="inter_node"),
+        dict(row, kind="inter_chip"),
+        dict(row, kind="inter_core"),
+        dict(row, kind="collective", repeats=coll_repeats),
     ]
     return Table2Result(
         rows=run_grid(_table2_row, grid, options=options, telemetry=telemetry)
@@ -251,13 +267,22 @@ FIG5_PANELS = {
 
 @dataclass
 class DeviationResult:
-    """Deviation series of one panel plus its context."""
+    """Deviation series of one panel plus its context.
+
+    ``runs`` and ``residual_summary`` are populated by the multi-run
+    drivers (:func:`fig4_all_panels` with ``runs > 1``): the series
+    shown are those of run 0 (bit-compatible with a single-run call),
+    while ``residual_summary`` summarizes the peak aligned residual
+    across all independent runs with a confidence interval.
+    """
 
     label: str
     timer: str
     duration: float
     series: dict[int, DeviationSeries]
     lmin: float  # inter-node message latency floor of the platform
+    runs: int = 1
+    residual_summary: SampleSummary | None = None
 
     def max_residual(self, corrected: str) -> float:
         return max(s.max_abs(corrected) for s in self.series.values())
@@ -310,27 +335,45 @@ def fig4_all_panels(
     jobs: int | None = _UNSET,
     cache: ResultCache | None = _UNSET,
     *,
+    runs: int = 1,
+    level: float = DEFAULT_LEVEL,
     options: RunOptions | None = None,
     telemetry=None,
 ) -> dict[str, DeviationResult]:
     """All Fig. 4 panels through the parallel runner.
 
     Panel "c" simulates an hour of drift; regenerating the whole figure
-    serially is dominated by it, so the three panels run as independent
+    serially is dominated by it, so the panels run as independent
     :func:`repro.analysis.runner.run_grid` jobs (and cache hits make an
-    unchanged figure near-instant).  The ``seed`` / ``jobs`` / ``cache``
-    keywords are deprecated shims for ``options``.
+    unchanged figure near-instant).  ``runs > 1`` repeats each panel
+    under independent derived seeds and attaches a
+    :class:`~repro.stats.SampleSummary` of the peak aligned residual
+    (CI at ``level``) to each returned
+    :class:`DeviationResult.residual_summary`; the series shown remain
+    those of run 0.  The ``seed`` / ``jobs`` / ``cache`` keywords are
+    deprecated shims for ``options``.
     """
     options = resolve_options(
         options, caller="fig4_all_panels", seed=seed, jobs=jobs, cache=cache
     )
+    base = options.resolved_seed(0)
     grid = [
-        dict(panel=p, seed=options.resolved_seed(0), nprocs=nprocs,
-             probe_interval=probe_interval)
+        dict(panel=p,
+             seed=base if r == 0 else derive_seed(base, "fig4", p, r),
+             nprocs=nprocs, probe_interval=probe_interval)
         for p in panels
+        for r in range(runs)
     ]
-    results = run_grid(fig4_timer_deviation, grid, options=options, telemetry=telemetry)
-    return dict(zip(panels, results))
+    flat = run_grid(fig4_timer_deviation, grid, options=options, telemetry=telemetry)
+    out: dict[str, DeviationResult] = {}
+    for k, p in enumerate(panels):
+        group = flat[k * runs:(k + 1) * runs]
+        residuals = np.array([g.max_residual("aligned") for g in group])
+        out[p] = dataclasses.replace(
+            group[0], runs=runs,
+            residual_summary=summarize(residuals, level=level),
+        )
+    return out
 
 
 def fig5_interpolated_deviation(
@@ -408,6 +451,14 @@ class Fig7Result:
     @property
     def mean_message_event_pct(self) -> float:
         return float(np.mean([r.message_event_pct for r in self.runs])) if self.runs else 0.0
+
+    def reversed_summary(self, level: float = DEFAULT_LEVEL) -> SampleSummary:
+        """CI of the reversed-message percentage over the repetitions."""
+        return summarize(np.array([r.reversed_pct for r in self.runs]), level=level)
+
+    def message_event_summary(self, level: float = DEFAULT_LEVEL) -> SampleSummary:
+        """CI of the message-event percentage over the repetitions."""
+        return summarize(np.array([r.message_event_pct for r in self.runs]), level=level)
 
 
 def _grid_for(nprocs: int) -> tuple[int, int]:
@@ -554,6 +605,13 @@ class Fig8Result:
 
     def mean_pct(self, nthreads: int, kind: str) -> float:
         return float(np.mean([r.pct(kind) for r in self.reports[nthreads]]))
+
+    def summary(self, nthreads: int, kind: str,
+                level: float = DEFAULT_LEVEL) -> SampleSummary:
+        """CI of the violation percentage over this thread count's runs."""
+        return summarize(
+            np.array([r.pct(kind) for r in self.reports[nthreads]]), level=level
+        )
 
     def rows(self) -> list[tuple[int, float, float, float, float]]:
         return [

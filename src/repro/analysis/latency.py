@@ -2,15 +2,24 @@
 
 Runs the ping-pong / collective kernels of
 :mod:`repro.workloads.pingpong` under a given pinning and reports the
-mean and standard deviation of the mean, the quantities Table II lists
-per placement (inter-node / inter-chip / inter-core message latency and
-the inter-node collective latency).
+quantities Table II lists per placement (inter-node / inter-chip /
+inter-core message latency and the inter-node collective latency) as a
+full :class:`repro.stats.SampleSummary`: mean, median, a Student t
+confidence interval at a configurable level, an optional deterministic
+bootstrap interval, and — when ``runs > 1`` or a
+:class:`repro.stats.StoppingRule` asks for repetitions — the run-to-run
+variance across independent simulations (distinct derived seeds).
 
 Note that these are *measured through the simulated clocks*, exactly
 like the paper's numbers: the reported mean includes clock read
 overheads and send/receive software overheads on top of the wire floor,
-and the standard deviation reflects network jitter, OS noise and timer
-quantization.
+and the spread reflects network jitter, OS noise and timer quantization.
+
+Migration note (1.7): :class:`LatencyStats` now stores ``label``,
+``floor`` and a ``summary``; the former ``mean`` / ``std`` /
+``std_of_mean`` / ``samples`` fields remain available as read-only
+properties delegating to the summary, so existing consumers keep
+working unchanged.
 """
 
 from __future__ import annotations
@@ -23,6 +32,8 @@ from repro.cluster.machines import ClusterPreset
 from repro.cluster.pinning import Pinning
 from repro.mpi.runtime import MpiWorld
 from repro.options import RunOptions
+from repro.rng import stable_hash32
+from repro.stats import DEFAULT_LEVEL, SampleSummary, StoppingRule, collect_runs, summarize
 from repro.workloads.pingpong import collective_timing_worker, pingpong_worker
 
 __all__ = ["LatencyStats", "measure_latency", "measure_collective_latency"]
@@ -30,32 +41,101 @@ __all__ = ["LatencyStats", "measure_latency", "measure_collective_latency"]
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Summary of one latency measurement."""
+    """Summary of one latency measurement with its uncertainty."""
 
     label: str
-    mean: float  # seconds
-    std_of_mean: float  # seconds (std dev of the mean estimate)
-    std: float  # seconds (std dev of individual samples)
-    samples: int
     floor: float  # the model's l_min for this placement
+    summary: SampleSummary
+
+    @property
+    def mean(self) -> float:  # seconds
+        return self.summary.mean
+
+    @property
+    def median(self) -> float:  # seconds
+        return self.summary.median
+
+    @property
+    def std(self) -> float:  # seconds (std dev of individual samples)
+        return self.summary.std
+
+    @property
+    def std_of_mean(self) -> float:  # seconds (std dev of the mean estimate)
+        return self.summary.std_of_mean
+
+    @property
+    def samples(self) -> int:
+        return self.summary.n
+
+    @property
+    def runs(self) -> int:
+        return self.summary.runs
+
+    @property
+    def ci(self) -> tuple[float, float]:
+        return self.summary.ci_lower, self.summary.ci_upper
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"{self.label}: mean {self.mean * 1e6:.2f} us, "
-            f"std(mean) {self.std_of_mean * 1e6:.2e} us ({self.samples} samples)"
+        return f"{self.label}: {self.summary.describe(unit_scale=1e6, unit='us')}"
+
+
+def _stats(label: str, samples: np.ndarray, floor: float,
+           level: float = DEFAULT_LEVEL) -> LatencyStats:
+    """Summarize one run's samples (kept for single-run callers)."""
+    return LatencyStats(label=label, floor=floor,
+                        summary=summarize(samples, level=level))
+
+
+def _measure(
+    worker_factory,
+    preset: ClusterPreset,
+    pinning: Pinning,
+    repeats: int,
+    nbytes: int,
+    seed: int,
+    timer: str | None,
+    label: str,
+    engine: str,
+    telemetry,
+    duration_scale: float,
+    runs: int,
+    level: float,
+    bootstrap: int,
+    stopping: StoppingRule | None,
+) -> LatencyStats:
+    """Shared repetition loop behind both measurement entry points.
+
+    Run 0 uses the base seed itself (a single-run measurement is
+    bit-identical to pre-1.7 output); later runs derive independent
+    seeds from ``(seed, label, run)``.
+    """
+    floor = preset.latency.min_latency(pinning[0], pinning[1], nbytes)
+
+    def one_run(run_index: int) -> np.ndarray:
+        run_seed = seed if run_index == 0 else stable_hash32(
+            ("seed", int(seed)), "latency", label, run_index
         )
+        world = MpiWorld(
+            preset,
+            pinning,
+            timer=timer,
+            seed=run_seed,
+            duration_hint=max(repeats * duration_scale, 10.0),
+        )
+        result = world.run(
+            worker_factory(repeats=repeats, nbytes=nbytes),
+            tracing=False,
+            measure_offsets=False,
+            options=RunOptions(engine=engine, telemetry=telemetry),
+        )
+        return np.asarray(result.results[0], dtype=np.float64)
 
-
-def _stats(label: str, samples: np.ndarray, floor: float) -> LatencyStats:
-    std = float(samples.std(ddof=1)) if samples.size > 1 else 0.0
-    return LatencyStats(
-        label=label,
-        mean=float(samples.mean()),
-        std_of_mean=std / np.sqrt(samples.size) if samples.size > 1 else 0.0,
-        std=std,
-        samples=int(samples.size),
-        floor=floor,
+    run_samples = collect_runs(one_run, runs=runs, stopping=stopping, level=level)
+    summary = summarize(
+        run_samples, level=level, bootstrap=bootstrap,
+        seed=stable_hash32(("seed", int(seed)), "latency-bootstrap", label),
     )
+    return LatencyStats(label=label, floor=floor, summary=summary)
 
 
 def measure_latency(
@@ -68,24 +148,26 @@ def measure_latency(
     label: str | None = None,
     engine: str = "reference",
     telemetry=None,
+    runs: int = 1,
+    level: float = DEFAULT_LEVEL,
+    bootstrap: int = 0,
+    stopping: StoppingRule | None = None,
 ) -> LatencyStats:
-    """One-way message latency between ranks 0 and 1 of ``pinning``."""
-    world = MpiWorld(
-        preset,
-        pinning,
-        timer=timer,
-        seed=seed,
-        duration_hint=max(repeats * 1e-4, 10.0),
+    """One-way message latency between ranks 0 and 1 of ``pinning``.
+
+    ``runs`` independent simulations (distinct derived seeds) are pooled
+    into one :class:`~repro.stats.SampleSummary`; a ``stopping`` rule
+    instead adds runs until the CI is tight enough (see
+    :func:`repro.stats.collect_runs`).  ``bootstrap`` > 0 adds a
+    deterministic percentile bootstrap interval with that many
+    resamples.
+    """
+    return _measure(
+        pingpong_worker, preset, pinning, repeats, nbytes, seed, timer,
+        label or pinning.label or "latency", engine, telemetry,
+        duration_scale=1e-4, runs=runs, level=level, bootstrap=bootstrap,
+        stopping=stopping,
     )
-    result = world.run(
-        pingpong_worker(repeats=repeats, nbytes=nbytes),
-        tracing=False,
-        measure_offsets=False,
-        options=RunOptions(engine=engine, telemetry=telemetry),
-    )
-    samples = result.results[0]
-    floor = world.min_latency(0, 1, nbytes)
-    return _stats(label or pinning.label or "latency", samples, floor)
 
 
 def measure_collective_latency(
@@ -98,21 +180,18 @@ def measure_collective_latency(
     label: str | None = None,
     engine: str = "reference",
     telemetry=None,
+    runs: int = 1,
+    level: float = DEFAULT_LEVEL,
+    bootstrap: int = 0,
+    stopping: StoppingRule | None = None,
 ) -> LatencyStats:
-    """Allreduce completion latency over all ranks of ``pinning``."""
-    world = MpiWorld(
-        preset,
-        pinning,
-        timer=timer,
-        seed=seed,
-        duration_hint=max(repeats * 1e-3, 10.0),
+    """Allreduce completion latency over all ranks of ``pinning``.
+
+    Repetition semantics match :func:`measure_latency`.
+    """
+    return _measure(
+        collective_timing_worker, preset, pinning, repeats, nbytes, seed,
+        timer, label or "collective", engine, telemetry,
+        duration_scale=1e-3, runs=runs, level=level, bootstrap=bootstrap,
+        stopping=stopping,
     )
-    result = world.run(
-        collective_timing_worker(repeats=repeats, nbytes=nbytes),
-        tracing=False,
-        measure_offsets=False,
-        options=RunOptions(engine=engine, telemetry=telemetry),
-    )
-    samples = result.results[0]
-    floor = world.min_latency(0, 1, nbytes)
-    return _stats(label or "collective", samples, floor)

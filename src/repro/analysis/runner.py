@@ -1,4 +1,4 @@
-"""Parallel experiment execution with deterministic fan-out.
+"""Parallel experiment execution: a deterministic work-stealing grid runner.
 
 Every paper figure is an embarrassingly parallel grid: independent
 ``(config, seed)`` simulation jobs whose outputs are aggregated
@@ -21,6 +21,19 @@ guarantees the figures depend on:
   same on-disk cache, so a partially-complete interrupted grid resumes
   where it stopped.
 
+Scheduling is *work stealing* rather than a fixed fan-out, so grids of
+thousands of configs stay efficient: the pending indices are split into
+one contiguous deque per worker lane, each lane pulls **batches** from
+the head of its own deque (amortizing inter-process overhead), and a
+lane that drains its deque steals half a batch from the tail of the
+longest remaining deque.  Only a bounded number of batch futures is in
+flight at any moment (*backpressure* — a 100k-config grid never
+materializes 100k futures), and telemetry exposes the scheduler:
+``runner.steals`` / ``runner.batches`` counters plus
+``runner.queue_depth.peak`` and ``runner.inflight.peak`` gauges.
+Because results are keyed by grid index and jobs are deterministic,
+stealing never changes a single output byte.
+
 Job functions must be module-level (picklable by reference) and accept
 keyword arguments only from their grid entry.  Keep jobs coarse — one
 simulation, not one event — so process startup cost stays negligible.
@@ -29,6 +42,7 @@ simulation, not one event — so process startup cost stays negligible.
 from __future__ import annotations
 
 import os
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from time import perf_counter
 from typing import Any, Callable, Iterable, Optional, Sequence
@@ -39,6 +53,15 @@ from repro.options import _UNSET, RunOptions, resolve_options
 from repro.rng import stable_hash32
 
 __all__ = ["run_grid", "derive_seed", "resolve_jobs", "seed_grid"]
+
+#: Ceiling on configs per submitted batch (keeps per-future latency low
+#: and steal granularity fine even on huge grids).
+_MAX_BATCH = 32
+
+#: Batch futures in flight per worker lane: one running, one queued so
+#: the pool never idles between completions (this bounds the number of
+#: materialized futures at ``2 * nworkers``).
+_INFLIGHT_PER_LANE = 2
 
 
 def derive_seed(base_seed: int, *names) -> int:
@@ -76,15 +99,77 @@ def _call(func: Callable[..., Any], kwargs: dict[str, Any],
 
     Returns ``(value, elapsed_seconds)`` so the parent can account
     per-job wall time and worker utilization without clock skew games
-    (each worker times itself).
+    (each worker times itself).  The write-through is what makes an
+    interrupted grid crash-resilient: results land in the shared
+    on-disk cache the moment they exist, not when the parent collects
+    them.
     """
-    start = perf_counter()
-    value = func(**kwargs)
-    elapsed = perf_counter() - start
-    if cache_root is not None:
-        cache = ResultCache(cache_root, version=cache_version)
-        cache.store(cache.key(func, kwargs), value)
-    return value, elapsed
+    return _call_batch(func, [kwargs], cache_root, cache_version)[0]
+
+
+def _call_batch(func: Callable[..., Any], kwargs_list: list[dict[str, Any]],
+                cache_root, cache_version) -> list[tuple[Any, float]]:
+    """Worker-side batch body: one pickled round-trip for many jobs."""
+    cache = ResultCache(cache_root, version=cache_version) if cache_root is not None else None
+    out = []
+    for kwargs in kwargs_list:
+        start = perf_counter()
+        value = func(**kwargs)
+        elapsed = perf_counter() - start
+        if cache is not None:
+            cache.store(cache.key(func, kwargs), value)
+        out.append((value, elapsed))
+    return out
+
+
+class _StealingDeques:
+    """Parent-side work-stealing state: one index deque per worker lane.
+
+    Lanes own contiguous slices of the pending indices (cache-friendly:
+    neighbouring configs usually share warm inputs).  An owner pops
+    batches from the *head* of its deque; a lane whose deque is empty
+    steals up to half the remaining work of the longest other deque
+    from its *tail* — the classic owner-head/thief-tail split that
+    minimizes contention on the hot end.
+    """
+
+    def __init__(self, pending: Sequence[int], nlanes: int, batch: int) -> None:
+        self.batch = batch
+        self.lanes: list[deque[int]] = [deque() for _ in range(nlanes)]
+        chunk, extra = divmod(len(pending), nlanes)
+        start = 0
+        for lane in range(nlanes):
+            size = chunk + (1 if lane < extra else 0)
+            self.lanes[lane].extend(pending[start:start + size])
+            start += size
+        self.steals = 0
+
+    def depth(self) -> int:
+        return sum(len(lane) for lane in self.lanes)
+
+    def next_batch(self, lane: int) -> list[int]:
+        """The lane's next batch of grid indices (own head, else steal)."""
+        own = self.lanes[lane]
+        if not own:
+            victim = max(self.lanes, key=len)
+            if not victim:
+                return []
+            self.steals += 1
+            take = min(self.batch, max(1, len(victim) // 2))
+            stolen = [victim.pop() for _ in range(take)]
+            stolen.reverse()  # keep ascending grid order within the batch
+            return stolen
+        return [own.popleft() for _ in range(min(self.batch, len(own)))]
+
+
+def _auto_batch(njobs: int, nworkers: int) -> int:
+    """Batch size balancing IPC amortization against steal granularity.
+
+    Aim for ~8 batches per lane so late imbalance can still be stolen
+    away, capped at :data:`_MAX_BATCH`; tiny grids degenerate to one
+    config per batch.
+    """
+    return max(1, min(_MAX_BATCH, njobs // (nworkers * 8)))
 
 
 def run_grid(
@@ -96,6 +181,7 @@ def run_grid(
     on_result: Optional[Callable[[int, Any], None]] = None,
     options: Optional[RunOptions] = None,
     telemetry=None,
+    batch_size: Optional[int] = None,
 ) -> list[Any]:
     """Run ``func(**cfg)`` for every ``cfg`` in ``grid``.
 
@@ -126,18 +212,27 @@ def run_grid(
         A :class:`repro.telemetry.TelemetryRecorder`; overrides
         ``options.telemetry`` when both are given.  The recorder is also
         attached to the cache for load/store latencies, and collects
-        ``runner.job`` wall-time observations plus a
-        ``runner.worker_utilization`` gauge for pool runs.
+        ``runner.job`` wall-time observations, a
+        ``runner.worker_utilization`` gauge, ``runner.steals`` /
+        ``runner.batches`` counters and ``runner.queue_depth.peak`` /
+        ``runner.inflight.peak`` gauges for pool runs.
+    batch_size:
+        Configs per submitted batch for pool runs (default: sized
+        automatically from the grid and worker count).  Purely a
+        scheduling knob — results are identical for any value.
 
     Returns
     -------
     list
         ``[func(**grid[0]), func(**grid[1]), ...]`` — identical for any
-        ``jobs`` value.
+        ``jobs`` value (and any ``batch_size``): work stealing reorders
+        *execution*, never results.
     """
     options = resolve_options(options, caller="run_grid", jobs=jobs, cache=cache)
     tele = telemetry if telemetry is not None else options.telemetry_or_null
     jobs, cache = options.jobs, options.cache
+    if batch_size is not None and batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
     if cache is not None and tele.enabled:
         cache.telemetry = tele
 
@@ -178,33 +273,58 @@ def run_grid(
 
         cache_root = str(cache.root) if cache is not None else None
         cache_version = cache.version if cache is not None else None
+        batch = batch_size if batch_size is not None else _auto_batch(len(pending), nworkers)
+        deques = _StealingDeques(pending, nworkers, batch)
         busy = 0.0
+        batches = 0
+        peak_inflight = 0
         pool_start = perf_counter() if tele.enabled else 0.0
         with ProcessPoolExecutor(max_workers=nworkers) as pool:
-            futures = {
-                pool.submit(_call, func, configs[i], cache_root, cache_version): i
-                for i in pending
-            }
-            outstanding = set(futures)
+            outstanding: dict[Any, tuple[int, list[int]]] = {}
+
+            def submit(lane: int) -> bool:
+                indices = deques.next_batch(lane)
+                if not indices:
+                    return False
+                fut = pool.submit(
+                    _call_batch, func, [configs[i] for i in indices],
+                    cache_root, cache_version,
+                )
+                outstanding[fut] = (lane, indices)
+                return True
+
+            if tele.enabled:
+                tele.gauge_max("runner.queue_depth.peak", deques.depth())
+            for lane in range(nworkers):
+                for _ in range(_INFLIGHT_PER_LANE):
+                    if not submit(lane):
+                        break
             while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                peak_inflight = max(peak_inflight, len(outstanding))
+                done, _ = wait(set(outstanding), return_when=FIRST_COMPLETED)
                 for fut in done:
-                    i = futures[fut]
-                    value, elapsed = fut.result()  # re-raises worker exceptions here
-                    if tele.enabled:
-                        busy += elapsed
-                        tele.observe("runner.job", elapsed)
-                        tele.count("runner.jobs_executed")
-                    results[i] = value
-                    if on_result is not None:
-                        on_result(i, value)
+                    lane, indices = outstanding.pop(fut)
+                    batches += 1
+                    pairs = fut.result()  # re-raises worker exceptions here
+                    for i, (value, elapsed) in zip(indices, pairs):
+                        if tele.enabled:
+                            busy += elapsed
+                            tele.observe("runner.job", elapsed)
+                            tele.count("runner.jobs_executed")
+                        results[i] = value
+                        if on_result is not None:
+                            on_result(i, value)
+                    submit(lane)
         if tele.enabled:
             # Fraction of worker-seconds actually spent inside jobs; the
             # rest is pool startup, pickling, and scheduling slack.
             wall = perf_counter() - pool_start
             if wall > 0:
                 tele.gauge("runner.worker_utilization", busy / (nworkers * wall))
-            grid_span.set(workers=nworkers)
+            tele.count("runner.steals", deques.steals)
+            tele.count("runner.batches", batches)
+            tele.gauge_max("runner.inflight.peak", peak_inflight)
+            grid_span.set(workers=nworkers, batch=batch, steals=deques.steals)
     return results
 
 

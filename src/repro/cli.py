@@ -173,7 +173,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.1, help="workload scale for fig7 (default 0.1)"
     )
     figs.add_argument(
-        "--runs", type=int, default=3, help="repetitions for fig7/fig8 (default 3)"
+        "--runs", type=int, default=None,
+        help="independent repetitions per reported number "
+             "(default: 3 for fig7/fig8, 1 for table2/fig4)",
+    )
+    figs.add_argument(
+        "--level", type=float, default=0.95,
+        help="confidence level for the reported intervals (default 0.95)",
+    )
+    figs.add_argument(
+        "--stop-rel", type=float, default=None, metavar="WIDTH",
+        help="sequential stopping: add runs until the relative CI "
+             "half-width undercuts WIDTH (see docs/methodology.md)",
+    )
+    figs.add_argument(
+        "--stop-max-runs", type=int, default=10,
+        help="hard repetition cap for --stop-rel (default 10)",
     )
     figs.add_argument(
         "--engine", choices=list(ENGINES), default="reference",
@@ -508,7 +523,9 @@ def _cmd_report(args) -> int:
 def _fig_table2(args, options) -> None:
     from repro.analysis.experiments import table2_latencies
 
-    result = table2_latencies(options=options)
+    result = table2_latencies(
+        runs=args.runs or 1, level=args.level, options=options
+    )
     print("Table II — measured latencies per placement")
     for row in result.rows:
         print(f"  {row}")
@@ -517,12 +534,14 @@ def _fig_table2(args, options) -> None:
 def _fig_fig4(args, options) -> None:
     from repro.analysis.experiments import fig4_all_panels
 
-    results = fig4_all_panels(options=options)
+    runs = args.runs or 1
+    results = fig4_all_panels(runs=runs, level=args.level, options=options)
     print("Fig. 4 — deviation after initial offset alignment")
     for panel, res in results.items():
+        summary = res.residual_summary
         print(
             f"  panel {panel}: {res.timer:>12s} {res.duration:6.0f} s  "
-            f"max residual {res.max_residual('aligned') * 1e6:10.2f} us  "
+            f"max residual {summary.describe(unit_scale=1e6, unit='us')}  "
             f"(l_min {res.lmin * 1e6:.2f} us)"
         )
 
@@ -530,30 +549,35 @@ def _fig_fig4(args, options) -> None:
 def _fig_fig7(args, options) -> None:
     from repro.analysis.experiments import fig7_app_violations
 
+    runs = args.runs or 3
     for app in ("pop", "smg2000"):
         result = fig7_app_violations(
-            app=app, runs=args.runs, scale=args.scale, options=options
+            app=app, runs=runs, scale=args.scale, options=options
         )
-        print(f"Fig. 7 — {app}: {args.runs} runs")
+        print(f"Fig. 7 — {app}: {runs} runs")
         for i, run in enumerate(result.runs):
             print(
                 f"  run {i}: reversed {run.reversed_pct:6.3f} %  "
                 f"message events {run.message_event_pct:5.1f} %"
             )
-        print(
-            f"  mean:  reversed {result.mean_reversed_pct:6.3f} %  "
-            f"message events {result.mean_message_event_pct:5.1f} %"
-        )
+        rev = result.reversed_summary(level=args.level)
+        msg = result.message_event_summary(level=args.level)
+        print(f"  reversed:       {rev.describe(unit_scale=1.0, unit='%')}")
+        print(f"  message events: {msg.describe(unit_scale=1.0, unit='%')}")
 
 
 def _fig_fig8(args, options) -> None:
     from repro.analysis.experiments import fig8_openmp_violations
 
-    result = fig8_openmp_violations(runs=args.runs, options=options)
-    print("Fig. 8 — POMP violations vs thread count (mean % of regions)")
-    print("  threads     any   entry    exit barrier")
+    runs = args.runs or 3
+    result = fig8_openmp_violations(runs=runs, options=options)
+    print(f"Fig. 8 — POMP violations vs thread count "
+          f"(mean % of regions, {runs} runs)")
+    print("  threads             any   entry    exit barrier")
     for n, any_, entry, exit_, barr in result.rows():
-        print(f"  {n:7d} {any_:7.2f} {entry:7.2f} {exit_:7.2f} {barr:7.2f}")
+        half = result.summary(n, "any", level=args.level).ci_halfwidth
+        print(f"  {n:7d} {any_:7.2f} ± {half:5.2f} {entry:7.2f} "
+              f"{exit_:7.2f} {barr:7.2f}")
 
 
 def _fig_waitstates(args, options) -> None:
@@ -585,10 +609,18 @@ def _cmd_figures(args) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    stopping = None
+    if args.stop_rel is not None:
+        from repro.stats import StoppingRule
+
+        stopping = StoppingRule(
+            rel_ci_width=args.stop_rel, max_runs=args.stop_max_runs,
+            level=args.level,
+        )
     recorder = _telemetry_for(args)
     options = RunOptions(
         engine=args.engine, jobs=args.jobs, cache=cache,
-        seed=args.seed, telemetry=recorder,
+        seed=args.seed, telemetry=recorder, stopping=stopping,
     )
     targets = list(FIGURE_TARGETS) if "all" in args.targets else args.targets
     for target in dict.fromkeys(targets):  # dedupe, keep order

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.errors import ConfigurationError
+from repro.stats import StoppingRule
 from repro.telemetry import NULL_TELEMETRY
 
 __all__ = ["ENGINES", "RunOptions", "resolve_options"]
@@ -74,6 +75,12 @@ class RunOptions:
         Events per shard for ``trace_dir`` (default
         :data:`repro.tracing.store.DEFAULT_SHARD_EVENTS`).  Requires
         ``trace_dir``.
+    stopping:
+        A :class:`repro.stats.StoppingRule`, or ``None`` for a fixed
+        repetition count.  Measurement drivers (Table II, fig7, fig8)
+        consult it to add independent runs until the confidence interval
+        of each reported mean undercuts the rule's relative-width
+        target; see ``docs/methodology.md``.
 
     Instances are frozen; derive variants with :meth:`replace`.
     """
@@ -85,6 +92,7 @@ class RunOptions:
     telemetry: Any = None
     trace_dir: Any = None
     shard_events: Optional[int] = None
+    stopping: Optional[StoppingRule] = None
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -104,6 +112,11 @@ class RunOptions:
                 raise ConfigurationError(
                     "shard_events requires trace_dir (it sizes the on-disk shards)"
                 )
+        if self.stopping is not None and not isinstance(self.stopping, StoppingRule):
+            raise ConfigurationError(
+                f"stopping must be a repro.stats.StoppingRule or None, "
+                f"got {self.stopping!r}"
+            )
 
     def replace(self, **changes) -> "RunOptions":
         """Return a copy with ``changes`` applied (frozen-safe)."""

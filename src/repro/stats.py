@@ -1,0 +1,392 @@
+"""Statistically rigorous measurement summaries (``repro.stats``).
+
+The paper's Table II and Figures 4-8 all report sample means of noisy
+quantities — latencies, deviations, violation percentages — measured
+under network jitter, OS noise and timer quantization.  Following the
+methodology of Hunold & Carpen-Amarie, *"MPI Benchmarking Revisited"*
+(see PAPERS.md), every such number in this repository now carries an
+explicit repetition design:
+
+* :class:`SampleSummary` — mean, median, sample std (ddof=1), a Student
+  t confidence interval at a configurable level, an optional percentile
+  *bootstrap* interval from a deterministic seeded resampler, and the
+  run-to-run variance of per-run means across repeated independent runs;
+* :class:`StoppingRule` — a sequential stopping rule: keep adding
+  independent runs until the relative CI half-width undercuts a target,
+  with a hard repetition cap;
+* :func:`collect_runs` — the driver loop that applies a stopping rule to
+  any ``run_index -> samples`` callable.
+
+Everything here is scipy-free and bit-deterministic: the t quantiles
+come from a regularized-incomplete-beta inversion (so property tests can
+pin them against hand-computed values), and the bootstrap draws from a
+:func:`numpy.random.default_rng` seeded explicitly — the same data and
+seed always produce the same interval, which is what makes summaries
+safe to memoize in the result cache and compare bit-for-bit across
+serial and parallel grid runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SampleSummary",
+    "StoppingRule",
+    "bootstrap_ci",
+    "collect_runs",
+    "student_t_cdf",
+    "student_t_ppf",
+    "summarize",
+]
+
+#: Default confidence level for every summary in the repository.
+DEFAULT_LEVEL = 0.95
+
+#: Default number of bootstrap resamples when a bootstrap CI is requested.
+DEFAULT_RESAMPLES = 1000
+
+
+# ----------------------------------------------------------------------
+# Student t quantiles, scipy-free
+# ----------------------------------------------------------------------
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the regularized incomplete beta function
+    (modified Lentz algorithm)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 300):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return h
+
+
+def _betainc(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def student_t_cdf(t: float, df: float) -> float:
+    """CDF of Student's t distribution with ``df`` degrees of freedom."""
+    if df <= 0:
+        raise ConfigurationError(f"degrees of freedom must be > 0, got {df}")
+    if t == 0.0:
+        return 0.5
+    x = df / (df + t * t)
+    p = 0.5 * _betainc(0.5 * df, 0.5, x)
+    return 1.0 - p if t > 0 else p
+
+
+@lru_cache(maxsize=256)
+def student_t_ppf(p: float, df: float) -> float:
+    """Quantile of Student's t distribution (inverse CDF), by bisection.
+
+    Deterministic and accurate to ~1e-10; with ``df`` cached per
+    ``(p, df)`` pair the cost is paid once per confidence level.
+    """
+    if df <= 0:
+        raise ConfigurationError(f"degrees of freedom must be > 0, got {df}")
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"quantile probability must be in (0, 1), got {p}")
+    if p == 0.5:
+        return 0.0
+    if p < 0.5:
+        return -student_t_ppf(1.0 - p, df)
+    lo, hi = 0.0, 2.0
+    while student_t_cdf(hi, df) < p:
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover - p astronomically close to 1
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if student_t_cdf(mid, df) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
+
+
+# ----------------------------------------------------------------------
+# Bootstrap
+# ----------------------------------------------------------------------
+def bootstrap_ci(
+    samples: np.ndarray,
+    level: float = DEFAULT_LEVEL,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI of the mean, deterministic under ``seed``.
+
+    The resampler is ``numpy.random.default_rng(seed)``: the same
+    ``(samples, level, resamples, seed)`` always yields the same
+    interval, bit for bit, regardless of process or platform.
+    """
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    if samples.size == 0:
+        raise ConfigurationError("bootstrap_ci needs at least one sample")
+    if not 0.0 < level < 1.0:
+        raise ConfigurationError(f"confidence level must be in (0, 1), got {level}")
+    if resamples < 1:
+        raise ConfigurationError(f"resamples must be >= 1, got {resamples}")
+    if samples.size == 1:
+        value = float(samples[0])
+        return value, value
+    rng = np.random.default_rng(int(seed))
+    draws = rng.integers(0, samples.size, size=(int(resamples), samples.size))
+    means = samples[draws].mean(axis=1)
+    alpha = 0.5 * (1.0 - level)
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+# ----------------------------------------------------------------------
+# SampleSummary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of one measured quantity with its uncertainty.
+
+    Attributes
+    ----------
+    n:
+        Pooled sample count across all runs.
+    mean, median, std:
+        Pooled sample statistics (``std`` with ddof=1; 0.0 at n=1).
+    std_of_mean:
+        ``std / sqrt(n)`` — the standard error (0.0 at n=1).
+    level:
+        Confidence level of both intervals (e.g. 0.95).
+    ci_lower, ci_upper:
+        Student t CI of the mean.  Zero-width (== mean) at n=1, never
+        NaN.
+    bootstrap_lower, bootstrap_upper:
+        Percentile bootstrap CI of the mean, or ``None`` when no
+        bootstrap was requested.
+    runs:
+        Number of independent runs pooled into this summary.
+    run_variance:
+        Variance (ddof=1) of the per-run means; 0.0 below two runs.
+    """
+
+    n: int
+    mean: float
+    median: float
+    std: float
+    std_of_mean: float
+    level: float
+    ci_lower: float
+    ci_upper: float
+    bootstrap_lower: Optional[float] = None
+    bootstrap_upper: Optional[float] = None
+    runs: int = 1
+    run_variance: float = 0.0
+
+    @property
+    def ci_halfwidth(self) -> float:
+        return 0.5 * (self.ci_upper - self.ci_lower)
+
+    def relative_ci_width(self) -> float:
+        """CI half-width relative to |mean| (inf for a zero mean with a
+        nonzero interval) — the quantity stopping rules target."""
+        half = self.ci_halfwidth
+        if half == 0.0:
+            return 0.0
+        if self.mean == 0.0:
+            return math.inf
+        return half / abs(self.mean)
+
+    def describe(self, unit_scale: float = 1.0, unit: str = "") -> str:
+        """Human-readable one-liner: mean ± half-width [lo, hi], n, runs."""
+        u = f" {unit}" if unit else ""
+        text = (
+            f"{self.mean * unit_scale:.3f} ± {self.ci_halfwidth * unit_scale:.3f}{u} "
+            f"[{self.ci_lower * unit_scale:.3f}, {self.ci_upper * unit_scale:.3f}] "
+            f"({self.level:.0%} CI, n={self.n}"
+        )
+        if self.runs > 1:
+            text += f", runs={self.runs}"
+        return text + ")"
+
+
+def summarize(
+    samples: Union[np.ndarray, Sequence],
+    level: float = DEFAULT_LEVEL,
+    bootstrap: int = 0,
+    seed: int = 0,
+) -> SampleSummary:
+    """Summarize samples from one or more independent runs.
+
+    ``samples`` is either a flat array (one run) or a sequence of arrays
+    (one per independent run); runs are pooled for the point estimates
+    and CI, and their per-run means feed ``run_variance``.  ``bootstrap``
+    > 0 adds a percentile bootstrap CI with that many resamples, seeded
+    deterministically by ``seed``.
+    """
+    if not 0.0 < level < 1.0:
+        raise ConfigurationError(f"confidence level must be in (0, 1), got {level}")
+    if isinstance(samples, np.ndarray) and samples.ndim <= 1:
+        run_arrays = [np.asarray(samples, dtype=np.float64).ravel()]
+    elif samples and isinstance(samples[0], (np.ndarray, list, tuple)):
+        run_arrays = [np.asarray(run, dtype=np.float64).ravel() for run in samples]
+    else:
+        run_arrays = [np.asarray(samples, dtype=np.float64).ravel()]
+    run_arrays = [run for run in run_arrays if run.size]
+    if not run_arrays:
+        raise ConfigurationError("summarize needs at least one sample")
+
+    pooled = np.concatenate(run_arrays) if len(run_arrays) > 1 else run_arrays[0]
+    n = int(pooled.size)
+    mean = float(pooled.mean())
+    median = float(np.median(pooled))
+    if n > 1:
+        std = float(pooled.std(ddof=1))
+        sem = std / math.sqrt(n)
+        t_crit = student_t_ppf(0.5 * (1.0 + level), n - 1)
+        half = t_crit * sem
+    else:
+        std = sem = half = 0.0  # zero-width CI at n=1, never NaN
+
+    run_means = [float(run.mean()) for run in run_arrays]
+    run_variance = (
+        float(np.var(run_means, ddof=1)) if len(run_means) > 1 else 0.0
+    )
+
+    boot_lo = boot_hi = None
+    if bootstrap > 0:
+        boot_lo, boot_hi = bootstrap_ci(pooled, level=level,
+                                        resamples=bootstrap, seed=seed)
+    return SampleSummary(
+        n=n,
+        mean=mean,
+        median=median,
+        std=std,
+        std_of_mean=sem,
+        level=level,
+        ci_lower=mean - half,
+        ci_upper=mean + half,
+        bootstrap_lower=boot_lo,
+        bootstrap_upper=boot_hi,
+        runs=len(run_arrays),
+        run_variance=run_variance,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sequential stopping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StoppingRule:
+    """Sequential stopping: repeat until the CI is tight or the cap hits.
+
+    A measurement driver keeps adding independent runs while
+    ``relative_ci_width() > rel_ci_width`` and fewer than ``max_runs``
+    runs have completed; ``min_runs`` runs always execute (a CI from a
+    single run of correlated samples says little about run-to-run
+    effects).  The rule is a frozen pure-data object, so it can ride in
+    :class:`repro.options.RunOptions` and in cache-keyed grid configs.
+    """
+
+    rel_ci_width: float = 0.05
+    min_runs: int = 2
+    max_runs: int = 10
+    level: float = DEFAULT_LEVEL
+
+    def __post_init__(self):
+        if not self.rel_ci_width > 0.0:
+            raise ConfigurationError(
+                f"rel_ci_width must be > 0, got {self.rel_ci_width!r}"
+            )
+        if not isinstance(self.min_runs, int) or self.min_runs < 1:
+            raise ConfigurationError(
+                f"min_runs must be a positive int, got {self.min_runs!r}"
+            )
+        if not isinstance(self.max_runs, int) or self.max_runs < self.min_runs:
+            raise ConfigurationError(
+                f"max_runs must be an int >= min_runs, got {self.max_runs!r}"
+            )
+        if not 0.0 < self.level < 1.0:
+            raise ConfigurationError(
+                f"confidence level must be in (0, 1), got {self.level!r}"
+            )
+
+    def satisfied(self, summary: SampleSummary) -> bool:
+        """True when the summary's CI meets the relative-width target."""
+        return summary.relative_ci_width() <= self.rel_ci_width
+
+
+def collect_runs(
+    sample_run: Callable[[int], np.ndarray],
+    runs: int = 1,
+    stopping: Optional[StoppingRule] = None,
+    level: float = DEFAULT_LEVEL,
+) -> list[np.ndarray]:
+    """Collect per-run sample arrays, honoring a sequential stopping rule.
+
+    ``sample_run(run_index)`` produces the samples of one independent
+    run (the caller derives per-run seeds from the index).  Without a
+    rule, exactly ``runs`` runs execute.  With a rule, at least
+    ``max(runs, rule.min_runs)`` and at most ``rule.max_runs`` runs
+    execute, stopping as soon as the pooled summary at ``rule.level``
+    satisfies the rule.  Deterministic: the decision sequence is a pure
+    function of the (deterministic) samples.
+    """
+    if runs < 1:
+        raise ConfigurationError(f"runs must be >= 1, got {runs}")
+    if stopping is None:
+        return [np.asarray(sample_run(r), dtype=np.float64).ravel()
+                for r in range(runs)]
+    floor = max(runs, stopping.min_runs)
+    collected: list[np.ndarray] = []
+    for r in range(stopping.max_runs):
+        collected.append(np.asarray(sample_run(r), dtype=np.float64).ravel())
+        if len(collected) >= floor and stopping.satisfied(
+            summarize(collected, level=stopping.level)
+        ):
+            break
+    return collected

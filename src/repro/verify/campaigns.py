@@ -131,6 +131,17 @@ _campaign(
     example_cap=5,
 )
 _campaign(
+    "stats",
+    "repro.stats guarantees: t-CI coverage at the nominal rate, seeded "
+    "bootstrap determinism, and work-stealing run_grid identity",
+    (("stats", "ci_contains_truth_at_nominal_rate"),
+     ("stats", "bootstrap_deterministic_under_seed"),
+     ("grid_ws", "grid_identity_under_work_stealing")),
+    # Coverage probes run a few hundred Monte-Carlo trials each and the
+    # grid probes spawn worker processes; keep the default modest.
+    example_cap=10,
+)
+_campaign(
     "mutation",
     "probes used by benchmarks/check_oracles.py to catch injected mutants",
     _cross("p2p", ("clock_condition_post_clc", "kernel_reference_identity"))
@@ -139,12 +150,14 @@ _campaign(
 )
 _campaign(
     "full",
-    "everything: all trace, interpolation, io, clock and runner probes",
+    "everything: all trace, interpolation, io, clock, runner and stats "
+    "probes",
     CAMPAIGNS["clc"].probes
     + CAMPAIGNS["interpolation"].probes
     + CAMPAIGNS["pomp"].probes
     + (("quantization", "clock_quantization"),)
-    + CAMPAIGNS["runner"].probes,
+    + CAMPAIGNS["runner"].probes
+    + CAMPAIGNS["stats"].probes,
     example_cap=1_000_000,
 )
 

@@ -312,6 +312,35 @@ def _build_grid(spec: CaseSpec) -> TraceCase:
     return TraceCase(spec=spec, tags=frozenset({"grid", "unit"}))
 
 
+def _build_grid_ws(spec: CaseSpec) -> TraceCase:
+    p = spec.params
+    if not p.get("seeds"):
+        raise ConfigurationError("grid_ws cases need at least one seed")
+    if int(p.get("batch_size", 1)) < 1:
+        raise ConfigurationError("grid_ws batch_size must be >= 1")
+    return TraceCase(spec=spec, tags=frozenset({"grid_ws", "unit"}))
+
+
+def _build_stats_coverage(spec: CaseSpec) -> TraceCase:
+    p = spec.params
+    if int(p.get("n", 0)) < 2:
+        raise ConfigurationError("stats_coverage needs n >= 2 (t CI is undefined)")
+    if int(p.get("trials", 0)) < 1:
+        raise ConfigurationError("stats_coverage needs at least one trial")
+    if not 0.0 < float(p.get("level", 0.95)) < 1.0:
+        raise ConfigurationError("confidence level must be in (0, 1)")
+    return TraceCase(spec=spec, tags=frozenset({"stats", "coverage", "unit"}))
+
+
+def _build_stats_bootstrap(spec: CaseSpec) -> TraceCase:
+    p = spec.params
+    if not p.get("values"):
+        raise ConfigurationError("stats_bootstrap needs at least one value")
+    if not 0.0 < float(p.get("level", 0.95)) < 1.0:
+        raise ConfigurationError("confidence level must be in (0, 1)")
+    return TraceCase(spec=spec, tags=frozenset({"stats", "bootstrap", "unit"}))
+
+
 #: Workloads the batch fast path knows how to plan (kept in sync with
 #: the ``batch_plan`` attachments in :mod:`repro.workloads`).
 BATCH_WORKLOADS = (
@@ -350,6 +379,9 @@ BUILDERS: dict[str, Callable[[CaseSpec], TraceCase]] = {
     "clock_quantization": _build_clock_quantization,
     "module_hints": _build_module_hints,
     "grid": _build_grid,
+    "grid_ws": _build_grid_ws,
+    "stats_coverage": _build_stats_coverage,
+    "stats_bootstrap": _build_stats_bootstrap,
     "batch": _build_batch,
 }
 

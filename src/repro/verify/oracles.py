@@ -667,6 +667,104 @@ def _run_grid_identity(case: TraceCase) -> None:
              "parallel run_grid results differ from the serial run")
 
 
+@oracle(
+    "grid_identity_under_work_stealing",
+    "run_grid under the work-stealing scheduler (multiple workers, "
+    "explicit batching) returns bit-identical results, in grid order, "
+    "to the serial path, and the telemetry job accounting adds up.",
+    {"grid_ws"},
+)
+def _grid_identity_under_work_stealing(case: TraceCase) -> None:
+    from repro.analysis.runner import run_grid
+    from repro.telemetry import TelemetryRecorder
+
+    p = case.spec.params
+    grid = [{"seed": int(s), "n": int(p["n"])} for s in p["seeds"]]
+    serial = run_grid(grid_probe_job, grid, jobs=None)
+    recorder = TelemetryRecorder()
+    stolen = run_grid(
+        grid_probe_job, grid, jobs=int(p.get("jobs", 2)),
+        batch_size=int(p.get("batch_size", 1)), telemetry=recorder,
+    )
+    _require(serial == stolen,
+             "work-stealing run_grid results differ from the serial run")
+    executed = recorder.counters.get("runner.jobs_executed", 0)
+    cached = recorder.counters.get("runner.jobs_from_cache", 0)
+    _require(executed + cached == len(grid),
+             f"telemetry accounts for {executed}+{cached} jobs, "
+             f"grid had {len(grid)}")
+
+
+# ----------------------------------------------------------------------
+# repro.stats: confidence intervals and the seeded bootstrap
+# ----------------------------------------------------------------------
+@oracle(
+    "ci_contains_truth_at_nominal_rate",
+    "Student t confidence intervals on Gaussian samples cover the true "
+    "mean at no less than the nominal level minus binomial slack, in a "
+    "Monte-Carlo trial that is deterministic per seed.",
+    {"stats", "coverage"},
+)
+def _ci_contains_truth_at_nominal_rate(case: TraceCase) -> None:
+    from repro.stats import summarize
+
+    p = case.spec.params
+    mu, sigma = float(p["mu"]), float(p["sigma"])
+    n, trials, level = int(p["n"]), int(p["trials"]), float(p["level"])
+    rng = np.random.default_rng(int(p["seed"]))
+    hits = 0
+    for _ in range(trials):
+        summary = summarize(rng.normal(mu, sigma, size=n), level=level)
+        _require(summary.ci_lower <= summary.mean <= summary.ci_upper,
+                 "CI does not bracket its own sample mean")
+        hits += int(summary.ci_lower <= mu <= summary.ci_upper)
+    coverage = hits / trials
+    # The t interval is exact for Gaussian data, so observed coverage is
+    # Binomial(trials, level)/trials; four standard deviations plus one
+    # point of fixed slack keeps the false-alarm rate negligible while
+    # still catching an interval built with z (or wrong-df) quantiles.
+    slack = 4.0 * math.sqrt(level * (1.0 - level) / trials) + 0.01
+    _require(
+        coverage >= level - slack,
+        f"coverage {coverage:.3f} below nominal {level:.2f} - {slack:.3f} "
+        f"({hits}/{trials} intervals contained the true mean)",
+    )
+
+
+@oracle(
+    "bootstrap_deterministic_under_seed",
+    "Seeded percentile-bootstrap CIs are bit-identical across repeated "
+    "calls, ordered, bounded by the sample extremes, and identical "
+    "whether reached via bootstrap_ci or summarize.",
+    {"stats", "bootstrap"},
+)
+def _bootstrap_deterministic_under_seed(case: TraceCase) -> None:
+    from repro.stats import bootstrap_ci, summarize
+
+    p = case.spec.params
+    samples = np.asarray(p["values"], dtype=np.float64)
+    level = float(p["level"])
+    resamples, seed = int(p["resamples"]), int(p["seed"])
+    first = bootstrap_ci(samples, level=level, resamples=resamples, seed=seed)
+    second = bootstrap_ci(samples, level=level, resamples=resamples, seed=seed)
+    _require(first == second,
+             f"same seed produced different bootstrap bounds: "
+             f"{first} vs {second}")
+    lo, hi = first
+    _require(lo <= hi, f"bootstrap bounds are inverted: [{lo}, {hi}]")
+    _require(
+        float(samples.min()) <= lo and hi <= float(samples.max()),
+        "bootstrap bounds escape the sample range (resampled means "
+        "cannot exceed the sample extremes)",
+    )
+    summary = summarize(samples, level=level, bootstrap=resamples, seed=seed)
+    _require(
+        (summary.bootstrap_lower, summary.bootstrap_upper) == first,
+        "summarize() bootstrap bounds differ from bootstrap_ci() under "
+        "the same seed",
+    )
+
+
 # ----------------------------------------------------------------------
 # Batch fast path vs the discrete-event engine
 # ----------------------------------------------------------------------

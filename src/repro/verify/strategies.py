@@ -35,6 +35,8 @@ __all__ = [
     "batch_specs",
     "streaming_specs",
     "unit_specs",
+    "stats_specs",
+    "grid_ws_specs",
     "adversarial_specs",
     "STRATEGIES",
 ]
@@ -333,6 +335,55 @@ def unit_specs(draw):
     })
 
 
+@st.composite
+def stats_specs(draw):
+    """Probes for :mod:`repro.stats`: CI coverage and bootstrap identity.
+
+    ``stats_coverage`` draws a Gaussian population (true mean known) and
+    a Monte-Carlo trial count; the oracle checks that t-intervals cover
+    the truth at no less than the nominal rate minus binomial slack.
+    ``stats_bootstrap`` draws an explicit sample (ties and negative
+    values included) and checks seeded-bootstrap determinism.
+    """
+    if draw(st.booleans()):
+        return CaseSpec("stats_coverage", {
+            "mu": draw(_finite(-10.0, 10.0)),
+            "sigma": draw(st.sampled_from([0.1, 1.0, 25.0])),
+            "n": draw(st.integers(2, 12)),
+            "trials": draw(st.sampled_from([100, 200])),
+            "level": draw(st.sampled_from([0.8, 0.9, 0.95])),
+            "seed": draw(st.integers(0, 2**16)),
+        })
+    return CaseSpec("stats_bootstrap", {
+        "values": draw(st.lists(
+            st.one_of(_finite(-50.0, 50.0), st.sampled_from([0.0, 1.0, -1.0])),
+            min_size=1, max_size=16,
+        )),
+        "level": draw(st.sampled_from([0.8, 0.9, 0.95, 0.99])),
+        "resamples": draw(st.sampled_from([1, 50, 400])),
+        "seed": draw(st.integers(0, 2**16)),
+    })
+
+
+@st.composite
+def grid_ws_specs(draw):
+    """Work-stealing ``run_grid`` identity probes.
+
+    Unlike the plain ``grid`` kind, these pin the batched parallel path:
+    enough jobs to fill several batches, an explicit ``batch_size`` that
+    forces multi-job futures, and 2-3 workers so the stealing deques are
+    actually contended.
+    """
+    njobs = draw(st.integers(1, 24))
+    return CaseSpec("grid_ws", {
+        "seeds": draw(st.lists(st.integers(0, 2**16),
+                               min_size=njobs, max_size=njobs)),
+        "n": draw(st.integers(1, 8)),
+        "jobs": draw(st.sampled_from([2, 3])),
+        "batch_size": draw(st.sampled_from([1, 2, 4])),
+    })
+
+
 def adversarial_specs() -> st.SearchStrategy[CaseSpec]:
     """The kitchen sink: any trace kind plus quantization probes."""
     return st.one_of(
@@ -351,5 +402,7 @@ STRATEGIES: dict[str, object] = {
     "batch": batch_specs,
     "streaming": streaming_specs,
     "unit": unit_specs,
+    "stats": stats_specs,
+    "grid_ws": grid_ws_specs,
     "adversarial": adversarial_specs,
 }

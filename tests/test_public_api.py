@@ -26,6 +26,8 @@ EXPECTED_EXPORTS = [
     "ReproError",
     "RunOptions",
     "RunResult",
+    "SampleSummary",
+    "StoppingRule",
     "SyncPipeline",
     "TelemetryRecorder",
     "TracingSession",

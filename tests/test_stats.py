@@ -1,0 +1,232 @@
+"""Tests for repro.stats: t quantiles, summaries, bootstrap, stopping.
+
+The t critical values are pinned against standard tables (Student 1908
+onward; any stats text agrees to 4 decimals), so the scipy-free
+incomplete-beta implementation is checked without a scipy reference at
+test time.  CIs are additionally re-derived by hand for small n.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stats import (
+    SampleSummary,
+    StoppingRule,
+    bootstrap_ci,
+    collect_runs,
+    student_t_cdf,
+    student_t_ppf,
+    summarize,
+)
+
+#: Two-sided 95% critical values t_{0.975, df} from standard tables.
+T_TABLE_975 = {1: 12.7062, 2: 4.3027, 3: 3.1824, 4: 2.7764}
+
+
+class TestStudentT:
+    def test_cdf_symmetry_and_center(self):
+        assert student_t_cdf(0.0, 5) == 0.5
+        for t in (0.3, 1.0, 4.2):
+            assert student_t_cdf(-t, 7) == pytest.approx(
+                1.0 - student_t_cdf(t, 7), abs=1e-12)
+
+    def test_df1_is_cauchy(self):
+        # t with df=1 is the Cauchy distribution: CDF has a closed form.
+        for t in (-2.0, -0.5, 0.25, 1.0, 3.0):
+            expected = 0.5 + math.atan(t) / math.pi
+            assert student_t_cdf(t, 1) == pytest.approx(expected, abs=1e-10)
+
+    @pytest.mark.parametrize("df,expected", sorted(T_TABLE_975.items()))
+    def test_ppf_pinned_at_975(self, df, expected):
+        assert student_t_ppf(0.975, df) == pytest.approx(expected, abs=2e-4)
+
+    def test_ppf_round_trips_cdf(self):
+        for df in (1, 2, 5, 30):
+            for p in (0.6, 0.9, 0.975, 0.995):
+                assert student_t_cdf(student_t_ppf(p, df), df) == pytest.approx(
+                    p, abs=1e-9)
+
+    def test_ppf_validation(self):
+        with pytest.raises(ConfigurationError):
+            student_t_ppf(0.0, 3)
+        with pytest.raises(ConfigurationError):
+            student_t_ppf(0.975, 0)
+        with pytest.raises(ConfigurationError):
+            student_t_cdf(1.0, -1)
+
+
+class TestSummarize:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_ci_matches_hand_computation(self, n):
+        # Hand derivation: mean ± t_{0.975, n-1} * s / sqrt(n), with the
+        # critical value from the pinned table — no scipy anywhere.
+        samples = np.array([1.0, 4.0, 2.0, 8.0, 5.0][:n])
+        mean = samples.sum() / n
+        s = math.sqrt(((samples - mean) ** 2).sum() / (n - 1))
+        half = T_TABLE_975[n - 1] * s / math.sqrt(n)
+        summary = summarize(samples, level=0.95)
+        assert summary.n == n
+        assert summary.mean == pytest.approx(mean, abs=1e-12)
+        assert summary.std == pytest.approx(s, abs=1e-12)
+        assert summary.ci_lower == pytest.approx(mean - half, rel=1e-4)
+        assert summary.ci_upper == pytest.approx(mean + half, rel=1e-4)
+
+    def test_n1_zero_width_no_nan(self):
+        summary = summarize(np.array([3.5]))
+        assert summary.n == 1
+        assert summary.mean == summary.median == 3.5
+        assert summary.std == summary.std_of_mean == 0.0
+        assert (summary.ci_lower, summary.ci_upper) == (3.5, 3.5)
+        assert summary.ci_halfwidth == 0.0
+        assert summary.relative_ci_width() == 0.0
+        for value in (summary.mean, summary.std, summary.ci_lower,
+                      summary.ci_upper, summary.run_variance):
+            assert not math.isnan(value)
+
+    def test_multi_run_pooling(self):
+        runs = [np.array([1.0, 2.0, 3.0]), np.array([5.0, 6.0, 7.0])]
+        summary = summarize(runs)
+        pooled = summarize(np.concatenate(runs))
+        assert summary.runs == 2
+        assert summary.n == 6
+        assert summary.mean == pooled.mean
+        assert (summary.ci_lower, summary.ci_upper) == (
+            pooled.ci_lower, pooled.ci_upper)
+        # run means are 2 and 6 -> variance (ddof=1) is 8
+        assert summary.run_variance == pytest.approx(8.0)
+        assert pooled.run_variance == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize(np.array([]))
+        with pytest.raises(ConfigurationError):
+            summarize([], level=0.95)
+
+    def test_level_validated(self):
+        with pytest.raises(ConfigurationError):
+            summarize(np.array([1.0, 2.0]), level=1.0)
+
+    def test_describe_mentions_runs_only_when_pooled(self):
+        one = summarize(np.array([1.0, 2.0]))
+        two = summarize([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert "runs=" not in one.describe()
+        assert "runs=2" in two.describe()
+        assert "95% CI" in one.describe()
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_ci_brackets_mean(self, values):
+        summary = summarize(np.array(values))
+        assert summary.ci_lower <= summary.mean <= summary.ci_upper
+        assert not math.isnan(summary.ci_lower)
+        assert not math.isnan(summary.ci_upper)
+
+
+class TestBootstrap:
+    def test_deterministic_under_seed(self):
+        samples = np.array([0.3, 1.2, -4.0, 2.2, 0.9])
+        a = bootstrap_ci(samples, resamples=500, seed=42)
+        assert a == bootstrap_ci(samples, resamples=500, seed=42)
+        lo, hi = a
+        assert samples.min() <= lo <= hi <= samples.max()
+
+    def test_single_sample_degenerates(self):
+        assert bootstrap_ci(np.array([7.0]), seed=1) == (7.0, 7.0)
+
+    def test_summarize_carries_bootstrap(self):
+        samples = np.array([1.0, 2.0, 4.0, 8.0])
+        summary = summarize(samples, bootstrap=300, seed=5)
+        assert (summary.bootstrap_lower, summary.bootstrap_upper) == \
+            bootstrap_ci(samples, resamples=300, seed=5)
+        assert summarize(samples).bootstrap_lower is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([1.0, 2.0]), resamples=0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([1.0, 2.0]), level=0.0)
+
+    @given(seed=st.integers(0, 2**16),
+           values=st.lists(st.floats(-100.0, 100.0), min_size=2, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_ordered_and_in_range(self, seed, values):
+        samples = np.array(values)
+        lo, hi = bootstrap_ci(samples, resamples=100, seed=seed)
+        assert lo <= hi
+        assert samples.min() <= lo and hi <= samples.max()
+
+
+class TestStoppingRule:
+    def test_defaults_and_satisfied(self):
+        rule = StoppingRule()
+        tight = SampleSummary(n=10, mean=1.0, median=1.0, std=0.01,
+                              std_of_mean=0.003, level=0.95,
+                              ci_lower=0.99, ci_upper=1.01)
+        loose = SampleSummary(n=10, mean=1.0, median=1.0, std=1.0,
+                              std_of_mean=0.3, level=0.95,
+                              ci_lower=0.3, ci_upper=1.7)
+        assert rule.satisfied(tight)
+        assert not rule.satisfied(loose)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StoppingRule(rel_ci_width=0.0)
+        with pytest.raises(ConfigurationError):
+            StoppingRule(min_runs=0)
+        with pytest.raises(ConfigurationError):
+            StoppingRule(min_runs=5, max_runs=3)
+        with pytest.raises(ConfigurationError):
+            StoppingRule(level=1.5)
+
+    def test_rides_in_run_options(self):
+        from repro.options import RunOptions
+
+        rule = StoppingRule(rel_ci_width=0.1, max_runs=4)
+        assert RunOptions(stopping=rule).stopping is rule
+        assert RunOptions().stopping is None
+        with pytest.raises(ConfigurationError):
+            RunOptions(stopping="tight")
+
+
+class TestCollectRuns:
+    @staticmethod
+    def _noisy(scale):
+        def sample_run(r):
+            rng = np.random.default_rng(100 + r)
+            return 10.0 + scale * rng.standard_normal(50)
+        return sample_run
+
+    def test_without_rule_exact_count(self):
+        runs = collect_runs(self._noisy(1.0), runs=3)
+        assert len(runs) == 3
+        # deterministic: same indices, same samples
+        again = collect_runs(self._noisy(1.0), runs=3)
+        assert all(np.array_equal(a, b) for a, b in zip(runs, again))
+
+    def test_rule_stops_early_when_tight(self):
+        rule = StoppingRule(rel_ci_width=0.5, min_runs=2, max_runs=10)
+        runs = collect_runs(self._noisy(0.001), stopping=rule)
+        assert len(runs) == 2  # tight data satisfies at the floor
+
+    def test_rule_caps_at_max_runs(self):
+        rule = StoppingRule(rel_ci_width=1e-9, min_runs=2, max_runs=4)
+        runs = collect_runs(self._noisy(5.0), stopping=rule)
+        assert len(runs) == 4  # noisy data never satisfies; cap hits
+
+    def test_runs_floor_dominates_min_runs(self):
+        rule = StoppingRule(rel_ci_width=0.5, min_runs=2, max_runs=10)
+        runs = collect_runs(self._noisy(0.001), runs=5, stopping=rule)
+        assert len(runs) == 5
+
+    def test_runs_validated(self):
+        with pytest.raises(ConfigurationError):
+            collect_runs(self._noisy(1.0), runs=0)
