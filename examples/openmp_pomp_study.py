@@ -14,6 +14,7 @@ Run:  python examples/openmp_pomp_study.py
 import numpy as np
 
 from repro.analysis.experiments import fig3_barrier_violation, fig8_openmp_violations
+from repro.options import RunOptions
 from repro.analysis.reports import ascii_table
 
 
@@ -21,7 +22,9 @@ def main(seed: int = 1) -> None:
     print("parallel-for benchmark, Itanium SMP node (4 chips x 4 cores),")
     print("Intel timestamp counter, no timestamp correction, mean of 3 runs\n")
 
-    result = fig8_openmp_violations(threads=(4, 8, 12, 16), seed=seed, runs=3)
+    result = fig8_openmp_violations(
+        threads=(4, 8, 12, 16), runs=3, options=RunOptions(seed=seed)
+    )
     rows = [
         (n, f"{any_:.1f}", f"{entry:.1f}", f"{exit_:.1f}", f"{barrier:.1f}")
         for n, any_, entry, exit_, barrier in result.rows()

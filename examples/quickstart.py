@@ -14,7 +14,7 @@ This walks the library's core loop in ~40 lines:
 Run:  python examples/quickstart.py
 """
 
-from repro import TracingSession
+from repro import RunOptions, TracingSession
 from repro.workloads import SparseConfig, sparse_worker
 
 
@@ -26,8 +26,8 @@ def main() -> None:
         nprocs=6,
         placement="spread",
         timer="mpi_wtime",  # NTP-disciplined software clock: the nastiest
-        seed=2024,
         duration_hint=120.0,
+        options=RunOptions(seed=2024),
     )
     print(f"session: {session}")
 

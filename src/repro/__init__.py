@@ -21,22 +21,36 @@ Quick start
 >>> report.stage("clc").total_violated
 0
 
-See ``examples/`` for complete scenarios and ``benchmarks/`` for the
-regeneration of every table and figure in the paper.
+Or skip the session machinery entirely — :func:`correct_trace` is the
+one-call facade over the whole correction chain (the same code path the
+CLI and the :mod:`repro.service` HTTP service execute)::
+
+    from repro import correct_trace
+    result = correct_trace("run.npz", interpolation="linear", clc=True)
+    result.trace                 # the corrected Trace
+    print(result.summary())      # violation counts per stage
+
+See ``examples/`` for complete scenarios, ``docs/service.md`` for the
+correction service, and ``benchmarks/`` for the regeneration of every
+table and figure in the paper.
 """
 
 from repro.core.api import TracingSession
+from repro.core.correct import CorrectionResult, correct_trace
 from repro.core.pipeline import PipelineReport, SyncPipeline
 from repro.errors import ReproError
 from repro.mpi.runtime import RunResult
 from repro.options import RunOptions
+from repro.service.client import ServiceClient
 from repro.stats import SampleSummary, StoppingRule
 from repro.telemetry import TelemetryRecorder
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
+    "CorrectionResult",
     "TracingSession",
+    "ServiceClient",
     "SyncPipeline",
     "PipelineReport",
     "ReproError",
@@ -46,4 +60,5 @@ __all__ = [
     "StoppingRule",
     "TelemetryRecorder",
     "__version__",
+    "correct_trace",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Six subcommands cover the tool loop without writing Python:
+The local subcommands cover the tool loop without writing Python:
 
 * ``simulate`` — run a workload on a simulated platform, write the
   trace (and its offset measurements) to a ``.npz``/``.jsonl`` file, or
@@ -21,6 +21,22 @@ Six subcommands cover the tool loop without writing Python:
   (``--campaign``, repeatable), serialize shrunken failures into the
   corpus (``--corpus-dir``), or replay the committed corpus
   (``--replay``); see docs/testing.md.
+
+``scan`` and ``sync`` are thin shells over the one-call facade
+:func:`repro.core.correct.correct_trace` — the same code path the
+Python API and the service workers execute.
+
+The service subcommands run and talk to the long-running correction
+service (:mod:`repro.service`, docs/service.md):
+
+* ``serve``  — start the HTTP service (``--port 0`` picks a free port
+  and prints it);
+* ``submit`` — submit a trace file (uploaded inline) or a built-in
+  workload (``--workload``) for correction;
+* ``status`` — poll one job (or all jobs with no id);
+* ``fetch``  — download a finished job's corrected trace or its
+  violation report (``--report``);
+* ``cancel`` — cancel a still-queued job.
 
 ``simulate``, ``sync``, ``figures`` and ``verify`` accept
 ``--telemetry PATH`` to record run-wide spans/counters and write them
@@ -43,6 +59,9 @@ Examples
     python -m repro.cli report --telemetry figs.tele.jsonl
     python -m repro.cli verify --campaign smoke --max-examples 25
     python -m repro.cli verify --replay
+    python -m repro.cli serve --port 8631 --work-dir /tmp/repro-service
+    python -m repro.cli submit --workload sparse --nprocs 8 --clc --wait
+    python -m repro.cli fetch job-000001 -o corrected.jsonl
 """
 
 from __future__ import annotations
@@ -51,21 +70,15 @@ import argparse
 import sys
 
 from repro.analysis.timeline import render_message_arrows, render_timeline
-from repro.cluster.jitter import OsJitterModel
-from repro.cluster.pinning import inter_node, scheduler_default
 from repro.core.api import PLATFORMS
+from repro.core.correct import correct_trace, scan_source
 from repro.errors import ReproError
-from repro.mpi.runtime import MpiWorld
 from repro.options import ENGINES, RunOptions
-from repro.rng import RngFabric
-from repro.sync.clc import ControlledLogicalClock
-from repro.sync.interpolation import align_offsets, linear_interpolation
-from repro.sync.offset import OffsetMeasurement
-from repro.sync.violations import scan_collectives, scan_messages
+from repro.sync.violations import scan_messages
 from repro.tracing.reader import read_trace
 from repro.tracing.store import ChunkedTrace, is_sharded_trace_dir
 from repro.tracing.writer import write_trace
-from repro.workloads import WORKLOADS, build_workload
+from repro.workloads import WORKLOADS, simulate_workload
 
 __all__ = ["main", "build_parser", "FIGURE_TARGETS"]
 
@@ -223,6 +236,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_arg(ver)
 
+    srv = sub.add_parser(
+        "serve", help="run the trace-correction HTTP service (docs/service.md)"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8631,
+        help="listen port (0 picks a free one; the bound port is printed)",
+    )
+    srv.add_argument("--workers", type=int, default=2, help="worker threads")
+    srv.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="crash retries per job before the dead letter (default 3)",
+    )
+    srv.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="job manifests + server-side results (default: a temp dir)",
+    )
+    srv.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    srv.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the cross-restart result cache (live-job dedup stays)",
+    )
+    srv.add_argument("--verbose", action="store_true", help="log each request")
+
+    def add_url(p):
+        p.add_argument(
+            "--url", default="http://127.0.0.1:8631",
+            help="service base URL (default http://127.0.0.1:8631)",
+        )
+
+    sbm = sub.add_parser("submit", help="submit a correction job to a service")
+    sbm.add_argument(
+        "trace", nargs="?", default=None,
+        help="trace file to upload inline (.npz or .jsonl)",
+    )
+    sbm.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default=None,
+        help="simulate a built-in workload server-side instead of uploading",
+    )
+    sbm.add_argument("--nprocs", type=int, default=8)
+    sbm.add_argument("--scale", type=float, default=0.02)
+    sbm.add_argument("--seed", type=int, default=0)
+    sbm.add_argument("--platform", choices=sorted(PLATFORMS), default="xeon")
+    sbm.add_argument("--placement", choices=["spread", "scheduler"], default="scheduler")
+    sbm.add_argument("--timer", default=None)
+    sbm.add_argument("--engine", choices=list(ENGINES), default="reference")
+    sbm.add_argument(
+        "--interpolation",
+        choices=["none", "align", "linear", "hull", "regression", "minmax", "exchange"],
+        default="linear",
+    )
+    sbm.add_argument("--clc", action="store_true")
+    sbm.add_argument("--gamma", type=float, default=0.99)
+    sbm.add_argument("--lmin", type=float, default=0.0)
+    sbm.add_argument(
+        "--wait", action="store_true", help="block until the job is terminal"
+    )
+    add_url(sbm)
+
+    st = sub.add_parser("status", help="poll a service job (or list all jobs)")
+    st.add_argument("job", nargs="?", default=None, help="job id (omit to list)")
+    st.add_argument("--json", action="store_true", help="print the raw JSON record")
+    add_url(st)
+
+    ft = sub.add_parser("fetch", help="download a finished job's result")
+    ft.add_argument("job", help="job id")
+    ft.add_argument(
+        "-o", "--output", default=None,
+        help="write the corrected trace here (.jsonl verbatim, .npz converted; "
+             "default: print the .jsonl to stdout)",
+    )
+    ft.add_argument(
+        "--report", action="store_true",
+        help="print the violation report instead of the trace",
+    )
+    add_url(ft)
+
+    cn = sub.add_parser("cancel", help="cancel a still-queued service job")
+    cn.add_argument("job", help="job id")
+    add_url(cn)
+
     return parser
 
 
@@ -253,27 +350,15 @@ def _cmd_simulate(args) -> int:
     if args.shard_events is not None and args.trace_out is None:
         print("error: --shard-events requires --trace-out", file=sys.stderr)
         return 2
-    preset = PLATFORMS[args.platform]()
-    if args.placement == "spread":
-        pinning = inter_node(preset.machine, args.nprocs)
-    else:
-        pinning = scheduler_default(
-            preset.machine, args.nprocs, RngFabric(args.seed).generator("placement")
-        )
-
-    built = build_workload(args.workload, args.nprocs, args.scale, args.seed)
     recorder = _telemetry_for(args)
-    world = MpiWorld(
-        preset,
-        pinning,
-        timer=args.timer,
+    run = simulate_workload(
+        args.workload,
+        nprocs=args.nprocs,
+        scale=args.scale,
         seed=args.seed,
-        duration_hint=built.duration_hint,
-        jitter=OsJitterModel(rate=10.0, mean_delay=5e-6),
-    )
-    run = world.run(
-        built.worker,
-        tracing_initially=built.tracing_initially,
+        platform=args.platform,
+        placement=args.placement,
+        timer=args.timer,
         options=RunOptions(
             engine=args.engine, telemetry=recorder,
             trace_dir=args.trace_out, shard_events=args.shard_events,
@@ -308,25 +393,11 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _measurements_from_meta(meta: dict, key: str):
-    raw = meta.get(key)
-    if raw is None:
-        return None
-    return {
-        int(r): OffsetMeasurement(
-            worker=int(r), worker_time=float(w), offset=float(o), rtt=0.0, repeats=0
-        )
-        for r, (w, o) in raw.items()
-    }
-
-
 def _cmd_scan(args) -> int:
+    reports = scan_source(args.trace, lmin=args.lmin)
+    p2p, coll = reports["p2p"], reports["collective"]
     if is_sharded_trace_dir(args.trace):
-        from repro.sync.streaming import streaming_scan_trace
-
         chunked = ChunkedTrace(args.trace)
-        reports = streaming_scan_trace(chunked, lmin=args.lmin)
-        p2p, coll = reports["p2p"], reports["collective"]
         print(
             f"{args.trace}: {chunked.nranks} ranks, "
             f"{chunked.total_events()} events "
@@ -334,8 +405,6 @@ def _cmd_scan(args) -> int:
         )
     else:
         trace = read_trace(args.trace)
-        p2p = scan_messages(trace.messages(strict=False), args.lmin)
-        coll, _ = scan_collectives(trace, args.lmin)
         print(f"{args.trace}: {trace.nranks} ranks, {trace.total_events()} events")
     print(f"  p2p:        {p2p.violated}/{p2p.checked} ({100 * p2p.rate:.3f} %) violations")
     print(
@@ -345,107 +414,31 @@ def _cmd_scan(args) -> int:
     return 0 if (p2p.violated + coll.violated) == 0 else 1
 
 
-def _cmd_sync_sharded(args, recorder) -> int:
-    """Stream a shard directory through the bounded-memory kernels."""
-    import tempfile
-
-    from repro.sync.streaming import streaming_apply_correction, streaming_clc_correct
-
-    if args.interpolation in ("hull", "regression", "minmax", "exchange"):
-        print(
-            f"error: --interpolation {args.interpolation} needs the whole "
-            "trace in memory; shard directories support align, linear or "
-            "none (materialize the trace first for the others)",
-            file=sys.stderr,
-        )
-        return 2
-    source = ChunkedTrace(args.trace)
-    correction = None
-    if args.interpolation != "none":
-        init = _measurements_from_meta(source.meta, "init_offsets")
-        final = _measurements_from_meta(source.meta, "final_offsets")
-        if init is None:
-            print("error: trace has no offset measurements in metadata", file=sys.stderr)
-            return 2
-        if args.interpolation == "align":
-            correction = align_offsets(init)
-        else:
-            if final is None:
-                print("error: trace has no final offsets; use --interpolation align",
-                      file=sys.stderr)
-                return 2
-            correction = linear_interpolation(init, final)
-    if correction is None and not args.clc:
-        print("error: nothing to apply (--interpolation none without --clc)",
-              file=sys.stderr)
-        return 2
-
-    with tempfile.TemporaryDirectory(prefix="repro-sync-") as tmp:
-        if correction is not None:
-            dest = f"{tmp}/interp" if args.clc else args.output
-            source = streaming_apply_correction(
-                correction, source, dest, telemetry=recorder
-            )
-            print(f"applied {args.interpolation} interpolation (streamed)")
-        if args.clc:
-            result = streaming_clc_correct(
-                source, args.output, gamma=args.gamma, lmin=args.lmin,
-                telemetry=recorder,
-            )
-            print(
-                f"applied CLC (streamed): {result.jumps} jumps, max shift "
-                f"{result.max_shift * 1e6:.3f} us"
-            )
-    print(f"wrote {args.output}")
-    _flush_telemetry(args, recorder)
-    return 0
-
-
 def _cmd_sync(args) -> int:
     recorder = _telemetry_for(args)
-    if is_sharded_trace_dir(args.trace):
-        return _cmd_sync_sharded(args, recorder)
-    trace = read_trace(args.trace)
+    result = correct_trace(
+        args.trace,
+        interpolation=args.interpolation,
+        clc=args.clc,
+        gamma=args.gamma,
+        lmin=args.lmin,
+        scan=False,
+        output=args.output,
+        telemetry=recorder,
+    )
+    suffix = " (streamed)" if result.streamed else ""
     if args.interpolation in ("hull", "regression", "minmax"):
-        from repro.sync.error_estimation import synchronize_by_spanning_tree
-
-        correction = synchronize_by_spanning_tree(
-            trace, lmin=args.lmin, method=args.interpolation
-        )
-        trace = correction.apply(trace)
         print(f"applied {args.interpolation} error estimation")
     elif args.interpolation == "exchange":
-        from repro.sync.exchange import exchange_correction
-
-        trace = exchange_correction(trace).apply(trace)
         print("applied exchange-midpoint correction")
     elif args.interpolation != "none":
-        init = _measurements_from_meta(trace.meta, "init_offsets")
-        final = _measurements_from_meta(trace.meta, "final_offsets")
-        if init is None:
-            print("error: trace has no offset measurements in metadata", file=sys.stderr)
-            return 2
-        if args.interpolation == "align":
-            correction = align_offsets(init)
-        else:
-            if final is None:
-                print("error: trace has no final offsets; use --interpolation align",
-                      file=sys.stderr)
-                return 2
-            correction = linear_interpolation(init, final)
-        trace = correction.apply(trace)
-        print(f"applied {args.interpolation} interpolation")
-    if args.clc:
-        result = ControlledLogicalClock(
-            gamma=args.gamma, telemetry=recorder
-        ).correct(trace, lmin=args.lmin)
-        trace = result.trace
+        print(f"applied {args.interpolation} interpolation{suffix}")
+    if result.clc is not None:
         print(
-            f"applied CLC: {result.jumps} jumps, max shift "
-            f"{result.max_shift * 1e6:.3f} us"
+            f"applied CLC{suffix}: {result.clc.jumps} jumps, max shift "
+            f"{result.clc.max_shift * 1e6:.3f} us"
         )
-    path = write_trace(trace, args.output)
-    print(f"wrote {path}")
+    print(f"wrote {result.output}")
     _flush_telemetry(args, recorder)
     return 0
 
@@ -618,8 +611,15 @@ def _cmd_figures(args) -> int:
             level=args.level,
         )
     recorder = _telemetry_for(args)
+    # The flag documents 0 as "all cores"; RunOptions only carries
+    # positive counts, so resolve it here.
+    jobs = args.jobs
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
     options = RunOptions(
-        engine=args.engine, jobs=args.jobs, cache=cache,
+        engine=args.engine, jobs=jobs, cache=cache,
         seed=args.seed, telemetry=recorder, stopping=stopping,
     )
     targets = list(FIGURE_TARGETS) if "all" in args.targets else args.targets
@@ -682,6 +682,174 @@ def _cmd_verify(args) -> int:
     return rc
 
 
+# ----------------------------------------------------------------------
+# Service commands
+# ----------------------------------------------------------------------
+def _cmd_serve(args) -> int:
+    import tempfile
+
+    from repro.cache import ResultCache
+    from repro.service import make_server
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    tmp = None
+    work_dir = args.work_dir
+    if work_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-service-")
+        work_dir = tmp.name
+    server = make_server(
+        args.host,
+        args.port,
+        work_dir=work_dir,
+        cache=cache,
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        verbose=args.verbose,
+    )
+    print(
+        f"serving on http://{args.host}:{server.port} "
+        f"({args.workers} workers, work dir {work_dir})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        if tmp is not None:
+            tmp.cleanup()
+    return 0
+
+
+def _client_for(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _print_job(job: dict) -> None:
+    line = f"job {job['id']}: {job['state']}"
+    details = [f"attempts {job['attempts']}"]
+    if job.get("from_cache"):
+        details.append("from cache")
+    if "result" in job:
+        details.append(f"{job['result']['events']} events")
+    if "error" in job:
+        details.append(f"{job['error']['code']}: {job['error']['message']}")
+    print(f"{line} ({', '.join(details)})")
+
+
+def _cmd_submit(args) -> int:
+    if (args.trace is None) == (args.workload is None):
+        print("error: give exactly one of a trace file or --workload",
+              file=sys.stderr)
+        return 2
+    client = _client_for(args)
+    knobs = {
+        "interpolation": args.interpolation,
+        "clc": args.clc,
+        "gamma": args.gamma,
+        "lmin": args.lmin,
+    }
+    if args.workload is not None:
+        body = {
+            "workload": {
+                "name": args.workload,
+                "nprocs": args.nprocs,
+                "scale": args.scale,
+                "seed": args.seed,
+                "platform": args.platform,
+                "placement": args.placement,
+                "timer": args.timer,
+                "engine": args.engine,
+            },
+            **knobs,
+        }
+    else:
+        from pathlib import Path
+
+        from repro.tracing.writer import trace_to_jsonl
+
+        path = Path(args.trace)
+        if path.suffix == ".jsonl":
+            payload = path.read_text(encoding="utf-8")
+        else:
+            payload = trace_to_jsonl(read_trace(path))
+        body = {"trace_inline": payload, **knobs}
+    job = client.submit(body)
+    _print_job(job)
+    if args.wait and job["state"] in ("queued", "running"):
+        job = client.wait(job["id"])
+        _print_job(job)
+    if args.wait and job["state"] != "done":
+        return 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json as _json
+
+    client = _client_for(args)
+    if args.job is None:
+        jobs = client.jobs()
+        if args.json:
+            print(_json.dumps(jobs, indent=2, sort_keys=True))
+        else:
+            for job in jobs:
+                _print_job(job)
+            if not jobs:
+                print("no jobs")
+        return 0
+    job = client.status(args.job)
+    if args.json:
+        print(_json.dumps(job, indent=2, sort_keys=True))
+    else:
+        _print_job(job)
+    return 0
+
+
+def _cmd_fetch(args) -> int:
+    client = _client_for(args)
+    if args.report:
+        outcome = client.report(args.job)
+        report = outcome["report"]
+        for stage in report["stages"]:
+            checked = stage["p2p"]["checked"] + stage["collective"]["checked"]
+            violated = stage["p2p"]["violated"] + stage["collective"]["violated"]
+            rate = 100 * violated / checked if checked else 0.0
+            print(f"{stage['stage']:12s}: {violated}/{checked} ({rate:.3f} %) violations")
+        if "clc_stats" in report:
+            stats = report["clc_stats"]
+            print(f"clc: {stats['jumps']} jumps, max shift "
+                  f"{stats['max_shift'] * 1e6:.3f} us")
+        print(f"trace sha256: {outcome['trace_sha256']}")
+        return 0
+    text = client.fetch_trace(args.job)
+    if args.output is None:
+        print(text, end="")
+        return 0
+    from pathlib import Path
+
+    out = Path(args.output)
+    if out.suffix == ".jsonl":
+        out.write_text(text, encoding="utf-8")
+    else:
+        from repro.tracing.reader import trace_from_jsonl
+
+        out = write_trace(trace_from_jsonl(text, label=f"job {args.job}"), out)
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    _print_job(_client_for(args).cancel(args.job))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -697,6 +865,16 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_figures(args)
         if args.command == "verify":
             return _cmd_verify(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "fetch":
+            return _cmd_fetch(args)
+        if args.command == "cancel":
+            return _cmd_cancel(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,524 @@
+"""The one-call correction facade: :func:`correct_trace`.
+
+Every way this package corrects a trace — the ``repro sync`` CLI, the
+:class:`~repro.core.pipeline.SyncPipeline` behind
+``TracingSession.synchronize``, the trace-correction service workers of
+:mod:`repro.service`, and direct Python callers — goes through this one
+function, so the contract "interpolation then CLC, scans between
+stages, bit-identical everywhere" is enforced in exactly one place::
+
+    from repro import correct_trace
+    result = correct_trace("run.npz", interpolation="linear", clc=True)
+    print(result.summary())
+    result.trace          # the corrected Trace
+
+Sources it accepts:
+
+* a :class:`~repro.tracing.trace.Trace` (offset measurements read from
+  ``trace.meta`` like the CLI does);
+* a :class:`~repro.mpi.runtime.RunResult` (measurements taken from the
+  run itself, enabling ``piecewise`` interpolation);
+* a path to a ``.npz`` / ``.jsonl`` trace file;
+* a sharded trace directory (or
+  :class:`~repro.tracing.store.ChunkedTrace`), corrected out-of-core by
+  the bounded-memory kernels of :mod:`repro.sync.streaming` — this path
+  requires ``output`` and supports the streaming-safe interpolation
+  modes (``none`` / ``align`` / ``linear``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import SynchronizationError, TraceFormatError
+from repro.mpi.runtime import RunResult
+from repro.options import RunOptions
+from repro.sync.clc import ClcResult, ControlledLogicalClock
+from repro.sync.interpolation import (
+    ClockCorrection,
+    align_offsets,
+    identity_correction,
+    linear_interpolation,
+    piecewise_interpolation,
+)
+from repro.sync.offset import OffsetMeasurement
+from repro.sync.violations import (
+    LminSpec,
+    ViolationReport,
+    scan_collectives,
+    scan_messages,
+)
+from repro.telemetry import ensure_telemetry
+from repro.tracing.trace import Trace
+
+__all__ = [
+    "CorrectionResult",
+    "StageReport",
+    "correct_trace",
+    "measurements_from_meta",
+    "scan_source",
+    "INTERPOLATIONS",
+    "STREAMING_INTERPOLATIONS",
+    "TRACE_ONLY_MODES",
+]
+
+#: Modes that derive the correction from the trace itself (no explicit
+#: offset measurements needed): Duda-family error estimation over a
+#: spanning tree, and Babaoglu/Drummond exchange midpoints.
+TRACE_ONLY_MODES = ("regression", "hull", "minmax", "exchange")
+
+#: Every interpolation mode :func:`correct_trace` accepts.
+INTERPOLATIONS = ("none", "align", "linear", "piecewise") + TRACE_ONLY_MODES
+
+#: Modes the bounded-memory streaming path supports (a sharded trace is
+#: never materialized, so whole-trace modes are refused with guidance).
+STREAMING_INTERPOLATIONS = ("none", "align", "linear")
+
+
+@dataclass
+class StageReport:
+    """Violation counts after one correction stage."""
+
+    stage: str
+    p2p: ViolationReport
+    collective: ViolationReport
+
+    @property
+    def total_checked(self) -> int:
+        return self.p2p.checked + self.collective.checked
+
+    @property
+    def total_violated(self) -> int:
+        return self.p2p.violated + self.collective.violated
+
+    @property
+    def rate(self) -> float:
+        return self.total_violated / self.total_checked if self.total_checked else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the service's violation report rides on this)."""
+        return {
+            "stage": self.stage,
+            "p2p": {"checked": self.p2p.checked, "violated": self.p2p.violated},
+            "collective": {
+                "checked": self.collective.checked,
+                "violated": self.collective.violated,
+            },
+        }
+
+
+@dataclass
+class CorrectionResult:
+    """Everything :func:`correct_trace` produced.
+
+    ``trace`` is the corrected trace — a :class:`Trace` for materialized
+    sources, a :class:`~repro.tracing.store.ChunkedTrace` over the
+    ``output`` directory for streamed ones.  ``stages`` holds the
+    violation scans in order (``raw``, the interpolation mode, ``clc``)
+    when scanning was requested; ``report_before`` / ``report_after``
+    are its ends.
+    """
+
+    trace: object
+    stages: list[StageReport]
+    correction: Optional[ClockCorrection]
+    clc: Optional[ClcResult]
+    interpolation: str
+    applied_clc: bool
+    streamed: bool = False
+    output: Optional[Path] = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def report_before(self) -> Optional[StageReport]:
+        return self.stages[0] if self.stages else None
+
+    @property
+    def report_after(self) -> Optional[StageReport]:
+        return self.stages[-1] if self.stages else None
+
+    def stage(self, name: str) -> StageReport:
+        for s in self.stages:
+            if s.stage == name:
+                return s
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (stages + CLC stats), no trace payload."""
+        out = {
+            "interpolation": self.interpolation,
+            "clc": self.applied_clc,
+            "streamed": self.streamed,
+            "stages": [s.to_dict() for s in self.stages],
+            "timings": dict(self.timings),
+        }
+        if self.clc is not None:
+            out["clc_stats"] = {
+                "jumps": int(self.clc.jumps),
+                "max_shift": float(self.clc.max_shift),
+            }
+        return out
+
+    def summary(self) -> str:
+        lines = []
+        for s in self.stages:
+            lines.append(
+                f"{s.stage:12s}: {s.total_violated}/{s.total_checked} "
+                f"({100 * s.rate:.3f} %) violations"
+            )
+        if self.clc is not None:
+            lines.append(str(self.clc))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Source normalization
+# ----------------------------------------------------------------------
+def measurements_from_meta(
+    meta: dict, key: str
+) -> Optional[dict[int, OffsetMeasurement]]:
+    """Rebuild offset measurements embedded in trace metadata.
+
+    Serialized traces carry ``init_offsets`` / ``final_offsets`` as
+    ``{rank: (worker_time, offset)}``; RTT and repeat counts are not
+    persisted (interpolation needs neither).
+    """
+    raw = meta.get(key)
+    if raw is None:
+        return None
+    return {
+        int(r): OffsetMeasurement(
+            worker=int(r), worker_time=float(w), offset=float(o), rtt=0.0, repeats=0
+        )
+        for r, (w, o) in raw.items()
+    }
+
+
+def _is_chunked(source) -> bool:
+    from repro.tracing.store import ChunkedTrace
+
+    return isinstance(source, ChunkedTrace)
+
+
+def _normalize_source(source):
+    """Resolve ``source`` to ``(trace_or_chunked, run_result_or_None)``."""
+    from repro.tracing.store import ChunkedTrace, is_sharded_trace_dir
+
+    if isinstance(source, RunResult):
+        if source.trace is None:
+            raise SynchronizationError(
+                "run result has no trace (tracing disabled?)"
+            )
+        return source.trace, source
+    if isinstance(source, (Trace, ChunkedTrace)):
+        return source, None
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if is_sharded_trace_dir(path):
+            return ChunkedTrace(path), None
+        from repro.tracing.reader import read_trace
+
+        return read_trace(path), None
+    raise TraceFormatError(
+        f"cannot correct a {type(source).__name__!r}: pass a Trace, a "
+        "RunResult, a ChunkedTrace, or a path to a trace file / sharded "
+        "trace directory"
+    )
+
+
+def scan_source(source, lmin: LminSpec = 0.0) -> dict[str, ViolationReport]:
+    """Violation scan of any :func:`correct_trace` source.
+
+    Returns ``{"p2p": ..., "collective": ...}``; sharded sources stream
+    one shard at a time through
+    :func:`repro.sync.streaming.streaming_scan_trace`.
+    """
+    trace, _ = _normalize_source(source)
+    if _is_chunked(trace):
+        from repro.sync.streaming import streaming_scan_trace
+
+        reports = streaming_scan_trace(trace, lmin=lmin)
+        return {"p2p": reports["p2p"], "collective": reports["collective"]}
+    p2p = scan_messages(trace.messages(strict=False), lmin)
+    coll, _ = scan_collectives(trace, lmin)
+    return {"p2p": p2p, "collective": coll}
+
+
+def _scan_stage(stage: str, trace, lmin: LminSpec, telemetry) -> StageReport:
+    with telemetry.span("sync.scan", stage=stage):
+        if _is_chunked(trace):
+            from repro.sync.streaming import streaming_scan_trace
+
+            reports = streaming_scan_trace(trace, lmin=lmin)
+            return StageReport(
+                stage=stage, p2p=reports["p2p"], collective=reports["collective"]
+            )
+        p2p = scan_messages(trace.messages(strict=False), lmin)
+        coll, _ = scan_collectives(trace, lmin)
+    return StageReport(stage=stage, p2p=p2p, collective=coll)
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+def correct_trace(
+    source: Union[Trace, RunResult, str, Path, object],
+    *,
+    interpolation: str = "linear",
+    clc: bool = True,
+    gamma: float = 0.99,
+    lmin: LminSpec = 0.0,
+    amortization_window: Optional[float] = None,
+    scan: bool = True,
+    output: Union[str, Path, None] = None,
+    options: Optional[RunOptions] = None,
+    telemetry=None,
+) -> CorrectionResult:
+    """Correct ``source``'s timestamps; the package's single code path.
+
+    Parameters
+    ----------
+    source:
+        What to correct — see the module docstring for accepted kinds.
+    interpolation:
+        One of :data:`INTERPOLATIONS`.  ``piecewise`` needs a
+        :class:`RunResult` source with >= 2 measurement sets; the
+        trace-only modes need no measurements at all; sharded sources
+        support :data:`STREAMING_INTERPOLATIONS` only.
+    clc:
+        Apply the controlled logical clock after interpolation.
+    gamma / amortization_window:
+        CLC knobs (see :class:`ControlledLogicalClock`).
+    lmin:
+        Clock-condition floor — used for the violation scans and as the
+        CLC's message-latency bound.
+    scan:
+        Scan for violations before/after each stage.  Disable to skip
+        the scans (the corrected trace is identical either way).
+    output:
+        Optional destination: a ``.npz`` / ``.jsonl`` path for
+        materialized sources, a directory for sharded ones (where it is
+        *required* — the streamed result only exists on disk).
+    options / telemetry:
+        A :class:`RunOptions` (only ``telemetry`` is consulted) or an
+        explicit recorder (takes precedence).
+
+    Returns
+    -------
+    CorrectionResult
+    """
+    if interpolation not in INTERPOLATIONS:
+        raise SynchronizationError(f"unknown interpolation mode {interpolation!r}")
+    if telemetry is None and options is not None:
+        telemetry = options.telemetry
+    tele = ensure_telemetry(telemetry)
+
+    trace, run = _normalize_source(source)
+    if _is_chunked(trace):
+        return _correct_streaming(
+            trace,
+            interpolation=interpolation,
+            clc=clc,
+            gamma=gamma,
+            lmin=lmin,
+            scan=scan,
+            output=output,
+            telemetry=tele,
+        )
+
+    timings: dict[str, float] = {}
+    with tele.span("sync.pipeline", interpolation=interpolation, clc=clc):
+        stages = [_scan_stage("raw", trace, lmin, tele)] if scan else []
+
+        start = time.perf_counter()
+        with tele.span("sync.interpolate", mode=interpolation):
+            correction = _build_correction(trace, run, interpolation, lmin)
+            trace = correction.apply(trace)
+        timings["interpolate"] = time.perf_counter() - start
+        if scan:
+            stages.append(_scan_stage(interpolation, trace, lmin, tele))
+
+        clc_result = None
+        if clc:
+            start = time.perf_counter()
+            with tele.span("sync.clc", gamma=gamma):
+                corrector = ControlledLogicalClock(
+                    gamma=gamma,
+                    amortization_window=amortization_window,
+                    telemetry=tele,
+                )
+                clc_result = corrector.correct(trace, lmin=lmin)
+            trace = clc_result.trace
+            timings["clc"] = time.perf_counter() - start
+            if scan:
+                stages.append(_scan_stage("clc", trace, lmin, tele))
+
+    out_path = None
+    if output is not None:
+        from repro.tracing.writer import write_trace
+
+        out_path = write_trace(trace, output)
+
+    return CorrectionResult(
+        trace=trace,
+        stages=stages,
+        correction=correction,
+        clc=clc_result,
+        interpolation=interpolation,
+        applied_clc=clc,
+        output=out_path,
+        timings=timings,
+    )
+
+
+def _build_correction(
+    trace: Trace, run: Optional[RunResult], interpolation: str, lmin: LminSpec
+) -> ClockCorrection:
+    """The interpolation stage's correction, from run or trace metadata."""
+    if interpolation == "none":
+        return identity_correction()
+    if interpolation in ("regression", "hull", "minmax"):
+        from repro.sync.error_estimation import synchronize_by_spanning_tree
+
+        return synchronize_by_spanning_tree(trace, lmin=lmin, method=interpolation)
+    if interpolation == "exchange":
+        from repro.sync.exchange import exchange_correction
+
+        return exchange_correction(trace)
+    if interpolation == "piecewise":
+        if run is None:
+            raise SynchronizationError(
+                "piecewise interpolation needs a RunResult source (its "
+                "periodic measurement sets are not persisted in traces)"
+            )
+        sets = run.all_measurement_sets()
+        if len(sets) < 2:
+            raise SynchronizationError(
+                "piecewise interpolation needs >= 2 measurement sets "
+                "(enable periodic_sync_every on the world)"
+            )
+        return piecewise_interpolation(sets)
+
+    # Measurement-based modes: from the run when available, else from
+    # the measurements serialized into the trace metadata.
+    if run is not None:
+        init, final = run.init_offsets, run.final_offsets
+    else:
+        init = measurements_from_meta(trace.meta, "init_offsets")
+        final = measurements_from_meta(trace.meta, "final_offsets")
+    if init is None:
+        raise SynchronizationError(
+            "alignment requested but no init offsets measured"
+            if interpolation == "align"
+            else "trace has no offset measurements (metadata or run result)"
+        )
+    if interpolation == "align":
+        return align_offsets(init)
+    if final is None:
+        raise SynchronizationError(
+            "linear interpolation needs offset measurements at init and "
+            "finalize; use interpolation='align' for init-only traces"
+        )
+    return linear_interpolation(init, final)
+
+
+def _correct_streaming(
+    chunked,
+    *,
+    interpolation: str,
+    clc: bool,
+    gamma: float,
+    lmin,
+    scan: bool,
+    output,
+    telemetry,
+) -> CorrectionResult:
+    """Bounded-memory correction of a sharded trace into ``output``."""
+    import tempfile
+
+    from repro.sync.streaming import (
+        streaming_apply_correction,
+        streaming_clc_correct,
+    )
+    from repro.tracing.store import ChunkedTrace
+
+    if interpolation not in STREAMING_INTERPOLATIONS:
+        raise SynchronizationError(
+            f"interpolation {interpolation!r} needs the whole trace in "
+            "memory; sharded trace directories support "
+            f"{', '.join(STREAMING_INTERPOLATIONS)} (materialize the trace "
+            "first for the others)"
+        )
+    if interpolation == "none" and not clc:
+        raise SynchronizationError(
+            "nothing to apply to a sharded trace: interpolation 'none' "
+            "without clc (use scan_source for a scan-only pass)"
+        )
+    if output is None:
+        raise SynchronizationError(
+            "correcting a sharded trace requires output= (the streamed "
+            "result is written shard by shard, never materialized)"
+        )
+    if not isinstance(lmin, (int, float)):
+        raise SynchronizationError(
+            "streaming correction takes a scalar lmin floor"
+        )
+    output = Path(output)
+
+    timings: dict[str, float] = {}
+    stages = [_scan_stage("raw", chunked, lmin, telemetry)] if scan else []
+
+    correction = None
+    if interpolation != "none":
+        init = measurements_from_meta(chunked.meta, "init_offsets")
+        final = measurements_from_meta(chunked.meta, "final_offsets")
+        if init is None:
+            raise SynchronizationError(
+                "trace has no offset measurements in metadata"
+            )
+        if interpolation == "align":
+            correction = align_offsets(init)
+        else:
+            if final is None:
+                raise SynchronizationError(
+                    "trace has no final offsets; use interpolation='align'"
+                )
+            correction = linear_interpolation(init, final)
+
+    source = chunked
+    clc_result = None
+    with tempfile.TemporaryDirectory(prefix="repro-correct-") as tmp:
+        if correction is not None:
+            start = time.perf_counter()
+            dest = f"{tmp}/interp" if clc else output
+            source = streaming_apply_correction(
+                correction, source, dest, telemetry=telemetry
+            )
+            timings["interpolate"] = time.perf_counter() - start
+            if scan:
+                stages.append(_scan_stage(interpolation, source, lmin, telemetry))
+        if clc:
+            start = time.perf_counter()
+            clc_result = streaming_clc_correct(
+                source, output, gamma=gamma, lmin=lmin, telemetry=telemetry
+            )
+            timings["clc"] = time.perf_counter() - start
+
+    corrected = ChunkedTrace(output)
+    if clc and scan:
+        stages.append(_scan_stage("clc", corrected, lmin, telemetry))
+
+    return CorrectionResult(
+        trace=corrected,
+        stages=stages,
+        correction=correction,
+        clc=clc_result,
+        interpolation=interpolation,
+        applied_clc=clc,
+        streamed=True,
+        output=output,
+        timings=timings,
+    )

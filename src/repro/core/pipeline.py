@@ -13,6 +13,12 @@ The pipeline is exactly what the paper argues tools need: *"linear
 offset interpolation can significantly increase the accuracy of timings
 ... but is still insufficient when applied in isolation.  A viable
 option for removing remaining inconsistencies is the CLC algorithm."*
+
+Since 1.8 the pipeline is a thin configuration shell over
+:func:`repro.core.correct.correct_trace` — the same single code path
+the CLI ``sync`` command and the :mod:`repro.service` workers execute,
+so "bit-identical under every entry point" is a structural property,
+not a test-enforced one.
 """
 
 from __future__ import annotations
@@ -20,55 +26,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Optional
 
-import numpy as np
-
+from repro.core.correct import (
+    TRACE_ONLY_MODES,
+    CorrectionResult,
+    StageReport,
+    correct_trace,
+)
 from repro.errors import SynchronizationError
 from repro.mpi.runtime import RunResult
 from repro.options import RunOptions
+from repro.sync.clc import ClcResult
+from repro.sync.interpolation import ClockCorrection
+from repro.sync.violations import LminSpec
 from repro.telemetry import ensure_telemetry
-from repro.sync.clc import ClcResult, ControlledLogicalClock
-from repro.sync.interpolation import (
-    ClockCorrection,
-    align_offsets,
-    identity_correction,
-    linear_interpolation,
-    piecewise_interpolation,
-)
-from repro.sync.violations import LminSpec, ViolationReport, scan_collectives, scan_messages
 from repro.tracing.trace import Trace
 
-__all__ = ["SyncPipeline", "PipelineReport", "StageReport"]
+__all__ = ["SyncPipeline", "PipelineReport", "StageReport", "TRACE_ONLY_MODES"]
 
 Interpolation = Literal[
     "none", "align", "linear", "piecewise",
     "regression", "hull", "minmax", "exchange",
 ]
-
-#: Modes that derive the correction from the trace itself (no explicit
-#: offset measurements needed): Duda-family error estimation over a
-#: spanning tree, and Babaoglu/Drummond exchange midpoints.
-TRACE_ONLY_MODES = ("regression", "hull", "minmax", "exchange")
-
-
-@dataclass
-class StageReport:
-    """Violation counts after one pipeline stage."""
-
-    stage: str
-    p2p: ViolationReport
-    collective: ViolationReport
-
-    @property
-    def total_checked(self) -> int:
-        return self.p2p.checked + self.collective.checked
-
-    @property
-    def total_violated(self) -> int:
-        return self.p2p.violated + self.collective.violated
-
-    @property
-    def rate(self) -> float:
-        return self.total_violated / self.total_checked if self.total_checked else 0.0
 
 
 @dataclass
@@ -151,72 +129,18 @@ class SyncPipeline:
         ``lmin`` is the clock-condition floor used both for violation
         scans and as the CLC's message-latency bound.
         """
-        if result.trace is None:
-            raise SynchronizationError("run result has no trace (tracing disabled?)")
-        tele = self.telemetry
-        trace = result.trace
-        with tele.span(
-            "sync.pipeline", interpolation=self.interpolation, clc=self.apply_clc
-        ):
-            stages = [self._scan("raw", trace, lmin)]
-
-            with tele.span("sync.interpolate", mode=self.interpolation):
-                if self.interpolation == "none":
-                    correction = identity_correction()
-                elif self.interpolation == "align":
-                    if result.init_offsets is None:
-                        raise SynchronizationError(
-                            "alignment requested but no init offsets measured"
-                        )
-                    correction = align_offsets(result.init_offsets)
-                elif self.interpolation == "piecewise":
-                    sets = result.all_measurement_sets()
-                    if len(sets) < 2:
-                        raise SynchronizationError(
-                            "piecewise interpolation needs >= 2 measurement sets "
-                            "(enable periodic_sync_every on the world)"
-                        )
-                    correction = piecewise_interpolation(sets)
-                elif self.interpolation in ("regression", "hull", "minmax"):
-                    from repro.sync.error_estimation import synchronize_by_spanning_tree
-
-                    correction = synchronize_by_spanning_tree(
-                        trace, lmin=lmin, method=self.interpolation
-                    )
-                elif self.interpolation == "exchange":
-                    from repro.sync.exchange import exchange_correction
-
-                    correction = exchange_correction(trace)
-                else:
-                    if result.init_offsets is None or result.final_offsets is None:
-                        raise SynchronizationError(
-                            "linear interpolation needs offset measurements at init "
-                            "and finalize"
-                        )
-                    correction = linear_interpolation(
-                        result.init_offsets, result.final_offsets
-                    )
-                trace = correction.apply(trace)
-            stages.append(self._scan(self.interpolation, trace, lmin))
-
-            clc_result = None
-            if self.apply_clc:
-                with tele.span("sync.clc", gamma=self.gamma):
-                    clc = ControlledLogicalClock(
-                        gamma=self.gamma,
-                        amortization_window=self.amortization_window,
-                        telemetry=tele,
-                    )
-                    clc_result = clc.correct(trace, lmin=lmin)
-                trace = clc_result.trace
-                stages.append(self._scan("clc", trace, lmin))
-
-        return PipelineReport(
-            trace=trace, stages=stages, correction=correction, clc=clc_result
+        outcome: CorrectionResult = correct_trace(
+            result,
+            interpolation=self.interpolation,
+            clc=self.apply_clc,
+            gamma=self.gamma,
+            amortization_window=self.amortization_window,
+            lmin=lmin,
+            telemetry=self.telemetry,
         )
-
-    def _scan(self, stage: str, trace: Trace, lmin: LminSpec) -> StageReport:
-        with self.telemetry.span("sync.scan", stage=stage):
-            p2p = scan_messages(trace.messages(strict=False), lmin)
-            coll, _ = scan_collectives(trace, lmin)
-        return StageReport(stage=stage, p2p=p2p, collective=coll)
+        return PipelineReport(
+            trace=outcome.trace,
+            stages=outcome.stages,
+            correction=outcome.correction,
+            clc=outcome.clc,
+        )

@@ -1,0 +1,230 @@
+"""HTTP/JSON API of the trace-correction service (stdlib only).
+
+A :class:`http.server.ThreadingHTTPServer` front end over
+:class:`repro.service.application.JobManager`.  Routes (all JSON unless
+noted):
+
+================================  =====================================
+``POST /v1/jobs``                 submit a correction job (body: a
+                                  :class:`CorrectionRequest`); 202 with
+                                  the job record, 200 when dedup/cache
+                                  made it instantly ``done``
+``GET /v1/jobs``                  list job records
+``GET /v1/jobs/<id>``             poll one job's status
+``GET /v1/jobs/<id>/report``      the finished outcome summary
+                                  (violation report, digests, timings)
+``GET /v1/jobs/<id>/trace``       the corrected trace as canonical
+                                  ``.jsonl`` text
+                                  (``application/x-ndjson``)
+``POST /v1/jobs/<id>/cancel``     cancel a still-queued job (also
+                                  ``DELETE /v1/jobs/<id>``)
+``GET /metrics``                  Prometheus text exposition of the
+                                  service counters and timings
+``GET /healthz``                  liveness + worker count
+================================  =====================================
+
+Every error body is ``{"error": {"code", "message", "http"}}`` with a
+stable machine-readable ``code`` from
+:data:`repro.service.domain.ERROR_HTTP_STATUS` — clients branch on the
+code, never on message text.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.service.application import JobManager
+from repro.service.domain import CorrectionRequest, JobState, ServiceError
+
+__all__ = ["ServiceServer", "make_server"]
+
+#: Refuse request bodies beyond this (inline traces are big; abuse is
+#: bigger).  64 MiB comfortably fits every built-in workload's trace.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the manager lives on ``self.server.manager``."""
+
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, obj: dict) -> None:
+        body = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+        self._send(status, body, "application/json")
+
+    def _send_error(self, exc: ServiceError) -> None:
+        self._send_json(exc.http_status, exc.to_json())
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                "bad_request",
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _json_body(self) -> dict:
+        raw = self._read_body()
+        if not raw:
+            raise ServiceError("bad_request", "request body must be JSON")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError("bad_request", f"invalid JSON body: {exc}") from exc
+
+    def _route(self) -> tuple[str, Optional[str], Optional[str]]:
+        """Split ``/v1/jobs/<id>/<verb>`` into (head, job_id, verb)."""
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if parts[:2] == ["v1", "jobs"]:
+            job_id = parts[2] if len(parts) > 2 else None
+            verb = parts[3] if len(parts) > 3 else None
+            if len(parts) <= 4:
+                return "jobs", job_id, verb
+        return "/".join(parts), None, None
+
+    # ------------------------------------------------------------------
+    # Methods
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            head, job_id, verb = self._route()
+            if head == "metrics":
+                from repro.telemetry.export import to_prometheus
+
+                text = to_prometheus(self.manager.telemetry.snapshot())
+                self._send(200, text.encode("utf-8"), "text/plain; version=0.0.4")
+            elif head == "healthz":
+                self._send_json(
+                    200,
+                    {
+                        "ok": True,
+                        "workers": self.manager.pool.alive,
+                        "queued": len(self.manager.queue),
+                    },
+                )
+            elif head == "jobs" and job_id is None:
+                self._send_json(
+                    200, {"jobs": [j.to_json() for j in self.manager.jobs()]}
+                )
+            elif head == "jobs" and verb is None:
+                self._send_json(200, self.manager.get(job_id).to_json())
+            elif head == "jobs" and verb == "report":
+                outcome = self.manager.fetch(job_id)
+                self._send_json(200, outcome.to_json())
+            elif head == "jobs" and verb == "trace":
+                outcome = self.manager.fetch(job_id)
+                if outcome.trace_jsonl is None:
+                    raise ServiceError(
+                        "not_materializable",
+                        f"job {job_id} corrected a sharded trace; its result "
+                        f"stays on the server at {outcome.result_dir}",
+                    )
+                self._send(
+                    200,
+                    outcome.trace_jsonl.encode("utf-8"),
+                    "application/x-ndjson",
+                )
+            else:
+                raise ServiceError("unknown_job", f"no such resource: {self.path}")
+        except ServiceError as exc:
+            self._send_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            head, job_id, verb = self._route()
+            if head == "jobs" and job_id is None:
+                request = CorrectionRequest.from_json(self._json_body())
+                job = self.manager.submit(request)
+                status = 200 if job.state is JobState.DONE else 202
+                self._send_json(status, job.to_json())
+            elif head == "jobs" and verb == "cancel":
+                job = self.manager.cancel(job_id)
+                self._send_json(200, job.to_json())
+            else:
+                raise ServiceError("unknown_job", f"no such resource: {self.path}")
+        except ServiceError as exc:
+            self._send_error(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            head, job_id, verb = self._route()
+            if head == "jobs" and job_id is not None and verb is None:
+                job = self.manager.cancel(job_id)
+                self._send_json(200, job.to_json())
+            else:
+                raise ServiceError("unknown_job", f"no such resource: {self.path}")
+        except ServiceError as exc:
+            self._send_error(exc)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The service's HTTP server; owns a :class:`JobManager`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: tuple[str, int], manager: JobManager, verbose: bool = False
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.manager = manager
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def shutdown(self) -> None:  # stop workers with the listener
+        super().shutdown()
+        self.manager.stop()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    manager: Optional[JobManager] = None,
+    work_dir=None,
+    cache=None,
+    workers: int = 2,
+    max_attempts: int = 3,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Build a ready (not yet serving) server; ``port=0`` picks a free one.
+
+    With no explicit ``manager`` one is created from ``work_dir`` (a
+    temp-style directory the caller owns), ``cache``, and the worker
+    knobs; its pool is started.  Call ``serve_forever()`` to serve and
+    ``shutdown()`` to stop both the listener and the workers.
+    """
+    if manager is None:
+        if work_dir is None:
+            raise ServiceError("bad_config", "make_server needs work_dir or manager")
+        manager = JobManager(
+            work_dir, cache=cache, workers=workers, max_attempts=max_attempts
+        )
+    server = ServiceServer((host, port), manager, verbose=verbose)
+    manager.start()
+    return server

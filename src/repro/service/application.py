@@ -1,0 +1,376 @@
+"""Application layer: job lifecycle policy over the domain model.
+
+:class:`JobManager` owns every rule the HTTP layer must not:
+
+* **Deduplication, twice.**  A submit whose request digest matches a
+  *live or done* job joins that job (counter
+  ``service.jobs.deduplicated``) — two identical concurrent submissions
+  compute once, structurally.  A submit whose digest hits the
+  :class:`repro.cache.ResultCache` is born ``done`` without ever
+  queueing (the cache's own ``cache.hit`` counter proves it).
+* **Retries and the dead letter.**  A deterministic
+  :class:`repro.errors.ReproError` fails the job immediately — the same
+  input will fail the same way forever.  Anything else is treated as a
+  worker crash: the job is requeued (``service.jobs.retried``) until
+  ``max_attempts``, then parked as ``dead`` (``service.jobs.dead``) with
+  the last error preserved.  Dead jobs keep their manifest, so the dead
+  letter is inspectable on disk.
+* **Manifests.**  Every terminal transition writes the job's
+  ``manifest.json`` (request digest, elided request, timings, result
+  digests) through :class:`repro.service.infrastructure.ManifestStore`.
+
+:func:`execute_correction` is the one function a worker runs per
+attempt.  It is deliberately just a thin adapter from a
+:class:`~repro.service.domain.CorrectionRequest` onto
+:func:`repro.core.correct.correct_trace` (and
+:func:`repro.workloads.simulate_workload` for workload sources) — the
+service adds queueing and bookkeeping, never correction semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.cache import ResultCache
+from repro.service.domain import (
+    CorrectionRequest,
+    JobOutcome,
+    JobRecord,
+    JobState,
+    ServiceError,
+    classify_error,
+)
+from repro.service.infrastructure import (
+    JobQueue,
+    LockedTelemetry,
+    ManifestStore,
+    WorkerPool,
+)
+
+__all__ = ["JobManager", "execute_correction"]
+
+
+def execute_correction(
+    request: CorrectionRequest, job_dir: Union[str, Path]
+) -> JobOutcome:
+    """Run one correction attempt; the worker-side unit of work.
+
+    ``job_dir`` is the job's directory in the manifest store — streamed
+    (``trace_dir``) results land in ``<job_dir>/result`` and stay on the
+    server; every other source returns the corrected trace inline as
+    canonical ``.jsonl``.
+    """
+    from repro.core.correct import correct_trace
+    from repro.tracing.writer import trace_to_jsonl
+
+    job_dir = Path(job_dir)
+    kwargs = dict(
+        interpolation=request.interpolation,
+        clc=request.clc,
+        gamma=request.gamma,
+        lmin=request.lmin,
+    )
+
+    engine = None
+    fallback_reason = None
+    if request.workload is not None:
+        from repro.options import RunOptions
+        from repro.workloads import simulate_workload
+
+        spec = request.workload
+        run = simulate_workload(
+            spec.name,
+            nprocs=spec.nprocs,
+            scale=spec.scale,
+            seed=spec.seed,
+            platform=spec.platform,
+            placement=spec.placement,
+            timer=spec.timer,
+            options=RunOptions(engine=spec.engine),
+        )
+        engine = getattr(run, "engine", None)
+        fallback_reason = getattr(run, "fallback_reason", None)
+        result = correct_trace(run, **kwargs)
+    elif request.trace_inline is not None:
+        from repro.tracing.reader import trace_from_jsonl
+
+        trace = trace_from_jsonl(request.trace_inline, label="<inline trace>")
+        result = correct_trace(trace, **kwargs)
+    elif request.trace_path is not None:
+        path = Path(request.trace_path)
+        if path.is_dir():
+            raise ServiceError(
+                "bad_request",
+                f"trace_path {path} is a directory; sharded traces go in "
+                "trace_dir",
+            )
+        result = correct_trace(path, **kwargs)
+    else:
+        out_dir = job_dir / "result"
+        result = correct_trace(request.trace_dir, output=out_dir, **kwargs)
+        manifest = out_dir / "manifest.jsonl"
+        return JobOutcome(
+            trace_sha256=hashlib.sha256(manifest.read_bytes()).hexdigest(),
+            report=result.to_dict(),
+            events=result.trace.total_events(),
+            result_dir=str(out_dir),
+            timings=dict(result.timings),
+        )
+
+    payload = trace_to_jsonl(result.trace)
+    return JobOutcome(
+        trace_sha256=hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+        report=result.to_dict(),
+        events=result.trace.total_events(),
+        trace_jsonl=payload,
+        engine=engine,
+        fallback_reason=fallback_reason,
+        timings=dict(result.timings),
+    )
+
+
+class JobManager:
+    """Thread-safe job registry + worker pool + dedup + dead letter.
+
+    Parameters
+    ----------
+    work_dir:
+        Root for per-job manifests and server-side results.
+    cache:
+        A :class:`ResultCache` for completed outcomes, or ``None`` to
+        disable cross-restart dedup (live-job dedup still applies).
+    workers:
+        Worker-thread count.
+    max_attempts:
+        Crash budget per job before it goes to the dead letter.
+    executor:
+        The per-attempt work function ``(request, job_dir) -> JobOutcome``;
+        defaults to :func:`execute_correction`.  Tests inject crashing or
+        recording executors here.
+    telemetry:
+        A :class:`LockedTelemetry` (created if omitted); scraped by
+        ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        work_dir: Union[str, Path],
+        cache: Optional[ResultCache] = None,
+        workers: int = 2,
+        max_attempts: int = 3,
+        executor: Optional[Callable[[CorrectionRequest, Path], JobOutcome]] = None,
+        telemetry: Optional[LockedTelemetry] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.telemetry = telemetry if telemetry is not None else LockedTelemetry()
+        self.store = ManifestStore(work_dir)
+        self.cache = cache
+        if cache is not None:
+            cache.telemetry = self.telemetry
+        self.max_attempts = max_attempts
+        self.executor = executor if executor is not None else execute_correction
+        self.clock = clock
+        self.queue = JobQueue()
+        self.pool = WorkerPool(
+            self.queue, self._run_job, workers=workers, on_crash=self._note_crash
+        )
+        import threading
+
+        self._lock = threading.Lock()
+        self._jobs: dict[str, JobRecord] = {}
+        self._by_digest: dict[str, str] = {}  # digest -> newest job id
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.pool.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.pool.stop(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def submit(self, request: CorrectionRequest) -> JobRecord:
+        """Register a job; dedups against live/done jobs and the cache."""
+        request.validate()
+        digest = request.digest()
+        with self._lock:
+            self.telemetry.count("service.jobs.submitted")
+            existing_id = self._by_digest.get(digest)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                # Join any job that can still produce (or has produced)
+                # the answer; failed/cancelled/dead digests resubmit.
+                if not existing.terminal or existing.state is JobState.DONE:
+                    self.telemetry.count("service.jobs.deduplicated")
+                    return existing
+
+            job = JobRecord(
+                id=f"job-{next(self._ids):06d}",
+                request=request,
+                digest=digest,
+                created=self.clock(),
+            )
+            self._jobs[job.id] = job
+            self._by_digest[digest] = job.id
+
+            if self.cache is not None:
+                hit, outcome = self.cache.load(digest)
+                if hit and isinstance(outcome, JobOutcome):
+                    job.state = JobState.DONE
+                    job.outcome = outcome
+                    job.from_cache = True
+                    job.finished = job.created
+                    self.telemetry.count("service.jobs.completed")
+                    self._write_manifest(job)
+                    return job
+
+            job.state = JobState.QUEUED
+        self.queue.push(job.id)
+        return job
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError("unknown_job", f"no job {job_id!r}")
+        return job
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    def fetch(self, job_id: str) -> JobOutcome:
+        """The finished outcome; errors carry the job's state as a code."""
+        job = self.get(job_id)
+        with self._lock:
+            state, outcome = job.state, job.outcome
+            code, message = job.error_code, job.error_message
+        if state is JobState.DONE and outcome is not None:
+            return outcome
+        if state is JobState.CANCELLED:
+            raise ServiceError("cancelled", f"job {job_id} was cancelled")
+        if state is JobState.FAILED:
+            raise ServiceError(
+                code or "internal", f"job {job_id} failed: {message}"
+            )
+        if state is JobState.DEAD:
+            raise ServiceError(
+                "worker_crashed",
+                f"job {job_id} crashed {self.max_attempts} times; last error: "
+                f"{message}",
+            )
+        raise ServiceError(
+            "not_ready", f"job {job_id} is {state.value}; poll status until done"
+        )
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a still-queued job; running/terminal jobs refuse."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.state is not JobState.QUEUED:
+                raise ServiceError(
+                    "not_cancellable",
+                    f"job {job_id} is {job.state.value}; only queued jobs "
+                    "can be cancelled",
+                )
+            # Between the check above and remove() no worker can claim
+            # the id: workers mark RUNNING under this same lock.
+            self.queue.remove(job_id)
+            job.state = JobState.CANCELLED
+            job.finished = self.clock()
+            self.telemetry.count("service.jobs.cancelled")
+            self._write_manifest(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _run_job(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.QUEUED:
+                return  # cancelled (or gone) between pop and claim
+            job.state = JobState.RUNNING
+            job.attempts += 1
+            if job.started is None:
+                job.started = self.clock()
+
+        try:
+            outcome = self.executor(job.request, self.store.job_dir(job_id))
+        except ServiceError as exc:
+            self._finish_error(job, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - classified below
+            code = classify_error(exc)
+            if code == "worker_crashed":
+                self._crash(job, exc)
+            else:
+                self._finish_error(job, code, str(exc))
+        else:
+            self._finish_done(job, outcome)
+
+    def _finish_done(self, job: JobRecord, outcome: JobOutcome) -> None:
+        if self.cache is not None:
+            self.cache.store(job.digest, outcome)
+        with self._lock:
+            job.state = JobState.DONE
+            job.outcome = outcome
+            job.finished = self.clock()
+            self.telemetry.count("service.jobs.completed")
+            if job.started is not None:
+                self.telemetry.observe(
+                    "service.job.duration", job.finished - job.started
+                )
+            self._write_manifest(job)
+
+    def _finish_error(self, job: JobRecord, code: str, message: str) -> None:
+        with self._lock:
+            job.state = JobState.FAILED
+            job.error_code = code
+            job.error_message = message
+            job.finished = self.clock()
+            self.telemetry.count("service.jobs.failed")
+            self._write_manifest(job)
+
+    def _crash(self, job: JobRecord, exc: BaseException) -> None:
+        with self._lock:
+            job.error_code = "worker_crashed"
+            job.error_message = f"{type(exc).__name__}: {exc}"
+            if job.attempts < self.max_attempts:
+                job.state = JobState.QUEUED
+                self.telemetry.count("service.jobs.retried")
+                requeue = True
+            else:
+                job.state = JobState.DEAD
+                job.finished = self.clock()
+                self.telemetry.count("service.jobs.dead")
+                self._write_manifest(job)
+                requeue = False
+        if requeue:
+            self.queue.push(job.id)
+
+    def _note_crash(self, job_id: str, exc: BaseException) -> None:
+        """Pool-level backstop: _run_job itself raised (a manager bug)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+            job.state = JobState.DEAD
+            job.error_code = "worker_crashed"
+            job.error_message = f"{type(exc).__name__}: {exc}"
+            job.finished = self.clock()
+            self.telemetry.count("service.jobs.dead")
+            self._write_manifest(job)
+
+    # ------------------------------------------------------------------
+    def _write_manifest(self, job: JobRecord) -> None:
+        """Persist the audit manifest; never lets disk trouble kill a job."""
+        try:
+            path = self.store.write_manifest(job.id, job.manifest())
+            job.manifest_path = str(path)
+        except OSError:
+            pass

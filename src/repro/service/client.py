@@ -1,0 +1,158 @@
+"""Python client for the correction service (urllib, no dependencies).
+
+:class:`ServiceClient` wraps the HTTP API of :mod:`repro.service.api`
+in blocking calls that speak domain objects::
+
+    from repro import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8631")
+    job = client.submit_workload("pingpong", nprocs=4)
+    job = client.wait(job["id"])
+    text = client.fetch_trace(job["id"])      # canonical .jsonl
+
+Server-side :class:`~repro.service.domain.ServiceError` bodies are
+re-raised as :class:`ServiceError` with the same stable ``code``, so
+callers branch identically whether the failure happened in-process or
+across the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.service.domain import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking HTTP client; one instance per service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> tuple[int, bytes, str]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return (
+                    resp.status,
+                    resp.read(),
+                    resp.headers.get("Content-Type", ""),
+                )
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            raise self._error_from(exc.code, payload) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                "internal", f"cannot reach {self.base_url}: {exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _error_from(status: int, payload: bytes) -> ServiceError:
+        try:
+            obj = json.loads(payload.decode("utf-8"))
+            err = obj["error"]
+            return ServiceError(err["code"], err["message"])
+        except (ValueError, KeyError, TypeError):
+            return ServiceError("internal", f"HTTP {status}: {payload[:200]!r}")
+
+    def _json(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        _, payload, _ = self._request(method, path, body)
+        return json.loads(payload.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit(self, request: dict) -> dict:
+        """Submit a raw :class:`CorrectionRequest` JSON body; returns the job."""
+        return self._json("POST", "/v1/jobs", request)
+
+    def submit_trace(self, trace, **knobs) -> dict:
+        """Submit an in-memory :class:`~repro.tracing.trace.Trace` (or
+        pre-rendered ``.jsonl`` text) inline."""
+        if isinstance(trace, str):
+            payload = trace
+        else:
+            from repro.tracing.writer import trace_to_jsonl
+
+            payload = trace_to_jsonl(trace)
+        return self.submit({"trace_inline": payload, **knobs})
+
+    def submit_workload(self, name: str, **spec_and_knobs) -> dict:
+        """Submit a built-in workload job.
+
+        Workload fields (``nprocs``, ``scale``, ``seed``, ``platform``,
+        ``placement``, ``timer``, ``engine``) go into the spec; anything
+        else is a correction knob.
+        """
+        workload_fields = {
+            "nprocs", "scale", "seed", "platform", "placement", "timer", "engine",
+        }
+        spec = {"name": name}
+        knobs = {}
+        for key, value in spec_and_knobs.items():
+            (spec if key in workload_fields else knobs)[key] = value
+        return self.submit({"workload": spec, **knobs})
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def report(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}/report")
+
+    def fetch_trace(self, job_id: str) -> str:
+        """The corrected trace as canonical ``.jsonl`` text."""
+        _, payload, _ = self._request("GET", f"/v1/jobs/{job_id}/trace")
+        return payload.decode("utf-8")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition."""
+        _, payload, _ = self._request("GET", "/metrics")
+        return payload.decode("utf-8")
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    # ------------------------------------------------------------------
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.1
+    ) -> dict:
+        """Poll until the job is terminal; returns the final record.
+
+        Raises :class:`ServiceError` (``not_ready``) on timeout — the
+        job keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] not in ("queued", "running"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    "not_ready",
+                    f"job {job_id} still {job['state']} after {timeout:.0f}s",
+                )
+            time.sleep(poll)

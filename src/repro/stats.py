@@ -182,7 +182,12 @@ def bootstrap_ci(
     means = samples[draws].mean(axis=1)
     alpha = 0.5 * (1.0 - level)
     lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
-    return float(lo), float(hi)
+    # Resampled means live in [min, max] mathematically, but the fp
+    # summation inside mean() can overshoot either end by an ulp; clip
+    # so the interval never leaves the sample range.
+    lo = float(np.clip(lo, samples.min(), samples.max()))
+    hi = float(np.clip(hi, samples.min(), samples.max()))
+    return lo, hi
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,7 @@ from repro.tracing.events import EventLog, EventType
 from repro.tracing.trace import Trace
 from repro.tracing.writer import FORMAT_VERSION
 
-__all__ = ["read_trace", "read_trace_dir"]
+__all__ = ["read_trace", "read_trace_dir", "trace_from_jsonl"]
 
 
 def read_trace_dir(directory: Union[str, Path], ranks=None) -> Trace:
@@ -91,25 +91,38 @@ def _read_npz(path: Path) -> Trace:
     return Trace(logs, meta=header.get("meta", {}))
 
 
+def trace_from_jsonl(text: str, label: str = "<jsonl>") -> Trace:
+    """Parse ``.jsonl`` trace *text* (the inverse of ``trace_to_jsonl``).
+
+    ``label`` names the source in error messages (a path for files, a
+    request id for service payloads).
+    """
+    return _parse_jsonl_lines(text.splitlines(), Path(label))
+
+
 def _read_jsonl(path: Path) -> Trace:
+    with path.open("r", encoding="utf-8") as fh:
+        return _parse_jsonl_lines(fh, path)
+
+
+def _parse_jsonl_lines(lines, path: Path) -> Trace:
     logs_raw: dict[int, list[dict]] = {}
     header = None
-    with path.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TraceFormatError(f"{path}:{lineno}: invalid JSON") from exc
-            kind = obj.get("kind")
-            if kind == "header":
-                header = obj
-            elif kind == "event":
-                logs_raw.setdefault(int(obj["rank"]), []).append(obj)
-            else:
-                raise TraceFormatError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}:{lineno}: invalid JSON") from exc
+        kind = obj.get("kind")
+        if kind == "header":
+            header = obj
+        elif kind == "event":
+            logs_raw.setdefault(int(obj["rank"]), []).append(obj)
+        else:
+            raise TraceFormatError(f"{path}:{lineno}: unknown record kind {kind!r}")
     if header is None:
         raise TraceFormatError(f"{path}: missing header line")
     _check_version(header, path)

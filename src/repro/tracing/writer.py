@@ -24,7 +24,7 @@ from repro.errors import TraceFormatError
 from repro.tracing.events import EventType
 from repro.tracing.trace import Trace
 
-__all__ = ["write_trace", "write_trace_dir", "FORMAT_VERSION"]
+__all__ = ["write_trace", "write_trace_dir", "trace_to_jsonl", "FORMAT_VERSION"]
 
 #: Bumped on any incompatible layout change; checked by the reader.
 FORMAT_VERSION = 1
@@ -67,35 +67,48 @@ def _write_npz(trace: Trace, path: Path) -> None:
     np.savez_compressed(path, **payload)
 
 
-def _write_jsonl(trace: Trace, path: Path) -> None:
-    with path.open("w", encoding="utf-8") as fh:
-        header = {
-            "kind": "header",
-            "version": FORMAT_VERSION,
-            "ranks": trace.ranks,
-            "meta": _jsonable_meta(trace.meta),
-        }
-        fh.write(json.dumps(header) + "\n")
-        for rank in trace.ranks:
-            log = trace.logs[rank]
-            ts, et = log.timestamps, log.etypes
-            a, b, c, d = log.a, log.b, log.c, log.d
-            for i in range(len(log)):
-                fh.write(
-                    json.dumps(
-                        {
-                            "kind": "event",
-                            "rank": rank,
-                            "ts": float(ts[i]),
-                            "type": EventType(int(et[i])).name,
-                            "a": int(a[i]),
-                            "b": int(b[i]),
-                            "c": int(c[i]),
-                            "d": int(d[i]),
-                        }
-                    )
-                    + "\n"
+def trace_to_jsonl(trace: Trace) -> str:
+    """Serialize ``trace`` to the ``.jsonl`` format as one string.
+
+    The encoding is canonical: the same trace always yields the same
+    bytes (floats round-trip exactly through ``repr``), which is what
+    lets the correction service hand a corrected trace over HTTP
+    byte-identical to the CLI writing the same trace to disk.
+    """
+    lines = [
+        json.dumps(
+            {
+                "kind": "header",
+                "version": FORMAT_VERSION,
+                "ranks": trace.ranks,
+                "meta": _jsonable_meta(trace.meta),
+            }
+        )
+    ]
+    for rank in trace.ranks:
+        log = trace.logs[rank]
+        ts, et = log.timestamps, log.etypes
+        a, b, c, d = log.a, log.b, log.c, log.d
+        for i in range(len(log)):
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "event",
+                        "rank": rank,
+                        "ts": float(ts[i]),
+                        "type": EventType(int(et[i])).name,
+                        "a": int(a[i]),
+                        "b": int(b[i]),
+                        "c": int(c[i]),
+                        "d": int(d[i]),
+                    }
                 )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _write_jsonl(trace: Trace, path: Path) -> None:
+    path.write_text(trace_to_jsonl(trace), encoding="utf-8")
 
 
 def write_trace_dir(trace: Trace, directory: Union[str, Path]) -> Path:

@@ -52,6 +52,7 @@ __all__ = [
     "WORKLOADS",
     "build_workload",
     "most_square_grid",
+    "simulate_workload",
 ]
 
 
@@ -158,3 +159,66 @@ def build_workload(
             f"unknown workload {name!r}; known: {', '.join(sorted(WORKLOADS))}"
         ) from None
     return builder(nprocs, scale, seed)
+
+
+def simulate_workload(
+    name: str,
+    nprocs: int = 8,
+    scale: float = 0.02,
+    seed: int = 0,
+    platform: str = "xeon",
+    placement: str = "scheduler",
+    timer: str | None = None,
+    *,
+    options=None,
+):
+    """Run a built-in workload exactly the way ``repro simulate`` does.
+
+    One shared construction — platform preset, placement, OS-jitter
+    model, seeding — so every consumer (the CLI, the correction
+    service of :mod:`repro.service`, scripts) produces bit-identical
+    traces for the same arguments.  Returns the
+    :class:`~repro.mpi.runtime.RunResult`.
+
+    ``placement`` is ``"spread"`` (one process per node) or
+    ``"scheduler"`` (packed, the CLI default); ``options`` is a
+    :class:`~repro.options.RunOptions` consulted for engine, telemetry,
+    and out-of-core spilling.
+    """
+    from repro.cluster.jitter import OsJitterModel
+    from repro.cluster.pinning import inter_node, scheduler_default
+    from repro.core.api import PLATFORMS
+    from repro.mpi.runtime import MpiWorld
+    from repro.options import RunOptions
+    from repro.rng import RngFabric
+
+    if platform not in PLATFORMS:
+        raise ConfigurationError(
+            f"unknown platform {platform!r}; options: {sorted(PLATFORMS)}"
+        )
+    preset = PLATFORMS[platform]()
+    if placement == "spread":
+        pinning = inter_node(preset.machine, nprocs)
+    elif placement == "scheduler":
+        pinning = scheduler_default(
+            preset.machine, nprocs, RngFabric(seed).generator("placement")
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown placement {placement!r} (use 'spread' or 'scheduler')"
+        )
+
+    built = build_workload(name, nprocs, scale, seed)
+    world = MpiWorld(
+        preset,
+        pinning,
+        timer=timer,
+        seed=seed,
+        duration_hint=built.duration_hint,
+        jitter=OsJitterModel(rate=10.0, mean_delay=5e-6),
+    )
+    return world.run(
+        built.worker,
+        tracing_initially=built.tracing_initially,
+        options=options if options is not None else RunOptions(),
+    )

@@ -23,6 +23,7 @@ from repro.clocks.factory import TIMER_TECHNOLOGIES
 from repro.cluster import inter_node, xeon_cluster
 from repro.errors import ConfigurationError
 from repro.mpi import MpiWorld
+from repro.options import RunOptions
 from repro.sim.batch import BatchFallback, run_batch
 from repro.verify.cases import BATCH_WORKLOADS
 from repro.verify.oracles import assert_batch_matches_engine
@@ -163,13 +164,17 @@ class TestFallbacks:
         from repro.workloads import SparseConfig, sparse_worker
 
         with pytest.raises(ConfigurationError):
-            _world().run(sparse_worker(SparseConfig(rounds=1)), engine="turbo")
+            _world().run(
+                sparse_worker(SparseConfig(rounds=1)),
+                options=RunOptions(engine="turbo"),
+            )
 
     def test_until_falls_back(self):
         from repro.workloads import SparseConfig, sparse_worker
 
         result = _world().run(
-            sparse_worker(SparseConfig(rounds=2)), until=1e9, engine="batch"
+            sparse_worker(SparseConfig(rounds=2)), until=1e9,
+            options=RunOptions(engine="batch"),
         )
         assert result.engine == "reference"
 
@@ -180,8 +185,12 @@ class TestFallbacks:
             steps=2, step_time=1e-3, trace_window=None, grid=(4, 1),
             reductions_per_step=1, row_reductions=True,
         )
-        ref = _world().run(pop_worker(config, seed=1), engine="reference")
-        bat = _world().run(pop_worker(config, seed=1), engine="batch")
+        ref = _world().run(
+            pop_worker(config, seed=1), options=RunOptions(engine="reference")
+        )
+        bat = _world().run(
+            pop_worker(config, seed=1), options=RunOptions(engine="batch")
+        )
         assert bat.engine == "reference"
         assert bat.duration == ref.duration
         assert bat.events_processed == ref.events_processed
@@ -201,8 +210,10 @@ class TestFallbacks:
         # The aborted attempt must leave the world exactly as a fresh
         # one: the subsequent reference run has to be bit-identical to
         # a run on a never-touched world.
-        after = world.run(worker, engine="reference")
-        pristine = _world().run(pop_worker(config, seed=1), engine="reference")
+        after = world.run(worker, options=RunOptions(engine="reference"))
+        pristine = _world().run(
+            pop_worker(config, seed=1), options=RunOptions(engine="reference")
+        )
         assert after.duration == pristine.duration
         assert after.events_processed == pristine.events_processed
         assert after.rng_states == pristine.rng_states

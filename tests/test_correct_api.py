@@ -1,0 +1,143 @@
+"""The ``correct_trace`` facade: one code path, every source kind.
+
+The facade's contract is that the CLI, the pipeline, the service
+workers, and direct callers all produce bit-identical corrections for
+the same input.  These tests pin that down via the canonical ``.jsonl``
+encoding, which is byte-stable (unlike ``.npz``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.correct import (
+    INTERPOLATIONS,
+    STREAMING_INTERPOLATIONS,
+    CorrectionResult,
+    correct_trace,
+    scan_source,
+)
+from repro.core.pipeline import SyncPipeline
+from repro.errors import SynchronizationError, TraceFormatError
+from repro.tracing.store import ChunkedTrace, write_sharded_trace
+from repro.tracing.trace import Trace
+from repro.tracing.writer import trace_to_jsonl, write_trace
+from repro.workloads import simulate_workload
+
+
+@pytest.fixture(scope="module")
+def run():
+    return simulate_workload("sparse", nprocs=4, scale=0.02, seed=3)
+
+
+@pytest.fixture(scope="module")
+def reference_jsonl(run):
+    """The corrected trace from the RunResult path, canonical form."""
+    return trace_to_jsonl(correct_trace(run).trace)
+
+
+class TestSources:
+    def test_run_result(self, run):
+        result = correct_trace(run)
+        assert isinstance(result, CorrectionResult)
+        assert isinstance(result.trace, Trace)
+        assert [s.stage for s in result.stages] == ["raw", "linear", "clc"]
+        assert result.applied_clc and not result.streamed
+        assert result.stage("clc").total_violated == 0
+
+    def test_trace_object_matches_run_result(self, run, reference_jsonl):
+        result = correct_trace(run.trace)
+        assert trace_to_jsonl(result.trace) == reference_jsonl
+
+    @pytest.mark.parametrize("suffix", [".npz", ".jsonl"])
+    def test_path_matches_run_result(self, run, reference_jsonl, tmp_path, suffix):
+        path = write_trace(run.trace, tmp_path / f"trace{suffix}")
+        result = correct_trace(path)
+        assert trace_to_jsonl(result.trace) == reference_jsonl
+
+    def test_sharded_dir_matches_inmemory_counts(self, run, tmp_path):
+        src = write_sharded_trace(run.trace, tmp_path / "shards", shard_events=16)
+        streamed = correct_trace(src, output=tmp_path / "out")
+        inmemory = correct_trace(run.trace)
+        assert streamed.streamed
+        assert isinstance(streamed.trace, ChunkedTrace)
+        assert streamed.trace.total_events() == run.trace.total_events()
+        for s_stage, m_stage in zip(streamed.stages, inmemory.stages):
+            assert s_stage.stage == m_stage.stage
+            assert s_stage.total_violated == m_stage.total_violated
+            assert s_stage.total_checked == m_stage.total_checked
+
+    def test_bad_source_type_rejected(self):
+        with pytest.raises(TraceFormatError, match="cannot correct"):
+            correct_trace(42)
+
+
+class TestKnobs:
+    def test_scan_false_skips_scans_but_not_correction(self, run, reference_jsonl):
+        result = correct_trace(run, scan=False)
+        assert result.stages == []
+        assert trace_to_jsonl(result.trace) == reference_jsonl
+
+    def test_output_writes_trace(self, run, tmp_path):
+        out = tmp_path / "corrected.jsonl"
+        result = correct_trace(run, output=out)
+        assert result.output == out
+        assert out.read_text() == trace_to_jsonl(result.trace)
+
+    def test_unknown_interpolation(self, run):
+        with pytest.raises(SynchronizationError, match="unknown interpolation"):
+            correct_trace(run, interpolation="cubic")
+
+    def test_measurement_modes_run_end_to_end(self, run):
+        # The trace-only modes need denser bidirectional traffic than
+        # this small fixture carries; they are covered by their own
+        # test modules.  Here: every measurement-free-of-structure mode.
+        for mode in ("none", "align", "linear"):
+            assert mode in INTERPOLATIONS
+            result = correct_trace(run, interpolation=mode, scan=False)
+            assert result.interpolation == mode
+
+    def test_piecewise_needs_run_source(self, run):
+        with pytest.raises(SynchronizationError, match="piecewise"):
+            correct_trace(run.trace, interpolation="piecewise")
+
+
+class TestStreamingGuards:
+    @pytest.fixture()
+    def sharded(self, run, tmp_path):
+        return write_sharded_trace(run.trace, tmp_path / "s", shard_events=16)
+
+    def test_output_required(self, sharded):
+        with pytest.raises(SynchronizationError, match="output"):
+            correct_trace(sharded)
+
+    def test_whole_trace_modes_refused(self, sharded, tmp_path):
+        assert "regression" not in STREAMING_INTERPOLATIONS
+        with pytest.raises(SynchronizationError, match="whole trace"):
+            correct_trace(sharded, interpolation="regression", output=tmp_path / "o")
+
+    def test_noop_request_refused(self, sharded, tmp_path):
+        with pytest.raises(SynchronizationError, match="nothing to apply"):
+            correct_trace(
+                sharded, interpolation="none", clc=False, output=tmp_path / "o"
+            )
+
+
+class TestSingleCodePath:
+    def test_pipeline_is_the_facade(self, run, reference_jsonl):
+        report = SyncPipeline(interpolation="linear", apply_clc=True).run(run)
+        assert trace_to_jsonl(report.trace) == reference_jsonl
+        assert [s.stage for s in report.stages] == ["raw", "linear", "clc"]
+
+    def test_scan_source_matches_raw_stage(self, run):
+        reports = scan_source(run)
+        raw = correct_trace(run).stage("raw")
+        assert reports["p2p"].violated == raw.p2p.violated
+        assert reports["collective"].violated == raw.collective.violated
+
+    def test_scan_source_sharded_matches(self, run, tmp_path):
+        src = write_sharded_trace(run.trace, tmp_path / "s", shard_events=16)
+        sharded = scan_source(src)
+        inmemory = scan_source(run.trace)
+        assert sharded["p2p"].violated == inmemory["p2p"].violated
+        assert sharded["collective"].violated == inmemory["collective"].violated

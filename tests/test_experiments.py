@@ -12,6 +12,7 @@ import pytest
 
 from repro.analysis import experiments as E
 from repro.errors import ConfigurationError
+from repro.options import RunOptions
 from repro.units import USEC
 
 
@@ -27,7 +28,9 @@ class TestTable1:
 class TestTable2:
     @pytest.fixture(scope="class")
     def result(self):
-        return E.table2_latencies(seed=0, repeats=200, coll_repeats=60)
+        return E.table2_latencies(
+            repeats=200, coll_repeats=60, options=RunOptions(seed=0)
+        )
 
     def test_four_rows(self, result):
         assert len(result.rows) == 4
@@ -116,7 +119,9 @@ class TestFig7:
         # clock pairs; a single-node job has none by design.  The seed
         # is pinned to a run whose window residual exceeds the latency
         # (the paper notes violations vary between runs).
-        return E.fig7_app_violations("pop", seed=3, runs=1, nprocs=32, scale=0.05)
+        return E.fig7_app_violations(
+            "pop", runs=1, nprocs=32, scale=0.05, options=RunOptions(seed=3)
+        )
 
     def test_pop_has_violations(self, pop):
         assert pop.mean_reversed_pct > 0.0
@@ -130,18 +135,24 @@ class TestFig7:
             E.fig7_app_violations("linpack")
 
     def test_smg_runs(self):
-        result = E.fig7_app_violations("smg2000", seed=1, runs=1, nprocs=8, scale=0.2)
+        result = E.fig7_app_violations(
+            "smg2000", runs=1, nprocs=8, scale=0.2, options=RunOptions(seed=1)
+        )
         assert result.runs[0].events > 0
 
 
 class TestFig8:
     def test_falloff_with_threads(self):
-        result = E.fig8_openmp_violations(threads=(4, 16), seed=1, runs=2, regions=60)
+        result = E.fig8_openmp_violations(
+            threads=(4, 16), runs=2, regions=60, options=RunOptions(seed=1)
+        )
         assert result.mean_pct(4, "any") > 50.0
         assert result.mean_pct(16, "any") < 10.0
 
     def test_rows_structure(self):
-        result = E.fig8_openmp_violations(threads=(4,), seed=1, runs=1, regions=30)
+        result = E.fig8_openmp_violations(
+            threads=(4,), runs=1, regions=30, options=RunOptions(seed=1)
+        )
         rows = result.rows()
         assert len(rows) == 1
         n, any_, entry, exit_, barrier = rows[0]

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.options import RunOptions
+
 from repro import PipelineReport, SyncPipeline, TracingSession
 from repro.cluster.pinning import inter_core
 from repro.cluster.machines import xeon_cluster
@@ -14,8 +16,8 @@ from repro.workloads import SparseConfig, sparse_worker
 
 @pytest.fixture(scope="module")
 def session():
-    return TracingSession(platform="xeon", nprocs=4, timer="mpi_wtime", seed=11,
-                          duration_hint=60.0)
+    return TracingSession(platform="xeon", nprocs=4, timer="mpi_wtime",
+                          duration_hint=60.0, options=RunOptions(seed=11))
 
 
 @pytest.fixture(scope="module")
@@ -39,8 +41,8 @@ class TestTracingSession:
         assert session.pinning is pin
 
     def test_scheduler_placement(self):
-        session = TracingSession(nprocs=10, placement="scheduler", seed=3,
-                                 duration_hint=10.0)
+        session = TracingSession(nprocs=10, placement="scheduler", duration_hint=10.0,
+                                 options=RunOptions(seed=3))
         nodes = {loc.node for loc in session.pinning}
         assert nodes == {0, 1}  # 10 procs pack into 2 Xeon nodes
 
@@ -126,7 +128,10 @@ class TestSyncPipeline:
 class TestDocExample:
     def test_readme_quickstart(self):
         """The module-docstring example must work as written."""
-        session = TracingSession(platform="xeon", nprocs=4, seed=7, duration_hint=60.0)
+        session = TracingSession(
+            platform="xeon", nprocs=4, duration_hint=60.0,
+            options=RunOptions(seed=7),
+        )
         run = session.trace(sparse_worker(SparseConfig(rounds=5)))
         report = session.synchronize(run)
         assert report.stage("clc").total_violated == 0

@@ -22,16 +22,19 @@ from repro.options import resolve_options
 
 #: The one and only list of top-level exports.  Update deliberately.
 EXPECTED_EXPORTS = [
+    "CorrectionResult",
     "PipelineReport",
     "ReproError",
     "RunOptions",
     "RunResult",
     "SampleSummary",
+    "ServiceClient",
     "StoppingRule",
     "SyncPipeline",
     "TelemetryRecorder",
     "TracingSession",
     "__version__",
+    "correct_trace",
 ]
 
 
@@ -57,13 +60,17 @@ class TestExports:
             assert getattr(repro, name) is not None
 
     def test_canonical_identities(self):
+        from repro.core.correct import correct_trace as inner_correct
         from repro.mpi.runtime import RunResult as inner_result
         from repro.options import RunOptions as inner_options
+        from repro.service.client import ServiceClient as inner_client
         from repro.telemetry import TelemetryRecorder as inner_recorder
 
         assert RunOptions is inner_options
         assert RunResult is inner_result
         assert TelemetryRecorder is inner_recorder
+        assert repro.correct_trace is inner_correct
+        assert repro.ServiceClient is inner_client
 
 
 class TestRunOptions:

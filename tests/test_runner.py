@@ -16,6 +16,7 @@ from repro.analysis.runner import (
 )
 from repro.cache import ResultCache
 from repro.errors import ConfigurationError
+from repro.options import RunOptions
 from repro.telemetry import TelemetryRecorder
 
 
@@ -36,21 +37,26 @@ class TestRunGrid:
         assert run_grid(square, GRID) == [i * i for i in range(7)]
 
     def test_results_in_grid_order_parallel(self):
-        assert run_grid(square, GRID, jobs=3) == [i * i for i in range(7)]
+        assert run_grid(square, GRID, options=RunOptions(jobs=3)) == [
+            i * i for i in range(7)
+        ]
 
     def test_empty_grid(self):
         assert run_grid(square, []) == []
-        assert run_grid(square, [], jobs=4) == []
+        assert run_grid(square, [], options=RunOptions(jobs=4)) == []
 
     def test_worker_exception_propagates(self):
         with pytest.raises(ValueError, match="boom"):
-            run_grid(failing, [dict(x=1), dict(x=2)], jobs=2)
+            run_grid(failing, [dict(x=1), dict(x=2)], options=RunOptions(jobs=2))
         with pytest.raises(ValueError, match="boom"):
             run_grid(failing, [dict(x=1), dict(x=2)])
 
     def test_on_result_callback_sees_every_job(self):
         seen = {}
-        run_grid(square, GRID, jobs=2, on_result=lambda i, v: seen.__setitem__(i, v))
+        run_grid(
+            square, GRID, options=RunOptions(jobs=2),
+            on_result=lambda i, v: seen.__setitem__(i, v),
+        )
         assert seen == {i: i * i for i in range(7)}
 
     def test_resolve_jobs(self):
@@ -75,17 +81,21 @@ class TestDeterminism:
     """run_grid(jobs=4) must be bit-for-bit identical to serial."""
 
     def test_fig7_grid_parallel_equals_serial(self):
-        kwargs = dict(app="smg2000", seed=2, runs=2, nprocs=4, scale=0.2)
-        serial = E.fig7_app_violations(**kwargs, jobs=None)
-        parallel = E.fig7_app_violations(**kwargs, jobs=4)
+        kwargs = dict(app="smg2000", runs=2, nprocs=4, scale=0.2)
+        serial = E.fig7_app_violations(**kwargs, options=RunOptions(seed=2))
+        parallel = E.fig7_app_violations(
+            **kwargs, options=RunOptions(seed=2, jobs=4)
+        )
         # Fig7RunStats is a dataclass of floats/ints: == is bit-for-bit.
         assert serial.runs == parallel.runs
         assert serial.app == parallel.app
 
     def test_fig8_grid_parallel_equals_serial(self):
-        kwargs = dict(threads=(2, 4), seed=1, runs=2, regions=20)
-        serial = E.fig8_openmp_violations(**kwargs)
-        parallel = E.fig8_openmp_violations(**kwargs, jobs=4)
+        kwargs = dict(threads=(2, 4), runs=2, regions=20)
+        serial = E.fig8_openmp_violations(**kwargs, options=RunOptions(seed=1))
+        parallel = E.fig8_openmp_violations(
+            **kwargs, options=RunOptions(seed=1, jobs=4)
+        )
         assert serial.threads == parallel.threads
         for n in serial.threads:
             for a, b in zip(serial.reports[n], parallel.reports[n]):
@@ -93,35 +103,39 @@ class TestDeterminism:
                 assert (a.regions, a.any_violations) == (b.regions, b.any_violations)
 
     def test_table2_parallel_equals_serial(self):
-        kwargs = dict(seed=0, repeats=100, coll_repeats=30)
-        serial = E.table2_latencies(**kwargs)
-        parallel = E.table2_latencies(**kwargs, jobs=4)
+        kwargs = dict(repeats=100, coll_repeats=30)
+        serial = E.table2_latencies(**kwargs, options=RunOptions(seed=0))
+        parallel = E.table2_latencies(
+            **kwargs, options=RunOptions(seed=0, jobs=4)
+        )
         assert serial.rows == parallel.rows  # frozen dataclass equality
 
 
 class TestRunGridCaching:
     def test_cache_populated_and_hit(self, tmp_path):
         cache = ResultCache(tmp_path)
-        first = run_grid(square, GRID, cache=cache)
+        first = run_grid(square, GRID, options=RunOptions(cache=cache))
         assert cache.misses == len(GRID)
         assert cache.stores == len(GRID)
-        second = run_grid(square, GRID, cache=cache)
+        second = run_grid(square, GRID, options=RunOptions(cache=cache))
         assert second == first
         assert cache.hits == len(GRID)
 
     def test_parallel_workers_write_through(self, tmp_path):
         cache = ResultCache(tmp_path)
-        run_grid(square, GRID, jobs=3, cache=cache)
+        run_grid(square, GRID, options=RunOptions(jobs=3, cache=cache))
         reread = ResultCache(tmp_path)
-        assert run_grid(square, GRID, cache=reread) == [i * i for i in range(7)]
+        assert run_grid(
+            square, GRID, options=RunOptions(cache=reread)
+        ) == [i * i for i in range(7)]
         assert reread.hits == len(GRID)
         assert reread.misses == 0
 
     def test_partial_hits_only_compute_missing(self, tmp_path):
         cache = ResultCache(tmp_path)
-        run_grid(square, GRID[:3], cache=cache)
+        run_grid(square, GRID[:3], options=RunOptions(cache=cache))
         cache2 = ResultCache(tmp_path)
-        out = run_grid(square, GRID, cache=cache2)
+        out = run_grid(square, GRID, options=RunOptions(cache=cache2))
         assert out == [i * i for i in range(7)]
         assert cache2.hits == 3
         assert cache2.misses == 4
@@ -176,22 +190,24 @@ class TestOnResult:
 
     def test_parallel_on_result_exactly_once_per_index(self):
         calls = []
-        run_grid(square, GRID, jobs=3,
+        run_grid(square, GRID, options=RunOptions(jobs=3),
                  on_result=lambda i, v: calls.append((i, v)))
         assert len(calls) == len(GRID)
         assert sorted(calls) == [(i, i * i) for i in range(7)]
 
     def test_cache_hits_also_reach_on_result(self, tmp_path):
-        run_grid(square, GRID, cache=ResultCache(tmp_path))
+        run_grid(square, GRID, options=RunOptions(cache=ResultCache(tmp_path)))
         seen = {}
-        run_grid(square, GRID, jobs=2, cache=ResultCache(tmp_path),
+        run_grid(square, GRID,
+                 options=RunOptions(jobs=2, cache=ResultCache(tmp_path)),
                  on_result=lambda i, v: seen.__setitem__(i, v))
         assert seen == {i: i * i for i in range(7)}
 
     def test_mixed_hits_and_misses_each_reported_once(self, tmp_path):
-        run_grid(square, GRID[:3], cache=ResultCache(tmp_path))
+        run_grid(square, GRID[:3], options=RunOptions(cache=ResultCache(tmp_path)))
         calls = []
-        run_grid(square, GRID, jobs=2, cache=ResultCache(tmp_path),
+        run_grid(square, GRID,
+                 options=RunOptions(jobs=2, cache=ResultCache(tmp_path)),
                  on_result=lambda i, v: calls.append(i))
         assert sorted(calls) == list(range(7))
 
@@ -201,16 +217,21 @@ class TestWorkStealing:
         grid = [dict(x=i) for i in range(40)]
         serial = run_grid(square, grid)
         for batch in (1, 3, 8):
-            assert run_grid(square, grid, jobs=3, batch_size=batch) == serial
+            assert run_grid(
+                square, grid, options=RunOptions(jobs=3), batch_size=batch
+            ) == serial
 
     def test_batch_size_validated(self):
         with pytest.raises(ConfigurationError):
-            run_grid(square, GRID, jobs=2, batch_size=0)
+            run_grid(square, GRID, options=RunOptions(jobs=2), batch_size=0)
 
     def test_pool_telemetry_counters(self):
         recorder = TelemetryRecorder()
         grid = [dict(x=i) for i in range(30)]
-        run_grid(square, grid, jobs=2, batch_size=2, telemetry=recorder)
+        run_grid(
+            square, grid, options=RunOptions(jobs=2), batch_size=2,
+            telemetry=recorder,
+        )
         assert recorder.counters["runner.jobs_executed"] == 30
         assert recorder.counters["runner.batches"] >= 2
         assert "runner.steals" in recorder.counters

@@ -1,0 +1,385 @@
+"""The correction service's domain model and job lifecycle.
+
+Everything here runs single-threaded: the manager's worker pool is
+never started, and ``JobManager._run_job`` is driven by hand through an
+injected executor, so every lifecycle transition — done, dedup, cancel,
+retry, dead letter — is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.errors import (
+    ConfigurationError,
+    MatchingError,
+    ReproError,
+    SimulationError,
+    SynchronizationError,
+    TraceError,
+)
+from repro.service import (
+    CorrectionRequest,
+    JobManager,
+    JobOutcome,
+    JobState,
+    ServiceError,
+    WorkloadSpec,
+    classify_error,
+)
+from repro.service.domain import ERROR_HTTP_STATUS
+from repro.service.infrastructure import JobQueue, LockedTelemetry
+
+
+def _request(**overrides) -> CorrectionRequest:
+    defaults = dict(workload=WorkloadSpec(name="sparse", nprocs=2))
+    defaults.update(overrides)
+    return CorrectionRequest(**defaults)
+
+
+def _outcome(tag: str = "x") -> JobOutcome:
+    return JobOutcome(
+        trace_sha256=tag, report={"stages": []}, events=3, trace_jsonl="{}\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+class TestServiceError:
+    def test_known_code_carries_http_status(self):
+        exc = ServiceError("unknown_job", "gone")
+        assert exc.http_status == 404
+        assert exc.to_json() == {
+            "error": {"code": "unknown_job", "message": "gone", "http": 404}
+        }
+
+    def test_unknown_code_is_a_programming_error(self):
+        with pytest.raises(ValueError, match="unknown service error code"):
+            ServiceError("whoopsie", "no such code")
+
+    def test_every_code_has_a_sane_status(self):
+        for code, status in ERROR_HTTP_STATUS.items():
+            assert status in (400, 404, 409, 422, 500), (code, status)
+
+
+class TestClassifyError:
+    @pytest.mark.parametrize(
+        "exc, code",
+        [
+            (ServiceError("not_ready", "m"), "not_ready"),
+            (TraceError("m"), "bad_trace"),
+            (MatchingError("m"), "bad_trace"),
+            (ConfigurationError("unknown workload 'nope'"), "unknown_workload"),
+            (ConfigurationError("jobs must be positive"), "bad_config"),
+            (SynchronizationError("m"), "sync_failed"),
+            (SimulationError("m"), "sync_failed"),
+            (ReproError("m"), "bad_request"),
+            (RuntimeError("m"), "worker_crashed"),
+            (ZeroDivisionError(), "worker_crashed"),
+        ],
+    )
+    def test_mapping(self, exc, code):
+        assert classify_error(exc) == code
+        assert classify_error(exc) in ERROR_HTTP_STATUS
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+class TestWorkloadSpec:
+    def test_unknown_workload(self):
+        with pytest.raises(ServiceError) as err:
+            WorkloadSpec(name="nope").validate()
+        assert err.value.code == "unknown_workload"
+
+    def test_bad_engine(self):
+        with pytest.raises(ServiceError) as err:
+            WorkloadSpec(name="sparse", engine="turbo").validate()
+        assert err.value.code == "bad_config"
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ServiceError) as err:
+            WorkloadSpec.from_json({"name": "sparse", "warp": 9})
+        assert err.value.code == "bad_request"
+
+
+class TestCorrectionRequest:
+    def test_exactly_one_source(self):
+        with pytest.raises(ServiceError) as err:
+            CorrectionRequest().validate()
+        assert err.value.code == "bad_request"
+        with pytest.raises(ServiceError):
+            CorrectionRequest(
+                trace_inline="{}", workload=WorkloadSpec(name="sparse")
+            ).validate()
+
+    def test_knob_validation(self):
+        assert _request().validate() is None
+        for bad in (
+            _request(interpolation="cubic"),
+            _request(gamma=0.0),
+            _request(gamma=1.5),
+            _request(lmin=-1.0),
+            CorrectionRequest(trace_inline="{}", interpolation="none", clc=False),
+            CorrectionRequest(trace_dir="/tmp/x", interpolation="piecewise"),
+        ):
+            with pytest.raises(ServiceError):
+                bad.validate()
+
+    def test_digest_is_stable_and_knob_sensitive(self):
+        assert _request().digest() == _request().digest()
+        assert _request().digest() != _request(clc=False).digest()
+        assert _request().digest() != _request(
+            workload=WorkloadSpec(name="sparse", nprocs=4)
+        ).digest()
+
+    def test_inline_and_file_of_same_bytes_share_a_digest(self, tmp_path):
+        # Content addressing: the same trace bytes deduplicate no
+        # matter whether they arrived inline or as a server-local file.
+        payload = '{"kind": "meta"}\n'
+        path = tmp_path / "trace.jsonl"
+        path.write_text(payload)
+        inline = CorrectionRequest(trace_inline=payload)
+        by_path = CorrectionRequest(trace_path=str(path))
+        assert inline.digest() == by_path.digest()
+
+    def test_from_json_round_trip(self):
+        request = _request()
+        again = CorrectionRequest.from_json(request.to_json())
+        assert again == request
+        assert again.digest() == request.digest()
+
+    def test_from_json_rejects_junk(self):
+        for body in (None, [], "x", {"sauce": 1}, {"trace_inline": "{}", "x": 1}):
+            with pytest.raises(ServiceError) as err:
+                CorrectionRequest.from_json(body)
+            assert err.value.code == "bad_request"
+
+    def test_describe_elides_inline_payload(self):
+        request = CorrectionRequest(trace_inline='{"kind": "meta"}\n')
+        described = request.describe()["trace_inline"]
+        assert set(described) == {"sha256", "bytes"}
+        assert request.to_json()["trace_inline"].startswith('{"kind"')
+
+
+# ----------------------------------------------------------------------
+# Infrastructure
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def test_fifo_remove_close(self):
+        q = JobQueue()
+        q.push("a")
+        q.push("b")
+        q.push("c")
+        assert q.remove("b") and not q.remove("b")
+        assert q.pop() == "a"
+        q.close()
+        assert q.pop() == "c"  # closed queues drain
+        assert q.pop() is None
+        with pytest.raises(RuntimeError):
+            q.push("d")
+
+
+class TestLockedTelemetry:
+    def test_counts_and_snapshot(self):
+        tele = LockedTelemetry()
+        tele.count("service.jobs.submitted")
+        tele.count("service.jobs.submitted")
+        assert tele.counter("service.jobs.submitted") == 2
+        assert tele.counter("never") == 0
+        assert tele.snapshot()["counters"]["service.jobs.submitted"] == 2
+
+    def test_spans_are_refused(self):
+        with pytest.raises(RuntimeError, match="span"):
+            LockedTelemetry().span("sync.pipeline")
+
+
+# ----------------------------------------------------------------------
+# Job lifecycle (manager driven by hand, pool never started)
+# ----------------------------------------------------------------------
+class _Manager(JobManager):
+    """A manager whose queue is drained manually, one job at a time."""
+
+    def step(self) -> None:
+        job_id = self.queue.pop(timeout=0)
+        assert job_id is not None, "queue unexpectedly empty"
+        self._run_job(job_id)
+
+
+@pytest.fixture()
+def recording(tmp_path):
+    calls = []
+
+    def executor(request, job_dir):
+        calls.append((request, job_dir))
+        return _outcome()
+
+    manager = _Manager(tmp_path / "work", executor=executor)
+    manager.calls = calls
+    return manager
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done_with_manifest(self, recording):
+        job = recording.submit(_request())
+        assert job.state is JobState.QUEUED
+        recording.step()
+        assert job.state is JobState.DONE
+        assert job.outcome.trace_sha256 == "x"
+        assert job.attempts == 1 and not job.from_cache
+        assert recording.telemetry.counter("service.jobs.completed") == 1
+
+        manifest = recording.store.read_manifest(job.id)
+        assert manifest["state"] == "done"
+        assert manifest["request_digest"] == job.digest
+        assert manifest["result"]["materializable"] is True
+        # the manifest is an audit artifact: valid standalone JSON
+        assert json.loads(
+            recording.store.manifest_path(job.id).read_text()
+        ) == manifest
+
+    def test_duplicate_submit_joins_live_job(self, recording):
+        first = recording.submit(_request())
+        second = recording.submit(_request())
+        assert second is first
+        assert len(recording.queue) == 1
+        assert recording.telemetry.counter("service.jobs.deduplicated") == 1
+        recording.step()
+        assert recording.submit(_request()) is first  # done jobs still join
+        assert len(recording.calls) == 1  # one compute for three submits
+
+    def test_different_requests_do_not_join(self, recording):
+        first = recording.submit(_request())
+        second = recording.submit(_request(clc=False))
+        assert second is not first
+        assert len(recording.queue) == 2
+
+    def test_cancel_mid_queue(self, recording):
+        job = recording.submit(_request())
+        cancelled = recording.cancel(job.id)
+        assert cancelled.state is JobState.CANCELLED
+        assert len(recording.queue) == 0
+        assert recording.store.read_manifest(job.id)["state"] == "cancelled"
+        with pytest.raises(ServiceError) as err:
+            recording.cancel(job.id)
+        assert err.value.code == "not_cancellable"
+        with pytest.raises(ServiceError) as err:
+            recording.fetch(job.id)
+        assert err.value.code == "cancelled"
+        # a cancelled digest does not poison later submissions
+        again = recording.submit(_request())
+        assert again is not job and again.state is JobState.QUEUED
+
+    def test_fetch_before_done_is_not_ready(self, recording):
+        job = recording.submit(_request())
+        with pytest.raises(ServiceError) as err:
+            recording.fetch(job.id)
+        assert err.value.code == "not_ready"
+        recording.step()
+        assert recording.fetch(job.id).trace_sha256 == "x"
+
+    def test_unknown_job(self, recording):
+        with pytest.raises(ServiceError) as err:
+            recording.get("job-999999")
+        assert err.value.code == "unknown_job"
+
+
+class TestFailures:
+    def test_deterministic_error_fails_without_retry(self, tmp_path):
+        def executor(request, job_dir):
+            raise SynchronizationError("no offsets measured")
+
+        manager = _Manager(tmp_path / "work", executor=executor)
+        job = manager.submit(_request())
+        manager.step()
+        assert job.state is JobState.FAILED
+        assert job.error_code == "sync_failed"
+        assert job.attempts == 1 and len(manager.queue) == 0
+        with pytest.raises(ServiceError) as err:
+            manager.fetch(job.id)
+        assert err.value.code == "sync_failed"
+
+    def test_crash_retries_then_dead_letters(self, tmp_path):
+        def executor(request, job_dir):
+            raise RuntimeError("segfault cosplay")
+
+        manager = _Manager(tmp_path / "work", executor=executor, max_attempts=3)
+        job = manager.submit(_request())
+
+        manager.step()
+        assert job.state is JobState.QUEUED and job.attempts == 1
+        manager.step()
+        assert job.state is JobState.QUEUED and job.attempts == 2
+        assert manager.telemetry.counter("service.jobs.retried") == 2
+
+        manager.step()
+        assert job.state is JobState.DEAD and job.attempts == 3
+        assert len(manager.queue) == 0
+        assert manager.telemetry.counter("service.jobs.dead") == 1
+        with pytest.raises(ServiceError) as err:
+            manager.fetch(job.id)
+        assert err.value.code == "worker_crashed"
+
+        manifest = manager.store.read_manifest(job.id)
+        assert manifest["state"] == "dead"
+        assert "segfault cosplay" in manifest["error"]["message"]
+
+    def test_crash_then_recovery_completes(self, tmp_path):
+        attempts = []
+
+        def executor(request, job_dir):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise OSError("transient disk hiccup")
+            return _outcome()
+
+        manager = _Manager(tmp_path / "work", executor=executor)
+        job = manager.submit(_request())
+        manager.step()
+        manager.step()
+        assert job.state is JobState.DONE and job.attempts == 2
+
+    def test_dead_digest_resubmits_fresh(self, tmp_path):
+        def executor(request, job_dir):
+            raise RuntimeError("boom")
+
+        manager = _Manager(tmp_path / "work", executor=executor, max_attempts=1)
+        first = manager.submit(_request())
+        manager.step()
+        assert first.state is JobState.DEAD
+        second = manager.submit(_request())
+        assert second is not first and second.state is JobState.QUEUED
+
+
+class TestResultCache:
+    def test_cache_hit_skips_the_queue(self, tmp_path):
+        calls = []
+
+        def executor(request, job_dir):
+            calls.append(1)
+            return _outcome()
+
+        cache_dir = tmp_path / "cache"
+        first = _Manager(
+            tmp_path / "w1", cache=ResultCache(cache_dir), executor=executor
+        )
+        job = first.submit(_request())
+        first.step()
+        assert job.state is JobState.DONE and calls == [1]
+
+        # A fresh manager (fresh process, same cache): born done.
+        second = _Manager(
+            tmp_path / "w2", cache=ResultCache(cache_dir), executor=executor
+        )
+        replay = second.submit(_request())
+        assert replay.state is JobState.DONE
+        assert replay.from_cache
+        assert replay.outcome.trace_sha256 == "x"
+        assert calls == [1]
+        assert len(second.queue) == 0
+        assert second.telemetry.counter("cache.hit") == 1
+        assert second.store.read_manifest(replay.id)["from_cache"] is True
